@@ -1,0 +1,61 @@
+// Command fusionbench regenerates the tables and figures of the paper's
+// evaluation section (§IV) from the simulation, printing each as a text
+// table with the paper's reference numbers alongside.
+//
+// Usage:
+//
+//	fusionbench -all            # every artifact, full sweeps
+//	fusionbench -fig 12         # one figure
+//	fusionbench -table 1        # one setup table
+//	fusionbench -ablations      # the design-choice ablations
+//	fusionbench -quick ...      # shrunken sweeps (CI-sized)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"fusedcc"
+)
+
+func main() {
+	var (
+		fig       = flag.Int("fig", 0, "regenerate figure N (8..15)")
+		table     = flag.Int("table", 0, "regenerate table N (1..2)")
+		all       = flag.Bool("all", false, "regenerate every table and figure")
+		ablations = flag.Bool("ablations", false, "run the design-choice ablations")
+		quick     = flag.Bool("quick", false, "shrink sweeps for a fast run")
+	)
+	flag.Parse()
+
+	var ids []string
+	switch {
+	case *all:
+		ids = []string{"table1", "table2", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15"}
+		if !*quick {
+			ids = append(ids, "ablation:zerocopy", "ablation:slicesize", "ablation:occupancy", "ablation:kernelsplit")
+		}
+	case *ablations:
+		ids = []string{"ablation:zerocopy", "ablation:slicesize", "ablation:occupancy", "ablation:kernelsplit"}
+	case *fig != 0:
+		ids = []string{fmt.Sprintf("fig%d", *fig)}
+	case *table != 0:
+		ids = []string{fmt.Sprintf("table%d", *table)}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		res, err := fusedcc.RunExperiment(id, *quick)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(res)
+		fmt.Printf("(regenerated in %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+}

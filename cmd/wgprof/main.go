@@ -1,0 +1,27 @@
+// Command wgprof reproduces the paper's Fig 11: the execution timeline
+// of the fused embedding + All-to-All kernel's persistent workgroups,
+// showing non-blocking puts issued while sibling workgroups compute,
+// local-slice completions after the remote ones (communication-aware
+// scheduling), and the distinct tail waits on sliceRdy flags.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"fusedcc/internal/experiments"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "smaller workload")
+		csv   = flag.Bool("csv", false, "also print the raw CSV timeline")
+	)
+	flag.Parse()
+
+	res, tl := experiments.Fig11WithTimeline(experiments.Options{Quick: *quick})
+	fmt.Println(res)
+	if *csv {
+		fmt.Println(tl.CSV())
+	}
+}

@@ -1,0 +1,279 @@
+// Package fusedcc is a Go reproduction of "Optimizing Distributed ML
+// Communication with Fused Computation-Collective Operations"
+// (Punniyamurthy, Hamidouche, Beckmann — SC 2024).
+//
+// The library implements the paper's fused operators — embedding
+// pooling + All-to-All, GEMV + AllReduce, and GEMM + All-to-All — on a
+// deterministic discrete-event model of a multi-GPU, multi-node system
+// (GPUs with occupancy-bounded workgroups and HBM contention, an
+// Infinity-Fabric-like scale-up fabric, NIC/RDMA scale-out networking, a
+// ROC_SHMEM-style GPU-initiated communication layer, RCCL-style baseline
+// collectives, a Triton-like tile DSL, and an ASTRA-Sim-style scale-out
+// training simulator). In functional mode the kernels compute real
+// float32 results, so the fused operators are verified bit-for-bit
+// against their bulk-synchronous baselines.
+//
+// This package is the public facade: it builds systems in the paper's
+// two evaluation shapes and re-exports the types needed to assemble and
+// run operators, models, and the paper's experiments.
+package fusedcc
+
+import (
+	"fmt"
+
+	"fusedcc/internal/core"
+	"fusedcc/internal/dlrm"
+	"fusedcc/internal/experiments"
+	"fusedcc/internal/gpu"
+	"fusedcc/internal/kernels"
+	"fusedcc/internal/moe"
+	"fusedcc/internal/platform"
+	"fusedcc/internal/shmem"
+	"fusedcc/internal/sim"
+	"fusedcc/internal/torch"
+	"fusedcc/internal/transformer"
+	"fusedcc/internal/workload"
+)
+
+// Re-exported core types. Aliases keep the public API small while the
+// implementation lives in focused internal packages.
+type (
+	// Proc is a simulated process; host programs receive one.
+	Proc = sim.Proc
+	// Duration is simulated time in nanoseconds.
+	Duration = sim.Duration
+	// Report captures one operator run (makespan, per-PE ends, traffic).
+	Report = core.Report
+	// OperatorConfig tunes the fused-kernel runtime (occupancy,
+	// scheduling policy, bookkeeping costs).
+	OperatorConfig = core.Config
+	// Schedule selects communication-aware or oblivious WG ordering.
+	Schedule = core.Schedule
+	// EmbeddingAllToAll is the fused embedding + All-to-All operator.
+	EmbeddingAllToAll = core.EmbeddingAllToAll
+	// GEMVAllReduce is the fused GEMV + AllReduce operator.
+	GEMVAllReduce = core.GEMVAllReduce
+	// GEMMAllToAll is the fused GEMM + All-to-All operator.
+	GEMMAllToAll = core.GEMMAllToAll
+	// EmbeddingGradExchange is the backward counterpart of
+	// EmbeddingAllToAll: gradients return to table owners with the
+	// All-to-All overlapped against the scatter-add.
+	EmbeddingGradExchange = core.EmbeddingGradExchange
+	// DLRM is the recommendation-model case study.
+	DLRM = dlrm.Model
+	// ParallelFFN is the tensor-parallel transformer block case study.
+	ParallelFFN = transformer.ParallelFFN
+	// MoELayer is the mixture-of-experts case study.
+	MoELayer = moe.Layer
+	// ExperimentResult is a regenerated paper figure or table.
+	ExperimentResult = experiments.Result
+)
+
+// Scheduling policies (paper §III-A, Fig 14).
+const (
+	CommAware = core.CommAware
+	Oblivious = core.Oblivious
+)
+
+// DefaultOperatorConfig returns the evaluation defaults (comm-aware
+// scheduling, one WG slot of register pressure).
+func DefaultOperatorConfig() OperatorConfig { return core.DefaultConfig() }
+
+// System is an instantiated simulated cluster: engine, hardware, the
+// GPU-initiated communication world, and the framework layer.
+type System struct {
+	Engine   *sim.Engine
+	Platform *platform.Platform
+	World    *shmem.World
+	Torch    *torch.Framework
+}
+
+// Options configures system construction.
+type Options struct {
+	// Functional enables real float32 computation on device buffers
+	// (for verification; timing-only runs are cheaper).
+	Functional bool
+}
+
+// NewScaleUp builds the paper's scale-up shape: one node with the given
+// number of MI210-class GPUs fully connected at 80 GB/s (Table I).
+func NewScaleUp(gpus int, opt Options) *System {
+	cfg := platform.ScaleUp(gpus)
+	cfg.GPU.Functional = opt.Functional
+	return newSystem(cfg)
+}
+
+// NewScaleOut builds the paper's scale-out shape: nodes with one GPU
+// each over a 20 GB/s network (Table I).
+func NewScaleOut(nodes int, opt Options) *System {
+	cfg := platform.ScaleOut(nodes)
+	cfg.GPU.Functional = opt.Functional
+	return newSystem(cfg)
+}
+
+func newSystem(cfg platform.Config) *System {
+	e := sim.NewEngine()
+	pl := platform.New(e, cfg)
+	w := shmem.NewWorld(pl, shmem.DefaultConfig())
+	return &System{Engine: e, Platform: pl, World: w, Torch: torch.New(w)}
+}
+
+// PEs returns all GPU ids, the default communicator membership.
+func (s *System) PEs() []int {
+	pes := make([]int, s.Platform.NDevices())
+	for i := range pes {
+		pes[i] = i
+	}
+	return pes
+}
+
+// Run executes fn as the host program and drives the simulation to
+// completion, returning the final virtual time.
+func (s *System) Run(fn func(p *Proc)) Duration {
+	s.Engine.Go("host", fn)
+	return Duration(s.Engine.Run())
+}
+
+// NewDLRM builds the DLRM case study on this system.
+func (s *System) NewDLRM(cfg dlrm.Config, opCfg OperatorConfig) (*DLRM, error) {
+	return dlrm.New(s.World, s.PEs(), cfg, opCfg)
+}
+
+// NewTransformerFFN builds the tensor-parallel FFN case study.
+func (s *System) NewTransformerFFN(cfg transformer.Config, opCfg OperatorConfig) (*ParallelFFN, error) {
+	return transformer.New(s.World, s.PEs(), cfg, opCfg)
+}
+
+// NewMoELayer builds the mixture-of-experts case study.
+func (s *System) NewMoELayer(cfg moe.Config, opCfg OperatorConfig) (*MoELayer, error) {
+	return moe.New(s.World, s.PEs(), cfg, opCfg)
+}
+
+// DLRMConfig returns the default DLRM case-study configuration.
+func DLRMConfig() dlrm.Config { return dlrm.DefaultConfig() }
+
+// TransformerConfig returns the default FFN case-study configuration.
+func TransformerConfig() transformer.Config { return transformer.DefaultConfig() }
+
+// MoEConfig returns the default MoE case-study configuration.
+func MoEConfig() moe.Config { return moe.DefaultConfig() }
+
+// BuildGEMVAllReduce assembles the fused GEMV + AllReduce operator with
+// synthetic seeded weights: every rank computes y_s = W_s.x_s of shape
+// (m x k) and the operator produces the reduced y on every GPU.
+func (s *System) BuildGEMVAllReduce(m, k, tileM int, seed int64, cfg OperatorConfig) (*GEMVAllReduce, error) {
+	pes := s.PEs()
+	gemvs := make([]*kernels.GEMV, len(pes))
+	for i, pe := range pes {
+		rng := workload.Rand(seed + int64(i))
+		dev := s.Platform.Device(pe)
+		g := &kernels.GEMV{M: m, K: k, TileM: tileM,
+			W: dev.Alloc(m * k), X: dev.Alloc(k)}
+		workload.FillRandom(rng, g.W)
+		workload.FillRandom(rng, g.X)
+		gemvs[i] = g
+	}
+	return core.NewGEMVAllReduce(s.World, pes, gemvs, cfg)
+}
+
+// BuildEmbeddingAllToAll assembles the fused embedding + All-to-All
+// operator with synthetic seeded tables and lookups: tablesPerGPU tables
+// of rows x dim per rank, pooled over globalBatch with avgPooling
+// lookups per row.
+func (s *System) BuildEmbeddingAllToAll(tablesPerGPU, rows, dim, globalBatch, avgPooling, sliceRows int, seed int64, cfg OperatorConfig) (*EmbeddingAllToAll, error) {
+	pes := s.PEs()
+	sets := make([]*kernels.EmbeddingSet, len(pes))
+	for i, pe := range pes {
+		rng := workload.Rand(seed + int64(i))
+		dev := s.Platform.Device(pe)
+		var bags []*kernels.EmbeddingBag
+		for t := 0; t < tablesPerGPU; t++ {
+			tab := kernels.NewEmbeddingTable(dev, rows, dim)
+			workload.FillRandom(rng, tab.Weights)
+			bag := &kernels.EmbeddingBag{Table: tab, Batch: globalBatch, AvgPooling: float64(avgPooling)}
+			if dev.Config().Functional {
+				csr := workload.Lookups(rng, globalBatch, rows, avgPooling)
+				bag.Offsets, bag.Indices = csr.Offsets, csr.Indices
+			}
+			bags = append(bags, bag)
+		}
+		sets[i] = &kernels.EmbeddingSet{Bags: bags}
+	}
+	return core.NewEmbeddingAllToAll(s.World, pes, sets, globalBatch, sliceRows, cfg)
+}
+
+// BuildGEMMAllToAll assembles the fused GEMM + All-to-All operator with
+// synthetic seeded operands: per-rank GEMM of (tokens*len(PEs)) x n x k.
+func (s *System) BuildGEMMAllToAll(tokens, n, k, tileM, tileN int, seed int64, cfg OperatorConfig) (*GEMMAllToAll, error) {
+	pes := s.PEs()
+	m := tokens * len(pes)
+	gemms := make([]*kernels.GEMM, len(pes))
+	for i, pe := range pes {
+		rng := workload.Rand(seed + int64(i))
+		dev := s.Platform.Device(pe)
+		g := &kernels.GEMM{M: m, N: n, K: k, TileM: tileM, TileN: tileN,
+			A: dev.Alloc(m * k), B: dev.Alloc(k * n)}
+		workload.FillRandom(rng, g.A)
+		workload.FillRandom(rng, g.B)
+		gemms[i] = g
+	}
+	return core.NewGEMMAllToAll(s.World, pes, gemms, cfg)
+}
+
+// NewEmbeddingGradExchange builds the backward gradient exchange for a
+// forward embedding + All-to-All operator.
+func NewEmbeddingGradExchange(fwd *EmbeddingAllToAll) *EmbeddingGradExchange {
+	return core.NewEmbeddingGradExchange(fwd)
+}
+
+// RunExperiment regenerates one paper artifact by id: "fig8" .. "fig15",
+// "table1", "table2", or an ablation ("ablation:zerocopy",
+// "ablation:slicesize", "ablation:occupancy", "ablation:kernelsplit").
+// quick shrinks sweeps for fast runs.
+func RunExperiment(id string, quick bool) (*ExperimentResult, error) {
+	opt := experiments.Options{Quick: quick}
+	switch id {
+	case "fig8":
+		return experiments.Fig8(opt), nil
+	case "fig9":
+		return experiments.Fig9(opt), nil
+	case "fig10":
+		return experiments.Fig10(opt), nil
+	case "fig11":
+		return experiments.Fig11(opt), nil
+	case "fig12":
+		return experiments.Fig12(opt), nil
+	case "fig13":
+		return experiments.Fig13(opt), nil
+	case "fig14":
+		return experiments.Fig14(opt), nil
+	case "fig15":
+		return experiments.Fig15(opt), nil
+	case "table1":
+		return experiments.TableI(), nil
+	case "table2":
+		return experiments.TableII(), nil
+	case "ablation:zerocopy":
+		return experiments.AblationZeroCopy(opt), nil
+	case "ablation:slicesize":
+		return experiments.AblationSliceSize(opt), nil
+	case "ablation:occupancy":
+		return experiments.AblationOccupancyPenalty(opt), nil
+	case "ablation:kernelsplit":
+		return experiments.AblationKernelSplit(opt), nil
+	default:
+		return nil, fmt.Errorf("fusedcc: unknown experiment %q", id)
+	}
+}
+
+// Experiments lists the regenerable artifact ids in paper order.
+func Experiments() []string {
+	return []string{
+		"table1", "table2",
+		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+		"ablation:zerocopy", "ablation:slicesize", "ablation:occupancy", "ablation:kernelsplit",
+	}
+}
+
+// GPUModel returns the device model used throughout (MI210-class).
+func GPUModel() gpu.Config { return gpu.MI210() }

@@ -1,0 +1,138 @@
+package fusedcc
+
+import (
+	"testing"
+)
+
+func TestScaleUpSystemRunsFusedGEMV(t *testing.T) {
+	sys := NewScaleUp(4, Options{Functional: true})
+	op, err := sys.BuildGEMVAllReduce(64, 16, 8, 1, DefaultOperatorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	sys.Run(func(p *Proc) { rep = op.RunFused(p) })
+	if rep.Duration() <= 0 {
+		t.Fatal("no simulated time elapsed")
+	}
+	out := op.Out.On(0).Data()
+	nonzero := false
+	for _, v := range out {
+		if v != 0 {
+			nonzero = true
+		}
+	}
+	if !nonzero {
+		t.Fatal("no output produced")
+	}
+}
+
+func TestScaleOutSystemRunsFusedEmbedding(t *testing.T) {
+	sys := NewScaleOut(2, Options{Functional: true})
+	op, err := sys.BuildEmbeddingAllToAll(2, 64, 8, 32, 4, 4, 1, DefaultOperatorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fusedRep Report
+	sys.Run(func(p *Proc) { fusedRep = op.RunFused(p) })
+	if fusedRep.RemotePuts == 0 {
+		t.Error("no remote communication recorded")
+	}
+
+	// Baseline on a fresh identical system must match functionally.
+	sys2 := NewScaleOut(2, Options{Functional: true})
+	op2, err := sys2.BuildEmbeddingAllToAll(2, 64, 8, 32, 4, 4, 1, DefaultOperatorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys2.Run(func(p *Proc) { op2.RunBaseline(p) })
+	for pe := 0; pe < 2; pe++ {
+		a, b := op.Out.On(pe).Data(), op2.Out.On(pe).Data()
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("pe %d elem %d: fused %g != baseline %g", pe, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestGEMMAllToAllViaFacade(t *testing.T) {
+	sys := NewScaleUp(4, Options{Functional: true})
+	op, err := sys.BuildGEMMAllToAll(8, 12, 6, 4, 4, 1, DefaultOperatorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(func(p *Proc) { op.RunFused(p) })
+	if op.Recv.On(2).Data()[0] == 0 {
+		t.Error("combine output missing")
+	}
+}
+
+func TestModelConstructors(t *testing.T) {
+	sys := NewScaleUp(4, Options{})
+	cfg := DLRMConfig()
+	cfg.TablesPerGPU = 2
+	cfg.GlobalBatch = 64
+	cfg.SliceRows = 8
+	if _, err := sys.NewDLRM(cfg, DefaultOperatorConfig()); err != nil {
+		t.Errorf("DLRM: %v", err)
+	}
+	tc := TransformerConfig()
+	tc.Hidden, tc.FFN, tc.TileM = 256, 512, 32
+	if _, err := sys.NewTransformerFFN(tc, DefaultOperatorConfig()); err != nil {
+		t.Errorf("FFN: %v", err)
+	}
+	mc := MoEConfig()
+	mc.TokensPerGPU, mc.ModelDim, mc.FFNDim, mc.TileM, mc.TileN = 16, 32, 64, 4, 8
+	if _, err := sys.NewMoELayer(mc, DefaultOperatorConfig()); err != nil {
+		t.Errorf("MoE: %v", err)
+	}
+}
+
+func TestRunExperimentDispatch(t *testing.T) {
+	for _, id := range []string{"table1", "table2"} {
+		res, err := RunExperiment(id, true)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if res.ID == "" {
+			t.Errorf("%s: empty result", id)
+		}
+	}
+	if _, err := RunExperiment("fig99", true); err == nil {
+		t.Error("unknown experiment must error")
+	}
+	if len(Experiments()) < 10 {
+		t.Error("experiment catalogue incomplete")
+	}
+}
+
+func TestGPUModelExposed(t *testing.T) {
+	if GPUModel().CUs != 104 {
+		t.Error("unexpected GPU model")
+	}
+}
+
+func TestBackwardExchangeViaFacade(t *testing.T) {
+	sys := NewScaleOut(2, Options{Functional: true})
+	fwd, err := sys.BuildEmbeddingAllToAll(2, 64, 8, 32, 4, 4, 1, DefaultOperatorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewEmbeddingGradExchange(fwd)
+	// Seed gradients with the forward output shape.
+	for pe := 0; pe < 2; pe++ {
+		d := g.GradOut.On(pe).Data()
+		for i := range d {
+			d[i] = float32(pe*1000 + i)
+		}
+	}
+	var rep Report
+	sys.Run(func(p *Proc) { rep = g.RunFused(p) })
+	if rep.RemotePuts == 0 {
+		t.Error("backward exchange issued no puts")
+	}
+	if g.GradIn.On(0).Data()[0] == 0 && g.GradIn.On(1).Data()[0] == 0 {
+		t.Error("no gradients delivered")
+	}
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"fmt"
+
+	"fusedcc/internal/collectives"
+	"fusedcc/internal/kernels"
+	"fusedcc/internal/shmem"
+	"fusedcc/internal/sim"
+	"fusedcc/internal/triton"
+)
+
+// GEMMAllToAll is the fused GEMM + All-to-All (combine) operator for MoE
+// expert parallelism (§II-A, §III-B): every rank runs its expert's
+// feed-forward GEMM over tokens gathered from all ranks; output rows are
+// grouped by originating rank, and each tile is communicated back to its
+// origin the moment it is computed. The kernel is authored in the
+// Triton-like tile DSL with the communication extensions, mirroring the
+// paper's implementation route (§III-D).
+//
+// Shapes: per-rank GEMM is (k*TokensPerRank) x N with row block d
+// belonging to rank d. Recv layout per PE: [k][TokensPerRank][N] (block
+// s holds rows computed by rank s's expert) — the layout the combine
+// step consumes, so no reshuffle is needed on either path.
+type GEMMAllToAll struct {
+	World  *shmem.World
+	PEs    []int
+	Gemms  []*kernels.GEMM // per rank; same M, N, tiling
+	Config Config
+
+	// Recv is the combine output, k*TokensPerRank*N elements per PE.
+	Recv *shmem.Symm
+
+	k, tokens int // tokens per rank
+}
+
+// NewGEMMAllToAll validates shapes and allocates the combine buffer.
+func NewGEMMAllToAll(w *shmem.World, pes []int, gemms []*kernels.GEMM, cfg Config) (*GEMMAllToAll, error) {
+	op := &GEMMAllToAll{World: w, PEs: pes, Gemms: gemms, Config: cfg, k: len(pes)}
+	if op.k == 0 || len(gemms) != op.k {
+		return nil, fmt.Errorf("core: %d PEs with %d GEMMs", op.k, len(gemms))
+	}
+	g0 := gemms[0]
+	for s, g := range gemms {
+		if err := g.Validate(); err != nil {
+			return nil, fmt.Errorf("core: rank %d: %w", s, err)
+		}
+		if g.M != g0.M || g.N != g0.N || g.TileM != g0.TileM || g.TileN != g0.TileN {
+			return nil, fmt.Errorf("core: rank %d GEMM shape differs", s)
+		}
+	}
+	if g0.M%op.k != 0 {
+		return nil, fmt.Errorf("core: GEMM M=%d not divisible by %d ranks", g0.M, op.k)
+	}
+	op.tokens = g0.M / op.k
+	if g0.TileM > op.tokens || op.tokens%g0.TileM != 0 {
+		return nil, fmt.Errorf("core: TileM=%d must divide tokens per rank %d", g0.TileM, op.tokens)
+	}
+	op.Recv = w.Malloc(g0.M * g0.N)
+	return op, nil
+}
+
+// rowOwner returns the rank that receives output row m.
+func (op *GEMMAllToAll) rowOwner(m int) int { return m / op.tokens }
+
+// RunFused executes the Triton-built fused kernel on every rank.
+func (op *GEMMAllToAll) RunFused(p *sim.Proc) Report {
+	w := op.World
+	pl := w.Platform()
+	e := pl.E
+	rep := Report{Start: e.Now(), PEEnd: make([]sim.Time, op.k)}
+	g0 := op.Gemms[0]
+
+	dev0 := pl.Device(op.PEs[0])
+	occ := op.Config.fusedWGsPerCU(dev0)
+	phys := dev0.Config().CUs * occ
+	if phys > g0.Tiles() {
+		phys = g0.Tiles()
+	}
+	// tileDone[src*phys + w] on dst: rank src's WG w delivered all its
+	// tiles destined for dst.
+	tileDone := w.MallocFlags(op.k * phys)
+
+	wgAll := sim.NewWaitGroup(e)
+	wgAll.Add(op.k)
+	for s := 0; s < op.k; s++ {
+		s := s
+		pe := op.PEs[s]
+		e.Go(fmt.Sprintf("fused.gemm/rank%d", s), func(rp *sim.Proc) {
+			g := op.Gemms[s]
+			functional := op.Recv.On(pe).Functional()
+
+			// Communication-aware program order: tiles whose row block
+			// belongs to a remote rank run first.
+			order := make([]int, 0, g.Tiles())
+			if op.Config.Schedule == CommAware {
+				for off := 1; off <= op.k; off++ {
+					d := (s + off) % op.k
+					for t := 0; t < g.Tiles(); t++ {
+						mlo, _, _, _ := g.TileRect(t)
+						if op.rowOwner(mlo) == d {
+							order = append(order, t)
+						}
+					}
+				}
+			} else {
+				for t := 0; t < g.Tiles(); t++ {
+					order = append(order, t)
+				}
+			}
+
+			remaining := make([][]int, phys)
+			kb := triton.NewBuilder(fmt.Sprintf("fused.gemm_a2a.%d", s), pl.Device(pe), w).
+				Grid(g.Tiles()).Occupancy(occ).Order(order)
+			kb.Body(func(tc *triton.TileCtx) {
+				if remaining[tc.Phys] == nil {
+					// First program on this WG: count tiles per
+					// destination for flag raising.
+					counts := make([]int, op.k)
+					for i := tc.Phys; i < g.Tiles(); i += tc.NumPhys {
+						mlo, _, _, _ := g.TileRect(order[i])
+						counts[op.rowOwner(mlo)]++
+					}
+					remaining[tc.Phys] = counts
+					for d := 0; d < op.k; d++ {
+						if counts[d] == 0 && d != s {
+							tc.CommFlag(op.PEs[d], tileDone, s*phys+tc.Phys, 1)
+						}
+					}
+				}
+				t := tc.PID
+				mlo, mhi, nlo, nhi := g.TileRect(t)
+				tm, tn := mhi-mlo, nhi-nlo
+				d := op.rowOwner(mlo)
+				// tl.load A and B tiles, tl.dot.
+				tc.Load(float64(tm*g.K)*4 + float64(tn*g.K)*4)
+				tc.Dot(2 * float64(tm) * float64(tn) * float64(g.K))
+				var vals []float32
+				if functional {
+					vals = make([]float32, tm*tn)
+					g.TileValues(t, vals)
+				}
+				// Communicate the tile straight to its origin rank:
+				// recv[s][mlo-d*tokens ...][nlo ...].
+				dstOff := (s*op.tokens+(mlo-d*op.tokens))*g.N + nlo
+				tc.CommPutRows(op.PEs[d], op.Recv, dstOff, g.N, vals, tm, tn)
+				tc.WG().Busy(op.Config.Bookkeeping)
+				if d != s {
+					rep.RemotePuts++
+					rep.RemoteBytes += float64(tm*tn) * 4
+				}
+				remaining[tc.Phys][d]--
+				if remaining[tc.Phys][d] == 0 && d != s {
+					tc.CommFlag(op.PEs[d], tileDone, s*phys+tc.Phys, 1)
+				}
+			})
+			kb.OnRetire(func(tc *triton.TileCtx) {
+				// A WG that received no programs still must raise its
+				// flags and wait for the combine to complete.
+				if remaining[tc.Phys] == nil {
+					for d := 0; d < op.k; d++ {
+						if d != s {
+							tc.CommFlag(op.PEs[d], tileDone, s*phys+tc.Phys, 1)
+						}
+					}
+				}
+				for src := 0; src < op.k; src++ {
+					if src != s {
+						tc.CommWait(tileDone, src*phys+tc.Phys, 1)
+					}
+				}
+			})
+			kb.Launch(rp)
+			rep.PEEnd[s] = rp.Now()
+			wgAll.Done()
+		})
+	}
+	wgAll.Wait(p)
+	rep.End = e.Now()
+	return rep
+}
+
+// RunBaseline executes the bulk-synchronous comparator: the stock tiled
+// GEMM kernel per rank (writing C locally), then an RCCL-style
+// All-to-All over the contiguous row blocks.
+func (op *GEMMAllToAll) RunBaseline(p *sim.Proc) Report {
+	pl := op.World.Platform()
+	e := pl.E
+	rep := Report{Start: e.Now(), PEEnd: make([]sim.Time, op.k)}
+	g0 := op.Gemms[0]
+	send := op.World.Malloc(g0.M * g0.N)
+
+	wgAll := sim.NewWaitGroup(e)
+	wgAll.Add(op.k)
+	for s := 0; s < op.k; s++ {
+		s := s
+		pe := op.PEs[s]
+		e.Go(fmt.Sprintf("base.gemm/rank%d", s), func(rp *sim.Proc) {
+			g := op.Gemms[s]
+			saved := g.C
+			g.C = send.On(pe)
+			g.Run(rp, pl.Device(pe), 0)
+			g.C = saved
+			wgAll.Done()
+		})
+	}
+	wgAll.Wait(p)
+	comm := collectives.New(pl, op.PEs)
+	comm.AllToAll(p, send, op.Recv, op.tokens*g0.N)
+	rep.End = e.Now()
+	for s := range rep.PEEnd {
+		rep.PEEnd[s] = rep.End
+	}
+	return rep
+}

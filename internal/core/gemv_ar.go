@@ -1,0 +1,255 @@
+package core
+
+import (
+	"fmt"
+
+	"fusedcc/internal/collectives"
+	"fusedcc/internal/gpu"
+	"fusedcc/internal/kernels"
+	"fusedcc/internal/shmem"
+	"fusedcc/internal/sim"
+)
+
+// GEMVAllReduce is the fused GEMV + AllReduce operator for scale-up
+// systems (§III-B, Fig 7): the token-phase Megatron row-parallel linear
+// layer. Every rank computes partial outputs y_s = W_s.x_s over the full
+// output length M; the fused kernel reduces them with the two-phase
+// direct algorithm — each rank owns 1/k of the output tiles, peers
+// zero-copy-store their partial tiles straight into the owner's staging
+// buffer, the owner reduces and zero-copy-broadcasts the result.
+//
+// Physical WG w handles the same tile set {t : t mod phys == w} on every
+// rank, so the reduction dependency is WG-to-WG: each physical WG sets
+// exactly one ready flag per peer once all its tiles have been stored
+// there (§III-B "to reduce the amount of synchronization").
+type GEMVAllReduce struct {
+	World  *shmem.World
+	PEs    []int
+	Gemvs  []*kernels.GEMV // per rank; same M and TileM, K may differ
+	Config Config
+
+	// Out is the reduced output vector, M elements on every PE.
+	Out *shmem.Symm
+
+	k, m, tiles int
+	tmp         *shmem.Symm // per PE: [k][M] staging for partial tiles
+}
+
+// NewGEMVAllReduce validates shapes and allocates output and staging.
+func NewGEMVAllReduce(w *shmem.World, pes []int, gemvs []*kernels.GEMV, cfg Config) (*GEMVAllReduce, error) {
+	op := &GEMVAllReduce{World: w, PEs: pes, Gemvs: gemvs, Config: cfg, k: len(pes)}
+	if op.k == 0 || len(gemvs) != op.k {
+		return nil, fmt.Errorf("core: %d PEs with %d GEMVs", op.k, len(gemvs))
+	}
+	for s, g := range gemvs {
+		if err := g.Validate(); err != nil {
+			return nil, fmt.Errorf("core: rank %d: %w", s, err)
+		}
+		if g.M != gemvs[0].M || g.TileM != gemvs[0].TileM {
+			return nil, fmt.Errorf("core: rank %d output tiling differs", s)
+		}
+	}
+	op.m = gemvs[0].M
+	op.tiles = gemvs[0].Tiles()
+	op.Out = w.Malloc(op.m)
+	op.tmp = w.Malloc(op.k * op.m)
+	return op, nil
+}
+
+// owner returns the rank that reduces tile t (contiguous tile blocks).
+func (op *GEMVAllReduce) owner(t int) int {
+	per := (op.tiles + op.k - 1) / op.k
+	o := t / per
+	if o >= op.k {
+		o = op.k - 1
+	}
+	return o
+}
+
+// RunFused executes the fused operator on all ranks and blocks until the
+// slowest kernel retires.
+func (op *GEMVAllReduce) RunFused(p *sim.Proc) Report {
+	w := op.World
+	pl := w.Platform()
+	e := pl.E
+	rep := Report{Start: e.Now(), PEEnd: make([]sim.Time, op.k)}
+
+	dev0 := pl.Device(op.PEs[0])
+	phys := dev0.Config().CUs * op.Config.fusedWGsPerCU(dev0)
+	if phys > op.tiles {
+		phys = op.tiles
+	}
+	// storeDone[dst][src*phys+w]: src's WG w finished storing partial
+	// tiles into dst. bcastDone is the all-gather equivalent.
+	storeDone := w.MallocFlags(op.k * phys)
+	bcastDone := w.MallocFlags(op.k * phys)
+
+	wgAll := sim.NewWaitGroup(e)
+	wgAll.Add(op.k)
+	for s := 0; s < op.k; s++ {
+		s := s
+		e.Go(fmt.Sprintf("fused.gemv/rank%d", s), func(rp *sim.Proc) {
+			op.runRank(rp, s, phys, storeDone, bcastDone, &rep)
+			rep.PEEnd[s] = rp.Now()
+			wgAll.Done()
+		})
+	}
+	wgAll.Wait(p)
+	rep.End = e.Now()
+	return rep
+}
+
+func (op *GEMVAllReduce) runRank(rp *sim.Proc, s, phys int, storeDone, bcastDone *shmem.Flags, rep *Report) {
+	w := op.World
+	pl := w.Platform()
+	pe := op.PEs[s]
+	dev := pl.Device(pe)
+	g := op.Gemvs[s]
+	functional := op.Out.On(pe).Functional()
+
+	dev.Launch(rp, gpu.Kernel{
+		Name:     fmt.Sprintf("fused.gemv.%d", s),
+		PhysWGs:  phys,
+		WGsPerCU: op.Config.fusedWGsPerCU(dev),
+		Body: func(wg *gpu.WG) {
+			me := wg.PhysID
+			// My tiles, ordered remote-owner-first (comm-aware) or
+			// natural (oblivious).
+			var myTiles []int
+			for t := me; t < op.tiles; t += phys {
+				myTiles = append(myTiles, t)
+			}
+			if op.Config.Schedule == CommAware {
+				ordered := make([]int, 0, len(myTiles))
+				for off := 1; off <= op.k; off++ {
+					d := (s + off) % op.k
+					for _, t := range myTiles {
+						if op.owner(t) == d {
+							ordered = append(ordered, t)
+						}
+					}
+				}
+				myTiles = ordered
+			}
+			// Per-destination outstanding-tile counts for flag raising.
+			remaining := make([]int, op.k)
+			for _, t := range myTiles {
+				remaining[op.owner(t)]++
+			}
+			raise := func(d int) {
+				if d == s {
+					return // own staging needs no flag
+				}
+				w.StoreRemoteFlag(wg, op.PEs[d], storeDone, s*phys+me, 1)
+			}
+			for d := 0; d < op.k; d++ {
+				if remaining[d] == 0 {
+					raise(d)
+				}
+			}
+			var scratch []float32
+			if functional {
+				scratch = make([]float32, g.TileM)
+			}
+			// Compute phase: partial tiles stream straight into the
+			// owner's staging slot [s][tile rows] — zero copy.
+			for _, t := range myTiles {
+				d := op.owner(t)
+				lo, hi := g.TileRange(t)
+				g.ComputeTileValues(wg, t, scratch)
+				w.StoreValues(wg, op.PEs[d], op.tmp, s*op.m+lo, scratch, hi-lo)
+				wg.Busy(op.Config.Bookkeeping)
+				remaining[d]--
+				if remaining[d] == 0 {
+					raise(d)
+				}
+				if d != s {
+					rep.RemotePuts++
+					rep.RemoteBytes += float64(hi-lo) * 4
+				}
+			}
+			// Reduce phase: wait for the counterpart WGs on every peer,
+			// then reduce my owned tiles and broadcast the results.
+			for src := 0; src < op.k; src++ {
+				if src != s {
+					storeDone.WaitGE(wg, src*phys+me, 1)
+				}
+			}
+			for _, t := range myTiles {
+				if op.owner(t) != s {
+					continue
+				}
+				lo, hi := g.TileRange(t)
+				rows := hi - lo
+				// Read the k staged copies, add, producing the final
+				// tile in registers.
+				wg.Read(float64(op.k*rows) * 4)
+				wg.Compute(float64((op.k - 1) * rows))
+				if functional {
+					tmpBuf := op.tmp.On(pe)
+					for r := 0; r < rows; r++ {
+						var acc float32
+						for src := 0; src < op.k; src++ {
+							acc += tmpBuf.Data()[src*op.m+lo+r]
+						}
+						scratch[r] = acc
+					}
+				}
+				// All-gather: store the reduced tile into every rank's
+				// output (own included).
+				for off := 0; off < op.k; off++ {
+					d := (s + off) % op.k
+					w.StoreValues(wg, op.PEs[d], op.Out, lo, scratch, rows)
+					if d != s {
+						rep.RemoteBytes += float64(rows) * 4
+					}
+				}
+			}
+			for d := 0; d < op.k; d++ {
+				if d != s {
+					w.StoreRemoteFlag(wg, op.PEs[d], bcastDone, s*phys+me, 1)
+				}
+			}
+			// Tail: output complete once every counterpart WG has
+			// broadcast its reduced tiles here.
+			for src := 0; src < op.k; src++ {
+				if src != s {
+					bcastDone.WaitGE(wg, src*phys+me, 1)
+				}
+			}
+		},
+	})
+}
+
+// RunBaseline executes the bulk-synchronous comparator: a conventional
+// GEMV kernel per rank writing the partial output, then an RCCL-style
+// two-phase direct AllReduce.
+func (op *GEMVAllReduce) RunBaseline(p *sim.Proc) Report {
+	pl := op.World.Platform()
+	e := pl.E
+	rep := Report{Start: e.Now(), PEEnd: make([]sim.Time, op.k)}
+	wgAll := sim.NewWaitGroup(e)
+	wgAll.Add(op.k)
+	for s := 0; s < op.k; s++ {
+		s := s
+		pe := op.PEs[s]
+		e.Go(fmt.Sprintf("base.gemv/rank%d", s), func(rp *sim.Proc) {
+			g := op.Gemvs[s]
+			dev := pl.Device(pe)
+			out := op.Out.On(pe)
+			dev.LaunchGrid(rp, "gemv", g.Tiles(), 0, func(wg *gpu.WG, t int) {
+				lo, _ := g.TileRange(t)
+				g.ComputeTile(wg, t, out, lo)
+			})
+			wgAll.Done()
+		})
+	}
+	wgAll.Wait(p)
+	comm := collectives.New(pl, op.PEs)
+	comm.AllReduceDirect(p, op.Out, 0, op.m)
+	rep.End = e.Now()
+	for s := range rep.PEEnd {
+		rep.PEEnd[s] = rep.End
+	}
+	return rep
+}

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fusedcc/internal/gpu"
+	"fusedcc/internal/kernels"
+	"fusedcc/internal/platform"
+	"fusedcc/internal/shmem"
+	"fusedcc/internal/sim"
+	"fusedcc/internal/workload"
+)
+
+// Property: for any valid small shape, the fused embedding + All-to-All
+// produces exactly the baseline's output, on both system shapes.
+func TestEmbeddingFusedEqualsBaselineProperty(t *testing.T) {
+	f := func(seed int64, tSeed, bSeed, sSeed, shapeSeed uint8) bool {
+		tables := int(tSeed)%3 + 1
+		k := 2
+		interNode := shapeSeed%2 == 0
+		localBatch := (int(bSeed)%3 + 1) * 4 // 4, 8, 12
+		batch := localBatch * k
+		// Slice must divide local batch.
+		var slice int
+		switch sSeed % 3 {
+		case 0:
+			slice = 2
+		case 1:
+			slice = 4
+		default:
+			slice = localBatch
+		}
+		outputs := make([][]float32, 2)
+		for v := 0; v < 2; v++ {
+			e := sim.NewEngine()
+			var pl *platform.Platform
+			if interNode {
+				pl = testPlatform(e, 2, 1)
+			} else {
+				pl = testPlatform(e, 1, 2)
+			}
+			w := shmem.NewWorld(pl, shmem.DefaultConfig())
+			pes := pesOf(pl)
+			sets := buildEmbeddingSeeded(pl, pes, tables, 32, 4, batch, 3, seed)
+			op, err := NewEmbeddingAllToAll(w, pes, sets, batch, slice, DefaultConfig())
+			if err != nil {
+				t.Logf("shape rejected: %v", err)
+				return true
+			}
+			if v == 0 {
+				runOp(e, op.RunFused)
+			} else {
+				runOp(e, op.RunBaseline)
+			}
+			var all []float32
+			for _, pe := range pes {
+				all = append(all, op.Out.On(pe).Data()...)
+			}
+			outputs[v] = all
+		}
+		for i := range outputs[0] {
+			if outputs[0][i] != outputs[1][i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// buildEmbeddingSeeded is buildEmbedding with an explicit seed, for
+// property tests.
+func buildEmbeddingSeeded(pl *platform.Platform, pes []int, tables, rows, dim, batch, pooling int, seed int64) []*kernels.EmbeddingSet {
+	sets := make([]*kernels.EmbeddingSet, len(pes))
+	for s, pe := range pes {
+		rng := workload.Rand(seed + int64(s)*17)
+		var bags []*kernels.EmbeddingBag
+		for t := 0; t < tables; t++ {
+			tab := kernels.NewEmbeddingTable(pl.Device(pe), rows, dim)
+			workload.FillRandom(rng, tab.Weights)
+			csr := workload.Lookups(rng, batch, rows, pooling)
+			bags = append(bags, &kernels.EmbeddingBag{
+				Table: tab, Batch: batch, AvgPooling: float64(pooling),
+				Offsets: csr.Offsets, Indices: csr.Indices,
+			})
+		}
+		sets[s] = &kernels.EmbeddingSet{Bags: bags}
+	}
+	return sets
+}
+
+// Property: fused GEMV + AllReduce equals its baseline for random small
+// shapes, and every rank holds the identical output vector.
+func TestGEMVFusedEqualsBaselineProperty(t *testing.T) {
+	f := func(seed int64, mSeed, kSeed, tileSeed uint8) bool {
+		m := (int(mSeed)%6 + 2) * 8 // 16..56
+		kd := int(kSeed)%24 + 4
+		tile := []int{4, 8}[tileSeed%2]
+		outputs := make([][]float32, 2)
+		for v := 0; v < 2; v++ {
+			e := sim.NewEngine()
+			pl := testPlatform(e, 1, 4)
+			w := shmem.NewWorld(pl, shmem.DefaultConfig())
+			pes := pesOf(pl)
+			gemvs := make([]*kernels.GEMV, len(pes))
+			for s, pe := range pes {
+				rng := workload.Rand(seed + int64(s)*13)
+				dev := pl.Device(pe)
+				g := &kernels.GEMV{M: m, K: kd, TileM: tile,
+					W: dev.Alloc(m * kd), X: dev.Alloc(kd)}
+				workload.FillRandom(rng, g.W)
+				workload.FillRandom(rng, g.X)
+				gemvs[s] = g
+			}
+			op, err := NewGEMVAllReduce(w, pes, gemvs, DefaultConfig())
+			if err != nil {
+				return true
+			}
+			if v == 0 {
+				runOp(e, op.RunFused)
+			} else {
+				runOp(e, op.RunBaseline)
+			}
+			// Replication invariant: all ranks identical.
+			ref := op.Out.On(pes[0]).Data()
+			for _, pe := range pes[1:] {
+				d := op.Out.On(pe).Data()
+				for i := range d {
+					if d[i] != ref[i] {
+						return false
+					}
+				}
+			}
+			outputs[v] = append([]float32(nil), ref...)
+		}
+		for i := range outputs[0] {
+			if outputs[0][i] != outputs[1][i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the comm-aware schedule is always a permutation of all
+// slices with every remote slice ahead of every local one.
+func TestCommAwareScheduleProperty(t *testing.T) {
+	f := func(tSeed, bSeed, sSeed uint8) bool {
+		tables := int(tSeed)%4 + 1
+		localBatch := (int(bSeed)%4 + 1) * 4
+		batch := localBatch * 2
+		slice := []int{2, 4}[sSeed%2]
+		e := sim.NewEngine()
+		pl := testPlatform(e, 2, 1)
+		w := shmem.NewWorld(pl, shmem.DefaultConfig())
+		pes := pesOf(pl)
+		sets := buildEmbeddingSeeded(pl, pes, tables, 32, 4, batch, 3, 1)
+		op, err := NewEmbeddingAllToAll(w, pes, sets, batch, slice, DefaultConfig())
+		if err != nil {
+			return true
+		}
+		for s := 0; s < 2; s++ {
+			order := op.scheduleSlices(s)
+			if len(order) != op.numSlices() {
+				return false
+			}
+			seen := make([]bool, op.numSlices())
+			localSeen := false
+			for _, sl := range order {
+				if seen[sl] {
+					return false
+				}
+				seen[sl] = true
+				if op.sliceDst(sl) == s {
+					localSeen = true
+				} else if localSeen {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Failure injection: a straggler GPU (half-speed HBM) must not corrupt
+// results, and the skew report must expose it.
+func TestStragglerGPUCorrectnessAndSkew(t *testing.T) {
+	slowCfg := gpu.Config{
+		Name: "straggler", CUs: 8, MaxWGSlotsPerCU: 4,
+		HBMBandwidth: 8e9, PerWGStreamBandwidth: 0.5e9, // 4x slower
+		GatherEfficiency: 0.5, FlopsPerCU: 4e9,
+		KernelLaunchOverhead: 8 * sim.Microsecond, Functional: true,
+	}
+	build := func(withStraggler bool) (*sim.Engine, *EmbeddingAllToAll) {
+		e := sim.NewEngine()
+		cfg := platform.Config{
+			Nodes:       2,
+			GPUsPerNode: 1,
+			GPU: gpu.Config{
+				Name: "t", CUs: 8, MaxWGSlotsPerCU: 4,
+				HBMBandwidth: 32e9, PerWGStreamBandwidth: 2e9,
+				GatherEfficiency: 0.5, FlopsPerCU: 4e9,
+				KernelLaunchOverhead: 8 * sim.Microsecond, Functional: true,
+			},
+			NICBandwidth: 2e9,
+			NICLatency:   2 * sim.Microsecond,
+		}
+		if withStraggler {
+			cfg.GPUOverrides = map[int]gpu.Config{1: slowCfg}
+		}
+		pl := platform.New(e, cfg)
+		w := shmem.NewWorld(pl, shmem.DefaultConfig())
+		pes := pesOf(pl)
+		sets := buildEmbeddingSeeded(pl, pes, 4, 64, 8, 32, 4, 5)
+		op, err := NewEmbeddingAllToAll(w, pes, sets, 32, 4, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e, op
+	}
+
+	eS, opS := build(true)
+	repS := runOp(eS, opS.RunFused)
+	eF, opF := build(false)
+	repF := runOp(eF, opF.RunFused)
+
+	// Same functional output regardless of device speeds.
+	for pe := 0; pe < 2; pe++ {
+		a, b := opS.Out.On(pe).Data(), opF.Out.On(pe).Data()
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("straggler changed results at pe %d elem %d", pe, i)
+			}
+		}
+	}
+	if repS.Duration() <= repF.Duration() {
+		t.Error("straggler must slow the operator")
+	}
+	if repS.Skew() <= repF.Skew() {
+		t.Errorf("straggler skew %.3f not above balanced skew %.3f", repS.Skew(), repF.Skew())
+	}
+}

@@ -1,0 +1,238 @@
+// Package dlrm assembles the deep learning recommendation model of the
+// paper's first case study (§II-A, Fig 2): embedding tables distributed
+// model-parallel across GPUs, bottom and top MLPs replicated
+// data-parallel, and the embedding-output All-to-All that switches
+// between the two parallelism regimes — executed either bulk-synchronous
+// (RCCL baseline) or through the fused embedding + All-to-All operator.
+package dlrm
+
+import (
+	"fmt"
+
+	"fusedcc/internal/collectives"
+	"fusedcc/internal/core"
+	"fusedcc/internal/gpu"
+	"fusedcc/internal/kernels"
+	"fusedcc/internal/shmem"
+	"fusedcc/internal/sim"
+	"fusedcc/internal/workload"
+)
+
+// Config sizes the model. Defaults mirror the paper's kernel evaluation
+// (embedding dim 256 per [47]) — the scale-out simulation parameters of
+// Table II live in the astra package.
+type Config struct {
+	TablesPerGPU int
+	TableRows    int
+	EmbeddingDim int
+	GlobalBatch  int
+	AvgPooling   int
+	BottomMLP    []int // widths; input first
+	TopMLP       []int
+	SliceRows    int // fused-operator communication granularity
+	RowsPerWG    int // simulation coarsening for large runs (default 1)
+	Seed         int64
+}
+
+// DefaultConfig returns a small but representative model.
+func DefaultConfig() Config {
+	return Config{
+		TablesPerGPU: 8,
+		TableRows:    1 << 14,
+		EmbeddingDim: 256,
+		GlobalBatch:  512,
+		AvgPooling:   32,
+		BottomMLP:    []int{256, 512, 256},
+		TopMLP:       []int{512, 512, 256, 1},
+		SliceRows:    32,
+		Seed:         1,
+	}
+}
+
+// Model is a DLRM instance distributed over the PEs of a world.
+type Model struct {
+	World *shmem.World
+	PEs   []int
+	Cfg   Config
+
+	Sets  []*kernels.EmbeddingSet
+	EmbOp *core.EmbeddingAllToAll
+	// GradOp is the backward gradient exchange (training only).
+	GradOp *core.EmbeddingGradExchange
+}
+
+// New builds tables and synthetic categorical inputs on every PE and
+// prepares the embedding + All-to-All operator.
+func New(w *shmem.World, pes []int, cfg Config, opCfg core.Config) (*Model, error) {
+	if cfg.TablesPerGPU <= 0 || cfg.EmbeddingDim <= 0 || cfg.GlobalBatch <= 0 {
+		return nil, fmt.Errorf("dlrm: invalid config %+v", cfg)
+	}
+	pl := w.Platform()
+	m := &Model{World: w, PEs: pes, Cfg: cfg}
+	for s, pe := range pes {
+		rng := workload.Rand(cfg.Seed + int64(s))
+		dev := pl.Device(pe)
+		var bags []*kernels.EmbeddingBag
+		for t := 0; t < cfg.TablesPerGPU; t++ {
+			tab := kernels.NewEmbeddingTable(dev, cfg.TableRows, cfg.EmbeddingDim)
+			workload.FillRandom(rng, tab.Weights)
+			bag := &kernels.EmbeddingBag{
+				Table: tab, Batch: cfg.GlobalBatch, AvgPooling: float64(cfg.AvgPooling),
+			}
+			if dev.Config().Functional {
+				csr := workload.Lookups(rng, cfg.GlobalBatch, cfg.TableRows, cfg.AvgPooling)
+				bag.Offsets, bag.Indices = csr.Offsets, csr.Indices
+			}
+			bags = append(bags, bag)
+		}
+		m.Sets = append(m.Sets, &kernels.EmbeddingSet{Bags: bags})
+	}
+	op, err := core.NewEmbeddingAllToAll(w, pes, m.Sets, cfg.GlobalBatch, cfg.SliceRows, opCfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.RowsPerWG > 1 {
+		op.RowsPerWG = cfg.RowsPerWG
+	}
+	m.EmbOp = op
+	m.GradOp = core.NewEmbeddingGradExchange(op)
+	return m, nil
+}
+
+// LocalBatch returns the per-GPU batch shard.
+func (m *Model) LocalBatch() int { return m.Cfg.GlobalBatch / len(m.PEs) }
+
+// Features returns the interaction feature count: one dense (bottom MLP)
+// vector plus every embedding table's pooled vector.
+func (m *Model) Features() int { return len(m.PEs)*m.Cfg.TablesPerGPU + 1 }
+
+// Forward runs one inference pass: the bottom MLP (independent
+// computation) concurrent with embedding + All-to-All, then the
+// interaction operator and top MLP on the local batch shard. fused picks
+// the execution model for the embedding + All-to-All stage.
+func (m *Model) Forward(p *sim.Proc, fused bool) core.Report {
+	pl := m.World.Platform()
+	e := pl.E
+	start := e.Now()
+
+	// Stage 1: bottom MLP on every rank, concurrent with the embedding
+	// exchange (the only independent computation, §II-A).
+	var embRep core.Report
+	wg := sim.NewWaitGroup(e)
+	wg.Add(len(m.PEs) + 1)
+	for _, pe := range m.PEs {
+		pe := pe
+		e.Go(fmt.Sprintf("dlrm.botmlp/%d", pe), func(rp *sim.Proc) {
+			mlp := &kernels.MLP{Widths: m.Cfg.BottomMLP, Batch: m.LocalBatch()}
+			mlp.Forward(rp, pl.Device(pe))
+			wg.Done()
+		})
+	}
+	e.Go("dlrm.emb", func(rp *sim.Proc) {
+		if fused {
+			embRep = m.EmbOp.RunFused(rp)
+		} else {
+			embRep = m.EmbOp.RunBaseline(rp)
+		}
+		wg.Done()
+	})
+	wg.Wait(p)
+
+	// Stage 2: interaction + top MLP per rank.
+	wg2 := sim.NewWaitGroup(e)
+	wg2.Add(len(m.PEs))
+	for _, pe := range m.PEs {
+		pe := pe
+		e.Go(fmt.Sprintf("dlrm.top/%d", pe), func(rp *sim.Proc) {
+			dev := pl.Device(pe)
+			m.interaction(rp, dev)
+			top := &kernels.MLP{Widths: m.Cfg.TopMLP, Batch: m.LocalBatch()}
+			top.Forward(rp, dev)
+			wg2.Done()
+		})
+	}
+	wg2.Wait(p)
+
+	rep := embRep
+	rep.Start = start
+	rep.End = e.Now()
+	return rep
+}
+
+// MLPParams returns the dense-parameter count per replica, the payload
+// of the data-parallel gradient AllReduce.
+func (m *Model) MLPParams() int {
+	bot := &kernels.MLP{Widths: m.Cfg.BottomMLP}
+	top := &kernels.MLP{Widths: m.Cfg.TopMLP}
+	return bot.Params() + top.Params()
+}
+
+// TrainStep runs one training iteration: the forward pass, the backward
+// MLP and interaction kernels, the embedding-gradient exchange (fused
+// or bulk-synchronous), and the data-parallel MLP gradient AllReduce —
+// the latter overlapped with the embedding path in both execution
+// models, matching production schedules and the paper's Fig 15 setup.
+func (m *Model) TrainStep(p *sim.Proc, fused bool) core.Report {
+	pl := m.World.Platform()
+	e := pl.E
+	start := e.Now()
+	m.Forward(p, fused)
+
+	// Backward MLP + interaction on every rank (≈2x forward cost:
+	// dgrad + wgrad), concurrent across ranks.
+	wg := sim.NewWaitGroup(e)
+	wg.Add(len(m.PEs))
+	for _, pe := range m.PEs {
+		pe := pe
+		e.Go(fmt.Sprintf("dlrm.bwd/%d", pe), func(rp *sim.Proc) {
+			dev := pl.Device(pe)
+			top := &kernels.MLP{Widths: m.Cfg.TopMLP, Batch: m.LocalBatch()}
+			top.Forward(rp, dev)
+			top.Forward(rp, dev)
+			m.interaction(rp, dev)
+			bot := &kernels.MLP{Widths: m.Cfg.BottomMLP, Batch: m.LocalBatch()}
+			bot.Forward(rp, dev)
+			bot.Forward(rp, dev)
+			wg.Done()
+		})
+	}
+	wg.Wait(p)
+
+	// Embedding-gradient exchange and MLP gradient AllReduce run
+	// concurrently; the iteration ends when both finish.
+	done := sim.NewWaitGroup(e)
+	done.Add(2)
+	var rep core.Report
+	e.Go("dlrm.embgrad", func(rp *sim.Proc) {
+		if fused {
+			rep = m.GradOp.RunFused(rp)
+		} else {
+			rep = m.GradOp.RunBaseline(rp)
+		}
+		done.Done()
+	})
+	e.Go("dlrm.mlp.allreduce", func(rp *sim.Proc) {
+		comm := collectives.New(pl, m.PEs)
+		grads := m.World.Malloc(m.MLPParams())
+		comm.AllReduceRing(rp, grads, 0, m.MLPParams())
+		done.Done()
+	})
+	done.Wait(p)
+
+	rep.Start = start
+	rep.End = e.Now()
+	return rep
+}
+
+// interaction charges the pairwise dot-product interaction op: for each
+// local sample, f feature vectors of dim D produce f*(f-1)/2 dots.
+func (m *Model) interaction(rp *sim.Proc, dev *gpu.Device) {
+	f := m.Features()
+	d := m.Cfg.EmbeddingDim
+	batch := m.LocalBatch()
+	dev.LaunchGrid(rp, "interaction", batch, 0, func(w *gpu.WG, l int) {
+		w.Read(float64(f*d) * 4)
+		w.Compute(float64(f*(f-1)/2) * float64(2*d))
+		w.Write(float64(f*(f-1)/2) * 4)
+	})
+}

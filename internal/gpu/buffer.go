@@ -1,0 +1,81 @@
+package gpu
+
+import "fmt"
+
+// Buffer is a region of device memory holding float32 elements. In
+// functional mode (Config.Functional) it has a real backing store so
+// kernels can compute verifiable results; in timing-only mode the backing
+// store is omitted and element accessors panic, which keeps multi-GB
+// benchmark configurations cheap to simulate.
+type Buffer struct {
+	dev  *Device
+	n    int
+	data []float32
+}
+
+// Alloc reserves a buffer of n float32 elements on the device.
+func (d *Device) Alloc(n int) *Buffer {
+	if n < 0 {
+		panic("gpu: negative buffer size")
+	}
+	b := &Buffer{dev: d, n: n}
+	if d.cfg.Functional {
+		b.data = make([]float32, n)
+	}
+	return b
+}
+
+// Device returns the owning device.
+func (b *Buffer) Device() *Device { return b.dev }
+
+// Len returns the element count.
+func (b *Buffer) Len() int { return b.n }
+
+// Bytes returns the buffer size in bytes (float32 elements).
+func (b *Buffer) Bytes() float64 { return float64(b.n) * 4 }
+
+// Functional reports whether the buffer has a backing store.
+func (b *Buffer) Functional() bool { return b.data != nil }
+
+// Data exposes the backing store; nil in timing-only mode.
+func (b *Buffer) Data() []float32 { return b.data }
+
+// Slice returns the backing elements in [off, off+n). It panics in
+// timing-only mode or on out-of-range access — both are programmer
+// errors, not simulation outcomes.
+func (b *Buffer) Slice(off, n int) []float32 {
+	if b.data == nil {
+		panic(fmt.Sprintf("gpu: element access on timing-only buffer (dev %d)", b.dev.id))
+	}
+	return b.data[off : off+n]
+}
+
+// CopyWithin copies n elements from src[soff:] into b[doff:] with no
+// simulated cost (cost accounting is the caller's job). It is a no-op in
+// timing-only mode.
+func (b *Buffer) CopyWithin(doff int, src *Buffer, soff, n int) {
+	if b.data == nil || src.data == nil {
+		return
+	}
+	copy(b.data[doff:doff+n], src.data[soff:soff+n])
+}
+
+// AddFrom accumulates n elements of src[soff:] into b[doff:] (functional
+// mode only).
+func (b *Buffer) AddFrom(doff int, src *Buffer, soff, n int) {
+	if b.data == nil || src.data == nil {
+		return
+	}
+	dst := b.data[doff : doff+n]
+	s := src.data[soff : soff+n]
+	for i := range dst {
+		dst[i] += s[i]
+	}
+}
+
+// Fill sets every element to v (functional mode only).
+func (b *Buffer) Fill(v float32) {
+	for i := range b.data {
+		b.data[i] = v
+	}
+}

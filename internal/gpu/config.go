@@ -1,0 +1,108 @@
+// Package gpu models a GPU device for discrete-event simulation: compute
+// units with occupancy-bounded workgroup slots, an HBM interface with a
+// contention knee, an ALU pool, kernel-launch overhead, and device
+// buffers. It is the execution substrate for both the bulk-synchronous
+// baselines and the fused persistent kernels.
+//
+// The model is calibrated loosely against an AMD Instinct MI210 (the
+// paper's testbed, Table I) but nothing depends on vendor specifics: what
+// matters for reproducing the paper is the relationship between
+// occupancy, memory contention, and communication overlap.
+package gpu
+
+import "fusedcc/internal/sim"
+
+// Config describes a simulated GPU.
+type Config struct {
+	// Name appears in diagnostics ("MI210-sim").
+	Name string
+	// CUs is the number of compute units.
+	CUs int
+	// MaxWGSlotsPerCU bounds resident workgroups per CU at full
+	// occupancy. Fused kernels that consume extra registers request
+	// fewer slots (the paper reports a 12.5% occupancy loss).
+	MaxWGSlotsPerCU int
+	// HBMBandwidth is peak memory bandwidth in bytes/sec.
+	HBMBandwidth float64
+	// PerWGStreamBandwidth caps the memory bandwidth a single WG can
+	// draw (limited outstanding requests); this is why low occupancy
+	// cannot saturate HBM (Fig 13, left side).
+	PerWGStreamBandwidth float64
+	// HBMContentionKnee is the active-WG count beyond which HBM
+	// efficiency degrades (row-buffer/channel thrash; Fig 13, right
+	// side). Zero disables the knee.
+	HBMContentionKnee int
+	// HBMContentionSlope is the efficiency lost per active WG beyond
+	// the knee (e.g. 0.002 = -0.2%/WG).
+	HBMContentionSlope float64
+	// HBMMinEfficiency floors the contention curve.
+	HBMMinEfficiency float64
+	// GatherEfficiency discounts effective bandwidth for random-gather
+	// access patterns (embedding-table lookups): a gather of B bytes
+	// consumes B/GatherEfficiency of HBM capacity.
+	GatherEfficiency float64
+	// FlopsPerCU is the fp32 throughput of one CU in FLOP/s.
+	FlopsPerCU float64
+	// KernelLaunchOverhead is the host-side cost to dispatch a kernel.
+	KernelLaunchOverhead sim.Duration
+	// Functional enables real float32 payload computation on device
+	// buffers (used by correctness tests); timing-only runs leave it
+	// false and skip buffer backing stores.
+	Functional bool
+}
+
+// MI210 returns the default device model used throughout the evaluation:
+// a 104-CU GPU with 1.6 TB/s HBM and 8 WG slots per CU.
+func MI210() Config {
+	return Config{
+		Name:                 "MI210-sim",
+		CUs:                  104,
+		MaxWGSlotsPerCU:      8,
+		HBMBandwidth:         1.6e12,
+		PerWGStreamBandwidth: 4.2e9,
+		HBMContentionKnee:    104 * 6, // beyond 75% occupancy (gather traffic)
+		HBMContentionSlope:   0.0021,
+		HBMMinEfficiency:     0.7,
+		GatherEfficiency:     0.55,
+		FlopsPerCU:           2.2e11, // ~23 TFLOPS fp32 per device
+		KernelLaunchOverhead: 8 * sim.Microsecond,
+	}
+}
+
+// MaxWGSlots returns the device-wide WG slot count at full occupancy.
+func (c Config) MaxWGSlots() int { return c.CUs * c.MaxWGSlotsPerCU }
+
+// hbmEfficiency builds the eff(n) curve for the HBM resource.
+func (c Config) hbmEfficiency() func(int) float64 {
+	if c.HBMContentionKnee <= 0 || c.HBMContentionSlope <= 0 {
+		return nil
+	}
+	knee, slope, floor := c.HBMContentionKnee, c.HBMContentionSlope, c.HBMMinEfficiency
+	return func(n int) float64 {
+		if n <= knee {
+			return 1
+		}
+		eff := 1 - float64(n-knee)*slope
+		if eff < floor {
+			return floor
+		}
+		return eff
+	}
+}
+
+// validate panics on nonsensical configurations; the model has no
+// meaningful behaviour for them and silently clamping would hide bugs.
+func (c Config) validate() {
+	switch {
+	case c.CUs <= 0:
+		panic("gpu: config needs CUs > 0")
+	case c.MaxWGSlotsPerCU <= 0:
+		panic("gpu: config needs MaxWGSlotsPerCU > 0")
+	case c.HBMBandwidth <= 0:
+		panic("gpu: config needs HBMBandwidth > 0")
+	case c.FlopsPerCU <= 0:
+		panic("gpu: config needs FlopsPerCU > 0")
+	case c.GatherEfficiency <= 0 || c.GatherEfficiency > 1:
+		panic("gpu: GatherEfficiency must be in (0,1]")
+	}
+}

@@ -1,0 +1,56 @@
+package gpu
+
+import (
+	"fmt"
+
+	"fusedcc/internal/sim"
+)
+
+// Stream is an in-order host command queue for a device, the analogue of
+// a HIP/CUDA stream. Work items enqueued on one stream run sequentially;
+// separate streams run concurrently and contend for device resources.
+// The bulk-synchronous baselines use a single stream; the kernel-split
+// ablation (DESIGN.md §5) uses two to overlap communication of one shard
+// with computation of the next.
+type Stream struct {
+	dev   *Device
+	name  string
+	queue []func(p *sim.Proc)
+	busy  bool
+	idle  *sim.Cond
+}
+
+// NewStream creates a stream on the device.
+func (d *Device) NewStream(name string) *Stream {
+	return &Stream{dev: d, name: name, idle: sim.NewCond(d.e)}
+}
+
+// Enqueue appends fn to the stream. fn runs on a dedicated process in
+// FIFO order with respect to earlier items on this stream.
+func (s *Stream) Enqueue(fn func(p *sim.Proc)) {
+	s.queue = append(s.queue, fn)
+	if !s.busy {
+		s.busy = true
+		s.dev.e.Go(fmt.Sprintf("stream/%s", s.name), s.drain)
+	}
+}
+
+// LaunchKernel enqueues a kernel dispatch on the stream.
+func (s *Stream) LaunchKernel(k Kernel) {
+	s.Enqueue(func(p *sim.Proc) { s.dev.Launch(p, k) })
+}
+
+// Sync blocks the calling process until the stream drains.
+func (s *Stream) Sync(p *sim.Proc) {
+	s.idle.Wait(p, func() bool { return !s.busy && len(s.queue) == 0 })
+}
+
+func (s *Stream) drain(p *sim.Proc) {
+	for len(s.queue) > 0 {
+		fn := s.queue[0]
+		s.queue = s.queue[1:]
+		fn(p)
+	}
+	s.busy = false
+	s.idle.Broadcast()
+}

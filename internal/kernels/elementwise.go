@@ -1,0 +1,62 @@
+package kernels
+
+import (
+	"fusedcc/internal/gpu"
+	"fusedcc/internal/sim"
+)
+
+// ReLU applies max(0,x) in place over n elements as one kernel:
+// stream-in, stream-out, one flop per element.
+func ReLU(p *sim.Proc, dev *gpu.Device, buf *gpu.Buffer, off, n int) {
+	dev.LaunchGrid(p, "relu", gridFor(n), 0, func(w *gpu.WG, l int) {
+		lo, hi := chunk(n, gridFor(n), l)
+		w.Read(float64(hi-lo) * 4)
+		w.Compute(float64(hi - lo))
+		w.Write(float64(hi-lo) * 4)
+		if !buf.Functional() {
+			return
+		}
+		d := buf.Slice(off+lo, hi-lo)
+		for i, v := range d {
+			if v < 0 {
+				d[i] = 0
+			}
+		}
+	})
+}
+
+// AddInto accumulates src into dst over n elements (dst += src) as one
+// kernel — the local reduction step of AllReduce.
+func AddInto(p *sim.Proc, dev *gpu.Device, dst *gpu.Buffer, doff int, src *gpu.Buffer, soff, n int) {
+	dev.LaunchGrid(p, "add", gridFor(n), 0, func(w *gpu.WG, l int) {
+		lo, hi := chunk(n, gridFor(n), l)
+		w.Read(2 * float64(hi-lo) * 4)
+		w.Compute(float64(hi - lo))
+		w.Write(float64(hi-lo) * 4)
+		dst.AddFrom(doff+lo, src, soff+lo, hi-lo)
+	})
+}
+
+// gridFor sizes an element-wise kernel grid: one logical WG per 64Ki
+// elements, at least one.
+func gridFor(n int) int {
+	g := (n + (1 << 16) - 1) >> 16
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// chunk splits n elements into grid contiguous ranges and returns range l.
+func chunk(n, grid, l int) (lo, hi int) {
+	per := (n + grid - 1) / grid
+	lo = l * per
+	hi = lo + per
+	if hi > n {
+		hi = n
+	}
+	if lo > n {
+		lo = n
+	}
+	return lo, hi
+}

@@ -1,0 +1,63 @@
+package kernels
+
+import (
+	"fusedcc/internal/gpu"
+	"fusedcc/internal/sim"
+)
+
+// MLP is a stack of dense layers with ReLU activations, sized by the
+// layer widths (len >= 2). DLRM's bottom and top MLPs and the transformer
+// feed-forward blocks are instances. Batch is the number of input rows;
+// Batch == 1 degenerates each layer to a GEMV.
+type MLP struct {
+	Widths []int
+	Batch  int
+}
+
+// Layers returns the dense-layer count.
+func (m *MLP) Layers() int { return len(m.Widths) - 1 }
+
+// Params returns the total weight-element count.
+func (m *MLP) Params() int {
+	p := 0
+	for l := 0; l < m.Layers(); l++ {
+		p += m.Widths[l] * m.Widths[l+1]
+	}
+	return p
+}
+
+// Forward runs the stack as one kernel per layer (GEMM, or GEMV when
+// Batch==1) in timing mode; activations and weights are not materialized.
+// It is the cost model the scale-out simulator samples for MLP layers.
+func (m *MLP) Forward(p *sim.Proc, dev *gpu.Device) {
+	for l := 0; l < m.Layers(); l++ {
+		in, out := m.Widths[l], m.Widths[l+1]
+		if m.Batch == 1 {
+			g := &GEMV{M: out, K: in, TileM: tileFor(out)}
+			g.Run(p, dev, 0)
+		} else {
+			// Small tiles keep modest layer shapes wide enough to spread
+			// across the device (a 128x682 layer at 64x64 tiles would
+			// run on only ~22 workgroups).
+			g := &GEMM{M: m.Batch, N: out, K: in, TileM: 32, TileN: 32}
+			g.Run(p, dev, 0)
+		}
+	}
+}
+
+// ForwardFlops returns the multiply-add count of one forward pass.
+func (m *MLP) ForwardFlops() float64 {
+	return 2 * float64(m.Batch) * float64(m.Params())
+}
+
+// tileFor picks a GEMV tile height that yields a reasonable grid.
+func tileFor(m int) int {
+	switch {
+	case m >= 16384:
+		return 256
+	case m >= 1024:
+		return 128
+	default:
+		return 32
+	}
+}

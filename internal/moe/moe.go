@@ -1,0 +1,163 @@
+// Package moe implements the paper's third case study (§II-A, Fig 4):
+// a Mixture-of-Experts layer under expert parallelism. Each PE hosts one
+// expert; tokens are routed top-2, dispatched with an All-to-All, run
+// through the expert feed-forward network, and returned with the combine
+// All-to-All — the collective the fused GEMM + All-to-All operator
+// overlaps with the second expert GEMM.
+package moe
+
+import (
+	"fmt"
+
+	"fusedcc/internal/collectives"
+	"fusedcc/internal/core"
+	"fusedcc/internal/kernels"
+	"fusedcc/internal/shmem"
+	"fusedcc/internal/sim"
+	"fusedcc/internal/workload"
+)
+
+// Config sizes one MoE layer. The paper assumes top-2 routing with a
+// uniform token distribution across experts (§II-A).
+type Config struct {
+	// TokensPerGPU is the tokens entering the layer on each PE.
+	TokensPerGPU int
+	// ModelDim is the token embedding width.
+	ModelDim int
+	// FFNDim is the expert's inner feed-forward width.
+	FFNDim int
+	// TopK is the routed expert count per token (2 in the paper).
+	TopK int
+	// TileM and TileN tile the expert GEMMs (TileM must divide the
+	// per-source row block).
+	TileM, TileN int
+	Seed         int64
+}
+
+// DefaultConfig returns a small representative layer.
+func DefaultConfig() Config {
+	return Config{TokensPerGPU: 512, ModelDim: 1024, FFNDim: 4096, TopK: 2, TileM: 32, TileN: 128, Seed: 1}
+}
+
+// Layer is one expert-parallel MoE layer over the PEs of a world.
+type Layer struct {
+	World *shmem.World
+	PEs   []int
+	Cfg   Config
+
+	// expertRows is the tokens each expert processes per layer pass:
+	// TopK * TokensPerGPU under the uniform assumption.
+	expertRows int
+	tokensIn   *shmem.Symm // dispatch staging: expert input tokens
+	gemm1      []*kernels.GEMM
+	// Op fuses the second expert GEMM with the combine All-to-All.
+	Op *core.GEMMAllToAll
+}
+
+// New validates the shape and builds weights and routing state.
+func New(w *shmem.World, pes []int, cfg Config, opCfg core.Config) (*Layer, error) {
+	k := len(pes)
+	if k == 0 {
+		return nil, fmt.Errorf("moe: no PEs")
+	}
+	if cfg.TopK < 1 || cfg.TopK > k {
+		return nil, fmt.Errorf("moe: TopK %d with %d experts", cfg.TopK, k)
+	}
+	rows := cfg.TopK * cfg.TokensPerGPU
+	if rows%k != 0 {
+		return nil, fmt.Errorf("moe: expert rows %d not divisible by %d PEs", rows, k)
+	}
+	l := &Layer{World: w, PEs: pes, Cfg: cfg, expertRows: rows}
+	pl := w.Platform()
+	l.tokensIn = w.Malloc(rows * cfg.ModelDim)
+	gemm2 := make([]*kernels.GEMM, k)
+	for s, pe := range pes {
+		rng := workload.Rand(cfg.Seed + int64(s))
+		dev := pl.Device(pe)
+		g1 := &kernels.GEMM{M: rows, N: cfg.FFNDim, K: cfg.ModelDim,
+			TileM: cfg.TileM, TileN: cfg.TileN,
+			A: l.tokensIn.On(pe), B: dev.Alloc(cfg.ModelDim * cfg.FFNDim), C: dev.Alloc(rows * cfg.FFNDim)}
+		workload.FillRandom(rng, g1.B)
+		l.gemm1 = append(l.gemm1, g1)
+		g2 := &kernels.GEMM{M: rows, N: cfg.ModelDim, K: cfg.FFNDim,
+			TileM: cfg.TileM, TileN: min(cfg.TileN, cfg.ModelDim),
+			A: g1.C, B: dev.Alloc(cfg.FFNDim * cfg.ModelDim)}
+		workload.FillRandom(rng, g2.B)
+		gemm2[s] = g2
+	}
+	op, err := core.NewGEMMAllToAll(w, pes, gemm2, opCfg)
+	if err != nil {
+		return nil, err
+	}
+	l.Op = op
+	return l, nil
+}
+
+// Combined returns the combine output: on each PE, [k][expertRows/k]
+// rows of ModelDim — the TopK partial outputs of the PE's own tokens,
+// ready for the weighted combine.
+func (l *Layer) Combined() *shmem.Symm { return l.Op.Recv }
+
+// Forward runs one layer pass. fused selects the execution model for
+// the second expert GEMM + combine All-to-All; the gate, dispatch
+// All-to-All, first GEMM, and activation are common to both paths.
+func (l *Layer) Forward(p *sim.Proc, fused bool) core.Report {
+	pl := l.World.Platform()
+	e := pl.E
+	start := e.Now()
+	k := len(l.PEs)
+	cfg := l.Cfg
+
+	// Stage 1 per rank: gating router (tiny GEMM: tokens x experts) and
+	// token staging for dispatch.
+	tokensOut := l.World.Malloc(l.expertRows * cfg.ModelDim)
+	wg := sim.NewWaitGroup(e)
+	wg.Add(k)
+	for s, pe := range l.PEs {
+		pe := pe
+		_ = s
+		e.Go(fmt.Sprintf("moe.gate/%d", pe), func(rp *sim.Proc) {
+			dev := pl.Device(pe)
+			gate := &kernels.GEMM{M: cfg.TokensPerGPU, N: k, K: cfg.ModelDim, TileM: 32, TileN: k}
+			gate.Run(rp, dev, 0)
+			wg.Done()
+		})
+	}
+	wg.Wait(p)
+
+	// Stage 2: dispatch All-to-All (always a collective; the paper fuses
+	// only the combine side).
+	comm := collectives.New(pl, l.PEs)
+	comm.AllToAll(p, tokensOut, l.tokensIn, l.expertRows/k*cfg.ModelDim)
+
+	// Stage 3 per rank: first expert GEMM + activation.
+	wg2 := sim.NewWaitGroup(e)
+	wg2.Add(k)
+	for s, pe := range l.PEs {
+		s, pe := s, pe
+		e.Go(fmt.Sprintf("moe.ffn1/%d", pe), func(rp *sim.Proc) {
+			dev := pl.Device(pe)
+			l.gemm1[s].Run(rp, dev, 0)
+			kernels.ReLU(rp, dev, l.gemm1[s].C, 0, l.expertRows*cfg.FFNDim)
+			wg2.Done()
+		})
+	}
+	wg2.Wait(p)
+
+	// Stage 4: second expert GEMM fused (or not) with combine.
+	var rep core.Report
+	if fused {
+		rep = l.Op.RunFused(p)
+	} else {
+		rep = l.Op.RunBaseline(p)
+	}
+	rep.Start = start
+	return rep
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,189 @@
+// Package netsim models the scale-out network between nodes: NICs with
+// GPUDirect-RDMA-style transfer engines, a point-to-point InfiniBand
+// configuration for the two-node experiments (Table I: 20 GB/s), and a
+// 2D-torus topology for the 128-node DLRM simulations (Table II:
+// 200 Gb/s links, 700 ns per hop).
+//
+// Reliable in-order delivery per (src,dst) pair is provided by Channel,
+// the analogue of an RDMA queue pair: GPU-initiated puts posted to a
+// channel are transferred serially in post order, which is what makes a
+// fence-then-flag sequence (put data, fence, put flag) correct.
+package netsim
+
+import (
+	"fmt"
+
+	"fusedcc/internal/sim"
+)
+
+// Network is a topology that can route bytes between nodes.
+type Network interface {
+	// Nodes returns the endpoint count.
+	Nodes() int
+	// Path returns the directed link sequence from src to dst and the
+	// total propagation latency. src == dst returns (nil, 0).
+	Path(src, dst int) ([]*sim.Resource, sim.Duration)
+}
+
+// Send moves one message store-and-forward along the path from src to
+// dst, blocking the calling process. Each hop's serialization shares that
+// link fairly with competing traffic.
+func Send(p *sim.Proc, n Network, src, dst int, bytes float64) {
+	links, lat := n.Path(src, dst)
+	p.Sleep(lat)
+	for _, l := range links {
+		l.Transfer(p, bytes, 0)
+	}
+}
+
+// PointToPoint is a full mesh of NIC-to-NIC connections: each node has a
+// NIC with the given injection bandwidth, and a message src->dst is
+// serialized through the source NIC (symmetric traffic makes the
+// receiver side equivalent). This is the two-node InfiniBand setup of
+// Table I.
+type PointToPoint struct {
+	nodes   int
+	latency sim.Duration
+	nics    []*sim.Resource
+}
+
+// NewPointToPoint builds the mesh.
+func NewPointToPoint(e *sim.Engine, nodes int, bytesPerSec float64, latency sim.Duration) *PointToPoint {
+	if nodes < 1 {
+		panic("netsim: need at least one node")
+	}
+	if bytesPerSec <= 0 {
+		panic("netsim: NIC bandwidth must be positive")
+	}
+	pp := &PointToPoint{nodes: nodes, latency: latency, nics: make([]*sim.Resource, nodes)}
+	for i := range pp.nics {
+		pp.nics[i] = sim.NewResource(e, fmt.Sprintf("nic%d.tx", i), bytesPerSec, nil)
+	}
+	return pp
+}
+
+// Nodes implements Network.
+func (pp *PointToPoint) Nodes() int { return pp.nodes }
+
+// NIC exposes node i's injection resource.
+func (pp *PointToPoint) NIC(i int) *sim.Resource { return pp.nics[i] }
+
+// Path implements Network.
+func (pp *PointToPoint) Path(src, dst int) ([]*sim.Resource, sim.Duration) {
+	if src == dst {
+		return nil, 0
+	}
+	return []*sim.Resource{pp.nics[src]}, pp.latency
+}
+
+// Torus2D is a width x height torus with directed neighbor links and
+// dimension-ordered (X then Y) routing.
+type Torus2D struct {
+	w, h   int
+	hopLat sim.Duration
+	links  map[[2]int]*sim.Resource // [from][to] node ids
+}
+
+// NewTorus2D builds the torus. bytesPerSec is per directed link
+// (Table II: 200 Gb/s = 25 GB/s), hopLat per traversed hop (700 ns).
+func NewTorus2D(e *sim.Engine, w, h int, bytesPerSec float64, hopLat sim.Duration) *Torus2D {
+	if w < 2 || h < 2 {
+		panic("netsim: torus needs w,h >= 2")
+	}
+	if bytesPerSec <= 0 {
+		panic("netsim: torus link bandwidth must be positive")
+	}
+	t := &Torus2D{w: w, h: h, hopLat: hopLat, links: make(map[[2]int]*sim.Resource)}
+	add := func(a, b int) {
+		key := [2]int{a, b}
+		if _, ok := t.links[key]; !ok {
+			t.links[key] = sim.NewResource(e, fmt.Sprintf("torus.%d->%d", a, b), bytesPerSec, nil)
+		}
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			n := t.ID(x, y)
+			add(n, t.ID((x+1)%w, y))
+			add(n, t.ID((x-1+w)%w, y))
+			add(n, t.ID(x, (y+1)%h))
+			add(n, t.ID(x, (y-1+h)%h))
+		}
+	}
+	return t
+}
+
+// Nodes implements Network.
+func (t *Torus2D) Nodes() int { return t.w * t.h }
+
+// Dims returns the torus dimensions.
+func (t *Torus2D) Dims() (w, h int) { return t.w, t.h }
+
+// ID maps coordinates to a node id.
+func (t *Torus2D) ID(x, y int) int { return y*t.w + x }
+
+// Coord maps a node id to coordinates.
+func (t *Torus2D) Coord(id int) (x, y int) { return id % t.w, id / t.w }
+
+// Link exposes the directed neighbor link a->b.
+func (t *Torus2D) Link(a, b int) *sim.Resource {
+	l, ok := t.links[[2]int{a, b}]
+	if !ok {
+		panic(fmt.Sprintf("netsim: %d->%d is not a torus neighbor link", a, b))
+	}
+	return l
+}
+
+// RingX returns the node ids of the X-dimension ring through node id.
+func (t *Torus2D) RingX(id int) []int {
+	_, y := t.Coord(id)
+	ring := make([]int, t.w)
+	for x := 0; x < t.w; x++ {
+		ring[x] = t.ID(x, y)
+	}
+	return ring
+}
+
+// RingY returns the node ids of the Y-dimension ring through node id.
+func (t *Torus2D) RingY(id int) []int {
+	x, _ := t.Coord(id)
+	ring := make([]int, t.h)
+	for y := 0; y < t.h; y++ {
+		ring[y] = t.ID(x, y)
+	}
+	return ring
+}
+
+// Path implements Network with dimension-ordered routing and shortest
+// wraparound direction per dimension.
+func (t *Torus2D) Path(src, dst int) ([]*sim.Resource, sim.Duration) {
+	if src == dst {
+		return nil, 0
+	}
+	var links []*sim.Resource
+	sx, sy := t.Coord(src)
+	dx, dy := t.Coord(dst)
+	x, y := sx, sy
+	stepX := shortestStep(sx, dx, t.w)
+	for x != dx {
+		nx := (x + stepX + t.w) % t.w
+		links = append(links, t.Link(t.ID(x, y), t.ID(nx, y)))
+		x = nx
+	}
+	stepY := shortestStep(sy, dy, t.h)
+	for y != dy {
+		ny := (y + stepY + t.h) % t.h
+		links = append(links, t.Link(t.ID(x, y), t.ID(x, ny)))
+		y = ny
+	}
+	return links, sim.Duration(len(links)) * t.hopLat
+}
+
+// shortestStep returns -1 or +1: the ring direction with fewer hops from
+// a to b in a ring of size n (ties go positive).
+func shortestStep(a, b, n int) int {
+	fwd := (b - a + n) % n
+	if fwd <= n-fwd {
+		return 1
+	}
+	return -1
+}

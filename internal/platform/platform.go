@@ -1,0 +1,139 @@
+// Package platform assembles simulated hardware into the two system
+// shapes the paper evaluates (Table I): a scale-up node with several
+// fully-connected GPUs, and a scale-out cluster of GPU nodes joined by
+// NICs. It owns device construction and the mapping between global GPU
+// ids, nodes, and fabric endpoints.
+package platform
+
+import (
+	"fmt"
+
+	"fusedcc/internal/fabric"
+	"fusedcc/internal/gpu"
+	"fusedcc/internal/netsim"
+	"fusedcc/internal/sim"
+)
+
+// Config describes a cluster.
+type Config struct {
+	// Nodes is the node count (>= 1).
+	Nodes int
+	// GPUsPerNode is the per-node GPU count (>= 1).
+	GPUsPerNode int
+	// GPU configures every device.
+	GPU gpu.Config
+	// GPUOverrides replaces the configuration of specific global GPU
+	// ids — straggler injection and heterogeneity studies.
+	GPUOverrides map[int]gpu.Config
+	// Fabric configures the intra-node interconnect (used when
+	// GPUsPerNode > 1).
+	Fabric fabric.Config
+	// NICBandwidth is the per-node injection bandwidth in bytes/sec
+	// (used when Nodes > 1).
+	NICBandwidth float64
+	// NICLatency is the one-way network latency.
+	NICLatency sim.Duration
+}
+
+// ScaleUp returns the Table I scale-up shape: one node, four MI210-class
+// GPUs fully connected at 80 GB/s.
+func ScaleUp(gpus int) Config {
+	return Config{
+		Nodes:       1,
+		GPUsPerNode: gpus,
+		GPU:         gpu.MI210(),
+		Fabric:      fabric.DefaultConfig(),
+	}
+}
+
+// ScaleOut returns the Table I scale-out shape: nodes with one GPU each
+// connected over a 20 GB/s InfiniBand-class network.
+func ScaleOut(nodes int) Config {
+	return Config{
+		Nodes:        nodes,
+		GPUsPerNode:  1,
+		GPU:          gpu.MI210(),
+		NICBandwidth: 20e9,
+		NICLatency:   2 * sim.Microsecond,
+	}
+}
+
+// Platform is an instantiated cluster bound to a simulation engine.
+type Platform struct {
+	E       *sim.Engine
+	cfg     Config
+	devices []*gpu.Device
+	fabrics []*fabric.Fabric     // per node; nil when GPUsPerNode == 1
+	net     *netsim.PointToPoint // nil when Nodes == 1
+}
+
+// New builds all devices, fabrics and the network.
+func New(e *sim.Engine, cfg Config) *Platform {
+	if cfg.Nodes < 1 || cfg.GPUsPerNode < 1 {
+		panic("platform: need at least one node and one GPU per node")
+	}
+	pl := &Platform{E: e, cfg: cfg}
+	for n := 0; n < cfg.Nodes; n++ {
+		var fab *fabric.Fabric
+		if cfg.GPUsPerNode > 1 {
+			fab = fabric.New(e, cfg.GPUsPerNode, cfg.Fabric)
+		}
+		pl.fabrics = append(pl.fabrics, fab)
+		for l := 0; l < cfg.GPUsPerNode; l++ {
+			id := n*cfg.GPUsPerNode + l
+			gcfg := cfg.GPU
+			if o, ok := cfg.GPUOverrides[id]; ok {
+				gcfg = o
+			}
+			pl.devices = append(pl.devices, gpu.NewDevice(e, id, gcfg))
+		}
+	}
+	if cfg.Nodes > 1 {
+		if cfg.NICBandwidth <= 0 {
+			panic("platform: multi-node config needs NICBandwidth")
+		}
+		pl.net = netsim.NewPointToPoint(e, cfg.Nodes, cfg.NICBandwidth, cfg.NICLatency)
+	}
+	return pl
+}
+
+// Config returns the construction parameters.
+func (pl *Platform) Config() Config { return pl.cfg }
+
+// NDevices returns the global GPU count.
+func (pl *Platform) NDevices() int { return len(pl.devices) }
+
+// Device returns the device with global id g.
+func (pl *Platform) Device(g int) *gpu.Device { return pl.devices[g] }
+
+// Devices returns all devices in global-id order.
+func (pl *Platform) Devices() []*gpu.Device { return pl.devices }
+
+// NodeOf maps a global GPU id to its node.
+func (pl *Platform) NodeOf(g int) int { return g / pl.cfg.GPUsPerNode }
+
+// LocalIdx maps a global GPU id to its index within its node (its fabric
+// endpoint).
+func (pl *Platform) LocalIdx(g int) int { return g % pl.cfg.GPUsPerNode }
+
+// SameNode reports whether two GPUs share a node.
+func (pl *Platform) SameNode(a, b int) bool { return pl.NodeOf(a) == pl.NodeOf(b) }
+
+// FabricOf returns the intra-node fabric for the node hosting GPU g, or
+// nil for single-GPU nodes.
+func (pl *Platform) FabricOf(g int) *fabric.Fabric { return pl.fabrics[pl.NodeOf(g)] }
+
+// Network returns the scale-out network, or nil for single-node systems.
+func (pl *Platform) Network() *netsim.PointToPoint { return pl.net }
+
+// String summarizes the shape, e.g. "2 node(s) x 1 GPU over NIC 20 GB/s".
+func (pl *Platform) String() string {
+	s := fmt.Sprintf("%d node(s) x %d GPU(s)", pl.cfg.Nodes, pl.cfg.GPUsPerNode)
+	if pl.cfg.GPUsPerNode > 1 {
+		s += fmt.Sprintf(", fabric %.0f GB/s", pl.cfg.Fabric.LinkBandwidth/1e9)
+	}
+	if pl.cfg.Nodes > 1 {
+		s += fmt.Sprintf(", NIC %.0f GB/s", pl.cfg.NICBandwidth/1e9)
+	}
+	return s
+}

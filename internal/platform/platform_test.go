@@ -1,0 +1,98 @@
+package platform
+
+import (
+	"strings"
+	"testing"
+
+	"fusedcc/internal/sim"
+)
+
+func TestScaleUpShape(t *testing.T) {
+	e := sim.NewEngine()
+	pl := New(e, ScaleUp(4))
+	if pl.NDevices() != 4 {
+		t.Fatalf("devices = %d", pl.NDevices())
+	}
+	if pl.Network() != nil {
+		t.Error("single-node platform must have no network")
+	}
+	if pl.FabricOf(0) == nil {
+		t.Error("scale-up platform needs a fabric")
+	}
+	if !pl.SameNode(0, 3) {
+		t.Error("all GPUs share the node")
+	}
+	if !strings.Contains(pl.String(), "fabric") {
+		t.Errorf("String() = %q", pl.String())
+	}
+}
+
+func TestScaleOutShape(t *testing.T) {
+	e := sim.NewEngine()
+	pl := New(e, ScaleOut(2))
+	if pl.NDevices() != 2 {
+		t.Fatalf("devices = %d", pl.NDevices())
+	}
+	if pl.Network() == nil {
+		t.Error("multi-node platform needs a network")
+	}
+	if pl.FabricOf(0) != nil {
+		t.Error("single-GPU nodes have no fabric")
+	}
+	if pl.SameNode(0, 1) {
+		t.Error("GPUs on different nodes")
+	}
+	if pl.NodeOf(1) != 1 || pl.LocalIdx(1) != 0 {
+		t.Error("index mapping broken")
+	}
+}
+
+func TestMixedShapeIndexing(t *testing.T) {
+	e := sim.NewEngine()
+	cfg := ScaleOut(2)
+	cfg.GPUsPerNode = 4
+	cfg.Fabric = ScaleUp(4).Fabric
+	pl := New(e, cfg)
+	if pl.NDevices() != 8 {
+		t.Fatalf("devices = %d", pl.NDevices())
+	}
+	if pl.NodeOf(5) != 1 || pl.LocalIdx(5) != 1 {
+		t.Error("mixed mapping broken")
+	}
+	if pl.Device(7).ID() != 7 {
+		t.Error("device ids must be global")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	e := sim.NewEngine()
+	for _, cfg := range []Config{
+		{Nodes: 0, GPUsPerNode: 1},
+		{Nodes: 1, GPUsPerNode: 0},
+	} {
+		func() {
+			defer func() { recover() }()
+			New(e, cfg)
+			t.Errorf("config %+v should panic", cfg)
+		}()
+	}
+	// Multi-node without NIC bandwidth panics.
+	func() {
+		defer func() { recover() }()
+		cfg := ScaleOut(2)
+		cfg.NICBandwidth = 0
+		New(e, cfg)
+		t.Error("missing NIC bandwidth should panic")
+	}()
+}
+
+func TestTableIDefaults(t *testing.T) {
+	up := ScaleUp(4)
+	if up.Fabric.LinkBandwidth != 80e9 {
+		t.Errorf("scale-up fabric = %g, want 80 GB/s (Table I)", up.Fabric.LinkBandwidth)
+	}
+	out := ScaleOut(2)
+	if out.NICBandwidth != 20e9 {
+		t.Errorf("scale-out NIC = %g, want 20 GB/s (Table I)", out.NICBandwidth)
+	}
+}

@@ -1,0 +1,410 @@
+// Package shmem provides GPU-initiated intra-kernel communication in the
+// style of ROC_SHMEM / NVSHMEM (paper §II-B): a symmetric heap across
+// processing elements (PEs, one per GPU), non-blocking puts, fences,
+// quiet, and waitable flags — all callable from inside simulated kernels
+// through a workgroup context.
+//
+// Two data paths exist, matching the paper:
+//
+//   - Scale-out (different nodes): PutNbi posts a message on an ordered
+//     per-PE-pair channel (an RDMA queue pair over the NIC). Delivery is
+//     asynchronous; ordering within a pair makes put-fence-flag correct.
+//   - Scale-up (same node): StoreRemote streams native stores over the
+//     fabric directly into the peer's memory, blocking the issuing
+//     workgroup — the zero-copy path with no intermediate buffering.
+package shmem
+
+import (
+	"fmt"
+
+	"fusedcc/internal/fabric"
+	"fusedcc/internal/gpu"
+	"fusedcc/internal/netsim"
+	"fusedcc/internal/platform"
+	"fusedcc/internal/sim"
+)
+
+// Config sets the overhead constants of the GPU-initiated API (§III-C:
+// "API latency" and book-keeping costs).
+type Config struct {
+	// PutAPIOverhead is the workgroup-side cost of issuing one
+	// non-blocking put (building the descriptor, ringing the doorbell).
+	PutAPIOverhead sim.Duration
+	// FlagAPIOverhead is the workgroup-side cost of a flag update.
+	FlagAPIOverhead sim.Duration
+	// ChannelOverhead is the per-message processing cost on the
+	// transfer engine.
+	ChannelOverhead sim.Duration
+}
+
+// DefaultConfig mirrors the ROC_SHMEM v1.6 costs assumed in DESIGN.md §4.
+func DefaultConfig() Config {
+	return Config{
+		PutAPIOverhead:  200 * sim.Nanosecond,
+		FlagAPIOverhead: 100 * sim.Nanosecond,
+		ChannelOverhead: 300 * sim.Nanosecond,
+	}
+}
+
+// World is a communication world spanning every GPU of a platform.
+type World struct {
+	pl     *platform.Platform
+	cfg    Config
+	chans  map[[2]int]*netsim.Channel
+	fnets  map[int]*fabricNet     // per node, lazily built
+	stores map[storeKey]*sim.Flag // outstanding native stores per (pair, WG)
+}
+
+// NewWorld attaches a world to a platform.
+func NewWorld(pl *platform.Platform, cfg Config) *World {
+	return &World{
+		pl:     pl,
+		cfg:    cfg,
+		chans:  make(map[[2]int]*netsim.Channel),
+		fnets:  make(map[int]*fabricNet),
+		stores: make(map[storeKey]*sim.Flag),
+	}
+}
+
+// Platform returns the underlying hardware.
+func (w *World) Platform() *platform.Platform { return w.pl }
+
+// NPEs returns the PE count (== GPU count).
+func (w *World) NPEs() int { return w.pl.NDevices() }
+
+// fabricNet adapts an intra-node fabric to the netsim.Network interface
+// so the same ordered-channel machinery drives intra-node DMA puts.
+type fabricNet struct{ f *fabric.Fabric }
+
+func (fn *fabricNet) Nodes() int { return fn.f.Size() }
+func (fn *fabricNet) Path(src, dst int) ([]*sim.Resource, sim.Duration) {
+	if src == dst {
+		return nil, 0
+	}
+	return []*sim.Resource{fn.f.Link(src, dst)}, fn.f.Config().StoreLatency
+}
+
+// channel returns (building lazily) the ordered channel from srcPE to
+// dstPE. Cross-node pairs ride the NIC network; same-node pairs ride the
+// fabric through the adapter.
+func (w *World) channel(srcPE, dstPE int) *netsim.Channel {
+	key := [2]int{srcPE, dstPE}
+	if c, ok := w.chans[key]; ok {
+		return c
+	}
+	var c *netsim.Channel
+	if w.pl.SameNode(srcPE, dstPE) {
+		node := w.pl.NodeOf(srcPE)
+		fn, ok := w.fnets[node]
+		if !ok {
+			f := w.pl.FabricOf(srcPE)
+			if f == nil {
+				panic(fmt.Sprintf("shmem: no fabric for same-node put %d->%d", srcPE, dstPE))
+			}
+			fn = &fabricNet{f: f}
+			w.fnets[node] = fn
+		}
+		c = netsim.NewChannel(w.pl.E, fn, w.pl.LocalIdx(srcPE), w.pl.LocalIdx(dstPE), w.cfg.ChannelOverhead)
+	} else {
+		net := w.pl.Network()
+		if net == nil {
+			panic(fmt.Sprintf("shmem: no network for cross-node put %d->%d", srcPE, dstPE))
+		}
+		c = netsim.NewChannel(w.pl.E, net, w.pl.NodeOf(srcPE), w.pl.NodeOf(dstPE), w.cfg.ChannelOverhead)
+	}
+	w.chans[key] = c
+	return c
+}
+
+// Symm is a symmetric-heap allocation: one buffer of identical shape per
+// PE, registered for remote access (the roc_shmem_malloc analogue).
+type Symm struct {
+	w    *World
+	n    int
+	bufs []*gpu.Buffer
+}
+
+// Malloc allocates n float32 elements on every PE's symmetric heap.
+func (w *World) Malloc(n int) *Symm {
+	s := &Symm{w: w, n: n, bufs: make([]*gpu.Buffer, w.NPEs())}
+	for pe := range s.bufs {
+		s.bufs[pe] = w.pl.Device(pe).Alloc(n)
+	}
+	return s
+}
+
+// Len returns the per-PE element count.
+func (s *Symm) Len() int { return s.n }
+
+// On returns the buffer instance on a PE.
+func (s *Symm) On(pe int) *gpu.Buffer { return s.bufs[pe] }
+
+// Flags is a symmetric array of waitable flags, one set per PE.
+type Flags struct {
+	w     *World
+	flags [][]*sim.Flag
+}
+
+// MallocFlags allocates count flags on every PE.
+func (w *World) MallocFlags(count int) *Flags {
+	f := &Flags{w: w, flags: make([][]*sim.Flag, w.NPEs())}
+	for pe := range f.flags {
+		f.flags[pe] = make([]*sim.Flag, count)
+		for i := range f.flags[pe] {
+			f.flags[pe][i] = sim.NewFlag(w.pl.E)
+		}
+	}
+	return f
+}
+
+// On returns flag idx on a PE (for host-side inspection).
+func (f *Flags) On(pe, idx int) *sim.Flag { return f.flags[pe][idx] }
+
+// WaitGE blocks the workgroup until the *local* flag idx reaches v —
+// the roc_shmem_wait_until(..., GE, v) analogue.
+func (f *Flags) WaitGE(wg *gpu.WG, idx int, v int64) {
+	f.flags[wg.Dev.ID()][idx].WaitGE(wg.P, v)
+}
+
+// PutNbi issues a non-blocking put of n float32 from a local buffer into
+// dst's instance of the symmetric allocation. The call returns after the
+// API overhead; the transfer proceeds on the pair's ordered channel and
+// the data lands at delivery time. Source data is read at delivery (the
+// producer must not overwrite it before a Fence/Quiet, as on hardware).
+func (w *World) PutNbi(wg *gpu.WG, dstPE int, dst *Symm, dstOff int, src *gpu.Buffer, srcOff, n int) {
+	wg.Busy(w.cfg.PutAPIOverhead)
+	if n <= 0 {
+		return
+	}
+	srcPE := wg.Dev.ID()
+	if srcPE == dstPE {
+		dst.On(dstPE).CopyWithin(dstOff, src, srcOff, n)
+		return
+	}
+	dbuf := dst.On(dstPE)
+	bytes := float64(n) * 4
+	// The transfer engine reads the staging buffer and the delivery
+	// writes destination memory — intermediate-buffering traffic the
+	// zero-copy store path avoids.
+	w.pl.Device(srcPE).HBM().TransferAsync(bytes, 0, nil)
+	w.channel(srcPE, dstPE).Post(bytes, func() {
+		w.pl.Device(dstPE).HBM().TransferAsync(bytes, 0, nil)
+		dbuf.CopyWithin(dstOff, src, srcOff, n)
+	})
+}
+
+// PutNbiRows is PutNbi for a strided block: rows of rowLen elements,
+// read from src at srcOff with srcStride, landing at dstOff with
+// dstStride in dst's instance. The block travels as a single message —
+// the point-to-point layout freedom the paper exploits to deliver
+// All-to-All slices directly in the layout the interaction kernel wants
+// (no shuffle kernel on the receiver).
+func (w *World) PutNbiRows(wg *gpu.WG, dstPE int, dst *Symm, dstOff, dstStride int, src *gpu.Buffer, srcOff, srcStride, rows, rowLen int) {
+	wg.Busy(w.cfg.PutAPIOverhead)
+	if rows <= 0 || rowLen <= 0 {
+		return
+	}
+	srcPE := wg.Dev.ID()
+	apply := func() {
+		dbuf := dst.On(dstPE)
+		for r := 0; r < rows; r++ {
+			dbuf.CopyWithin(dstOff+r*dstStride, src, srcOff+r*srcStride, rowLen)
+		}
+	}
+	if srcPE == dstPE {
+		apply()
+		return
+	}
+	bytes := float64(rows*rowLen) * 4
+	w.pl.Device(srcPE).HBM().TransferAsync(bytes, 0, nil)
+	w.channel(srcPE, dstPE).Post(bytes, func() {
+		w.pl.Device(dstPE).HBM().TransferAsync(bytes, 0, nil)
+		apply()
+	})
+}
+
+// PutFlagNbi posts a flag update on the same ordered channel as data
+// puts, so it lands strictly after every put issued earlier to the same
+// PE — the put+fence+flag idiom of the fused kernels collapses into
+// this single call when the fence has nothing else to order.
+func (w *World) PutFlagNbi(wg *gpu.WG, dstPE int, f *Flags, idx int, delta int64) {
+	wg.Busy(w.cfg.FlagAPIOverhead)
+	srcPE := wg.Dev.ID()
+	target := f.flags[dstPE][idx]
+	if srcPE == dstPE {
+		target.Add(delta)
+		return
+	}
+	w.channel(srcPE, dstPE).Post(8, func() { target.Add(delta) })
+}
+
+// Fence orders prior puts to dstPE before subsequent ones. Channels
+// already deliver in order, so the fence costs only its API overhead.
+func (w *World) Fence(wg *gpu.WG) { wg.Busy(w.cfg.FlagAPIOverhead) }
+
+// Quiet blocks the workgroup until every put it issued (on any channel
+// originating at its PE) has been delivered.
+func (w *World) Quiet(wg *gpu.WG) {
+	srcPE := wg.Dev.ID()
+	for dst := 0; dst < w.NPEs(); dst++ {
+		if c, ok := w.chans[[2]int{srcPE, dst}]; ok {
+			c.Quiet(wg.P)
+		}
+	}
+}
+
+// remoteStore issues bytes of native stores from wg toward a same-node
+// peer. Stores retire through write-combining buffers: the workgroup is
+// charged only a small issue cost and proceeds; the bytes stream over
+// the fabric asynchronously (at the lane-scaled per-WG store rate,
+// sharing the link fairly) and apply lands when the last byte arrives.
+// Visibility is established by StoreFence / StoreRemoteFlag, which wait
+// for the pair's outstanding stores — the fence-the-stores-then-flag
+// idiom of the zero-copy fused kernels (§III-B).
+func (w *World) remoteStore(wg *gpu.WG, dstPE int, bytes float64, apply func()) {
+	srcPE := wg.Dev.ID()
+	if !w.pl.SameNode(srcPE, dstPE) {
+		panic(fmt.Sprintf("shmem: native store across nodes (%d->%d); use PutNbi", srcPE, dstPE))
+	}
+	wg.Busy(w.cfg.FlagAPIOverhead) // store-issue cost
+	cnt := w.storeInFlight(srcPE, dstPE, wg.PhysID)
+	cnt.Add(1)
+	fab := w.pl.FabricOf(srcPE)
+	lanes := wg.Lanes
+	if lanes < 1 {
+		lanes = 1
+	}
+	rate := fab.Config().PerWGStoreBandwidth * float64(lanes)
+	link := fab.Link(w.pl.LocalIdx(srcPE), w.pl.LocalIdx(dstPE))
+	dstHBM := w.pl.Device(dstPE).HBM()
+	w.pl.E.After(fab.Config().StoreLatency, func() {
+		link.TransferAsync(bytes, rate, func() {
+			dstHBM.TransferAsync(bytes, 0, nil)
+			if apply != nil {
+				apply()
+			}
+			cnt.Add(-1)
+		})
+	})
+}
+
+// storeKey identifies one workgroup's store stream to one peer.
+type storeKey struct{ srcPE, dstPE, phys int }
+
+// storeInFlight returns the outstanding-store counter for a workgroup's
+// stream to a peer.
+func (w *World) storeInFlight(srcPE, dstPE, phys int) *sim.Flag {
+	key := storeKey{srcPE, dstPE, phys}
+	cnt, ok := w.stores[key]
+	if !ok {
+		cnt = sim.NewFlag(w.pl.E)
+		w.stores[key] = cnt
+	}
+	return cnt
+}
+
+// StoreFence blocks the workgroup until its own outstanding native
+// stores to dstPE have become visible remotely (the cache-flush +
+// wait-for-acks sequence of §II-B).
+func (w *World) StoreFence(wg *gpu.WG, dstPE int) {
+	srcPE := wg.Dev.ID()
+	if srcPE == dstPE {
+		return
+	}
+	if cnt, ok := w.stores[storeKey{srcPE, dstPE, wg.PhysID}]; ok {
+		cnt.WaitEQ(wg.P, 0)
+	}
+}
+
+// StoreRemote streams n float32 as native stores from the workgroup
+// directly into dst's instance of the symmetric allocation — the
+// zero-copy scale-up path (§III-B). Same-PE stores are charged to local
+// memory bandwidth; peer stores are issued fire-and-forget (see
+// remoteStore). Cross-node stores are impossible on real hardware and
+// panic here.
+func (w *World) StoreRemote(wg *gpu.WG, dstPE int, dst *Symm, dstOff int, src *gpu.Buffer, srcOff, n int) {
+	if n <= 0 {
+		return
+	}
+	bytes := float64(n) * 4
+	if wg.Dev.ID() == dstPE {
+		wg.Write(bytes)
+		dst.On(dstPE).CopyWithin(dstOff, src, srcOff, n)
+		return
+	}
+	dbuf := dst.On(dstPE)
+	w.remoteStore(wg, dstPE, bytes, func() {
+		dbuf.CopyWithin(dstOff, src, srcOff, n)
+	})
+}
+
+// StoreRemoteRows is StoreRemote for a strided block (see PutNbiRows).
+func (w *World) StoreRemoteRows(wg *gpu.WG, dstPE int, dst *Symm, dstOff, dstStride int, src *gpu.Buffer, srcOff, srcStride, rows, rowLen int) {
+	if rows <= 0 || rowLen <= 0 {
+		return
+	}
+	bytes := float64(rows*rowLen) * 4
+	dbuf := dst.On(dstPE)
+	apply := func() {
+		for r := 0; r < rows; r++ {
+			dbuf.CopyWithin(dstOff+r*dstStride, src, srcOff+r*srcStride, rowLen)
+		}
+	}
+	if wg.Dev.ID() == dstPE {
+		wg.Write(bytes)
+		apply()
+		return
+	}
+	w.remoteStore(wg, dstPE, bytes, apply)
+}
+
+// StoreValues writes caller-provided values (register-resident results)
+// directly to dstPE's instance of the symmetric allocation: the
+// zero-copy store path for results that never touch local memory.
+// vals may be nil in timing mode; n elements are charged either way.
+func (w *World) StoreValues(wg *gpu.WG, dstPE int, dst *Symm, dstOff int, vals []float32, n int) {
+	w.StoreValuesRows(wg, dstPE, dst, dstOff, 0, vals, 1, n)
+}
+
+// StoreValuesRows stores register-resident values as rows of rowLen
+// elements landing dstStride apart in dstPE's instance. vals holds
+// rows*rowLen elements row-major (nil in timing mode); they are
+// snapshotted at issue, so the caller may reuse the scratch space.
+func (w *World) StoreValuesRows(wg *gpu.WG, dstPE int, dst *Symm, dstOff, dstStride int, vals []float32, rows, rowLen int) {
+	if rows <= 0 || rowLen <= 0 {
+		return
+	}
+	bytes := float64(rows*rowLen) * 4
+	dbuf := dst.On(dstPE)
+	var snap []float32
+	if vals != nil && dbuf.Functional() {
+		snap = append([]float32(nil), vals[:rows*rowLen]...)
+	}
+	apply := func() {
+		if snap == nil {
+			return
+		}
+		for r := 0; r < rows; r++ {
+			copy(dbuf.Data()[dstOff+r*dstStride:dstOff+r*dstStride+rowLen], snap[r*rowLen:(r+1)*rowLen])
+		}
+	}
+	if wg.Dev.ID() == dstPE {
+		wg.Write(bytes)
+		apply()
+		return
+	}
+	w.remoteStore(wg, dstPE, bytes, apply)
+}
+
+// StoreRemoteFlag sets a flag on a same-node peer with a native store,
+// after fencing the pair's outstanding stores so the flag never becomes
+// visible before the data it guards.
+func (w *World) StoreRemoteFlag(wg *gpu.WG, dstPE int, f *Flags, idx int, delta int64) {
+	wg.Busy(w.cfg.FlagAPIOverhead)
+	srcPE := wg.Dev.ID()
+	if srcPE != dstPE && !w.pl.SameNode(srcPE, dstPE) {
+		panic(fmt.Sprintf("shmem: StoreRemoteFlag across nodes (%d->%d)", srcPE, dstPE))
+	}
+	w.StoreFence(wg, dstPE)
+	f.flags[dstPE][idx].Add(delta)
+}

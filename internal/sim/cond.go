@@ -1,0 +1,173 @@
+package sim
+
+// Cond is a broadcast condition bound to an engine. Processes wait on a
+// predicate; whoever mutates the guarded state calls Broadcast to re-test
+// the waiters. Wakeups happen at the instant of the broadcast, preserving
+// determinism (waiters are released in wait order).
+type Cond struct {
+	e       *Engine
+	waiters []*Proc
+}
+
+// NewCond returns a condition bound to e.
+func NewCond(e *Engine) *Cond { return &Cond{e: e} }
+
+// Wait blocks p until pred() is true. pred is evaluated immediately and
+// after every Broadcast; it must be a pure function of simulation state.
+func (c *Cond) Wait(p *Proc, pred func() bool) {
+	for !pred() {
+		c.waiters = append(c.waiters, p)
+		p.park(parkBlocked, nil)
+	}
+}
+
+// Broadcast wakes every current waiter so it can re-test its predicate.
+// Safe to call from processes or engine callbacks.
+func (c *Cond) Broadcast() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	ws := c.waiters
+	c.waiters = nil
+	for _, p := range ws {
+		c.e.schedule(&event{at: c.e.now, proc: p})
+	}
+}
+
+// Flag is an int64 cell with waitable updates — the simulation analogue of
+// a memory word that GPU threads poll (e.g. sliceRdy flags). The zero
+// value is unusable; create flags with NewFlag.
+type Flag struct {
+	val  int64
+	cond *Cond
+}
+
+// NewFlag returns a flag with value 0.
+func NewFlag(e *Engine) *Flag { return &Flag{cond: NewCond(e)} }
+
+// Value returns the current value.
+func (f *Flag) Value() int64 { return f.val }
+
+// Set stores v and wakes waiters.
+func (f *Flag) Set(v int64) {
+	f.val = v
+	f.cond.Broadcast()
+}
+
+// Add increments the flag by delta and wakes waiters.
+func (f *Flag) Add(delta int64) {
+	f.val += delta
+	f.cond.Broadcast()
+}
+
+// WaitGE blocks until the flag value is >= v.
+func (f *Flag) WaitGE(p *Proc, v int64) {
+	f.cond.Wait(p, func() bool { return f.val >= v })
+}
+
+// WaitEQ blocks until the flag value equals v.
+func (f *Flag) WaitEQ(p *Proc, v int64) {
+	f.cond.Wait(p, func() bool { return f.val == v })
+}
+
+// Semaphore is a counting resource with FIFO admission, used e.g. for
+// occupancy-bounded workgroup slots on a compute unit.
+type Semaphore struct {
+	e         *Engine
+	available int
+	queue     []*semWaiter
+}
+
+type semWaiter struct {
+	p    *Proc
+	n    int
+	done bool
+}
+
+// NewSemaphore returns a semaphore holding n permits.
+func NewSemaphore(e *Engine, n int) *Semaphore {
+	if n < 0 {
+		panic("sim: negative semaphore capacity")
+	}
+	return &Semaphore{e: e, available: n}
+}
+
+// Available reports the number of free permits.
+func (s *Semaphore) Available() int { return s.available }
+
+// Acquire takes n permits, blocking in FIFO order until they are free.
+func (s *Semaphore) Acquire(p *Proc, n int) {
+	if n <= 0 {
+		return
+	}
+	if len(s.queue) == 0 && s.available >= n {
+		s.available -= n
+		return
+	}
+	w := &semWaiter{p: p, n: n}
+	s.queue = append(s.queue, w)
+	for !w.done {
+		p.park(parkBlocked, nil)
+	}
+}
+
+// TryAcquire takes n permits if immediately available and nobody is queued.
+func (s *Semaphore) TryAcquire(n int) bool {
+	if len(s.queue) == 0 && s.available >= n {
+		s.available -= n
+		return true
+	}
+	return false
+}
+
+// Release returns n permits and admits queued waiters.
+func (s *Semaphore) Release(n int) {
+	if n <= 0 {
+		return
+	}
+	s.available += n
+	s.dispatch()
+}
+
+// dispatch admits queue-head waiters while permits suffice (strict FIFO:
+// a large request at the head blocks later small ones, avoiding starvation).
+func (s *Semaphore) dispatch() {
+	for len(s.queue) > 0 && s.queue[0].n <= s.available {
+		w := s.queue[0]
+		s.queue = s.queue[1:]
+		s.available -= w.n
+		w.done = true
+		if w.p != nil {
+			s.e.schedule(&event{at: s.e.now, proc: w.p})
+		}
+	}
+}
+
+// WaitGroup counts outstanding activities and lets processes wait for
+// completion — the simulation analogue of sync.WaitGroup.
+type WaitGroup struct {
+	n    int
+	cond *Cond
+}
+
+// NewWaitGroup returns an empty wait group.
+func NewWaitGroup(e *Engine) *WaitGroup { return &WaitGroup{cond: NewCond(e)} }
+
+// Add adjusts the counter by delta.
+func (wg *WaitGroup) Add(delta int) {
+	wg.n += delta
+	if wg.n < 0 {
+		panic("sim: negative WaitGroup counter")
+	}
+	if wg.n == 0 {
+		wg.cond.Broadcast()
+	}
+}
+
+// Done decrements the counter.
+func (wg *WaitGroup) Done() { wg.Add(-1) }
+
+// Wait blocks p until the counter reaches zero.
+func (wg *WaitGroup) Wait(p *Proc) {
+	wg.cond.Wait(p, func() bool { return wg.n == 0 })
+}

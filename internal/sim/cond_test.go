@@ -1,0 +1,162 @@
+package sim
+
+import "testing"
+
+func TestFlagWaitGE(t *testing.T) {
+	e := NewEngine()
+	f := NewFlag(e)
+	var seen Time
+	e.Go("waiter", func(p *Proc) {
+		f.WaitGE(p, 3)
+		seen = p.Now()
+	})
+	e.Go("setter", func(p *Proc) {
+		for i := 1; i <= 3; i++ {
+			p.Sleep(100)
+			f.Add(1)
+		}
+	})
+	e.Run()
+	if seen != 300 {
+		t.Errorf("waiter released at %v, want 300", seen)
+	}
+	if f.Value() != 3 {
+		t.Errorf("flag = %d, want 3", f.Value())
+	}
+}
+
+func TestFlagWaitAlreadySatisfied(t *testing.T) {
+	e := NewEngine()
+	f := NewFlag(e)
+	f.Set(10)
+	ran := false
+	e.Go("waiter", func(p *Proc) {
+		f.WaitGE(p, 5)
+		ran = true
+		if p.Now() != 0 {
+			t.Errorf("satisfied wait should not advance time, at %v", p.Now())
+		}
+	})
+	e.Run()
+	if !ran {
+		t.Fatal("waiter never ran")
+	}
+}
+
+func TestFlagMultipleWaiters(t *testing.T) {
+	e := NewEngine()
+	f := NewFlag(e)
+	released := 0
+	for i := 0; i < 8; i++ {
+		e.Go("w", func(p *Proc) {
+			f.WaitEQ(p, 1)
+			released++
+		})
+	}
+	e.Go("s", func(p *Proc) {
+		p.Sleep(10)
+		f.Set(1)
+	})
+	e.Run()
+	if released != 8 {
+		t.Errorf("released %d waiters, want 8", released)
+	}
+}
+
+func TestSemaphoreLimitsConcurrency(t *testing.T) {
+	e := NewEngine()
+	s := NewSemaphore(e, 2)
+	active, peak := 0, 0
+	for i := 0; i < 6; i++ {
+		e.Go("worker", func(p *Proc) {
+			s.Acquire(p, 1)
+			active++
+			if active > peak {
+				peak = active
+			}
+			p.Sleep(100)
+			active--
+			s.Release(1)
+		})
+	}
+	end := e.Run()
+	if peak != 2 {
+		t.Errorf("peak concurrency %d, want 2", peak)
+	}
+	// 6 workers, 2 at a time, 100ns each => 300ns.
+	if end != 300 {
+		t.Errorf("finished at %v, want 300", end)
+	}
+}
+
+func TestSemaphoreFIFOLargeRequestNotStarved(t *testing.T) {
+	e := NewEngine()
+	s := NewSemaphore(e, 2)
+	var order []string
+	hold := func(name string, n int, d Duration) {
+		e.Go(name, func(p *Proc) {
+			s.Acquire(p, n)
+			order = append(order, name)
+			p.Sleep(d)
+			s.Release(n)
+		})
+	}
+	hold("a", 2, 100) // takes both permits
+	hold("big", 2, 50)
+	hold("small", 1, 50) // arrives after big; must not jump the queue
+	e.Run()
+	if len(order) != 3 || order[1] != "big" {
+		t.Errorf("order = %v, want big admitted before small", order)
+	}
+}
+
+func TestSemaphoreTryAcquire(t *testing.T) {
+	e := NewEngine()
+	s := NewSemaphore(e, 1)
+	if !s.TryAcquire(1) {
+		t.Fatal("TryAcquire on free semaphore failed")
+	}
+	if s.TryAcquire(1) {
+		t.Fatal("TryAcquire on exhausted semaphore succeeded")
+	}
+	s.Release(1)
+	if s.Available() != 1 {
+		t.Fatalf("available = %d, want 1", s.Available())
+	}
+}
+
+func TestWaitGroup(t *testing.T) {
+	e := NewEngine()
+	wg := NewWaitGroup(e)
+	var doneAt Time
+	for i := 1; i <= 3; i++ {
+		d := Duration(i) * 100
+		wg.Add(1)
+		e.Go("w", func(p *Proc) {
+			p.Sleep(d)
+			wg.Done()
+		})
+	}
+	e.Go("waiter", func(p *Proc) {
+		wg.Wait(p)
+		doneAt = p.Now()
+	})
+	e.Run()
+	if doneAt != 300 {
+		t.Errorf("waiter released at %v, want 300 (slowest worker)", doneAt)
+	}
+}
+
+func TestWaitGroupAlreadyZero(t *testing.T) {
+	e := NewEngine()
+	wg := NewWaitGroup(e)
+	ran := false
+	e.Go("w", func(p *Proc) {
+		wg.Wait(p)
+		ran = true
+	})
+	e.Run()
+	if !ran {
+		t.Fatal("wait on zero group must not block")
+	}
+}

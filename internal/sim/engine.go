@@ -1,0 +1,211 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is a scheduled occurrence: either waking a parked process or
+// invoking a callback while no process runs.
+type event struct {
+	at   Time
+	seq  uint64 // tie-break: FIFO among equal times
+	proc *Proc  // non-nil: wake this process
+	fn   func() // non-nil: run this callback on the engine goroutine
+	// cancelled events stay in the heap but are skipped when popped.
+	cancelled bool
+	index     int
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is a deterministic discrete-event simulator. The zero value is
+// not usable; create engines with NewEngine.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	parked  chan parkMsg
+	nprocs  int // live processes
+	running bool
+	panicV  any // panic propagated from a process
+}
+
+type parkMsg struct {
+	kind parkKind
+	ev   *event // for parkScheduled: the wake event (sanity only)
+}
+
+type parkKind int
+
+const (
+	parkScheduled parkKind = iota // process has a wake event in the queue
+	parkBlocked                   // process waits on a Signal (no event yet)
+	parkExited                    // process function returned
+	parkPanicked                  // process function panicked
+)
+
+// NewEngine returns an empty engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{parked: make(chan parkMsg)}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// schedule enqueues ev and assigns its sequence number.
+func (e *Engine) schedule(ev *event) *event {
+	ev.seq = e.seq
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// At schedules fn to run on the engine goroutine at time t (>= now).
+// Callbacks must not block; they may spawn processes and signal conditions.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.schedule(&event{at: t, fn: fn})
+}
+
+// After schedules fn to run d from now.
+func (e *Engine) After(d Duration, fn func()) { e.At(e.now.Add(d), fn) }
+
+// Proc is a simulated process: a goroutine that only advances while the
+// engine has handed control to it. All Proc methods must be called from
+// the process's own goroutine.
+type Proc struct {
+	e      *Engine
+	name   string
+	resume chan struct{}
+	wake   *event // pending wake event while parked (nil when blocked)
+}
+
+// Name returns the diagnostic name given at spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the owning engine.
+func (p *Proc) Engine() *Engine { return p.e }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.e.now }
+
+// Go spawns fn as a new process starting at the current time. It may be
+// called from the host (before Run), from engine callbacks, or from other
+// processes.
+func (e *Engine) Go(name string, fn func(*Proc)) {
+	p := &Proc{e: e, name: name, resume: make(chan struct{})}
+	e.nprocs++
+	// The process starts via a queue event so that spawn order is
+	// preserved deterministically.
+	e.schedule(&event{at: e.now, proc: p})
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				e.panicV = fmt.Errorf("sim: process %q panicked: %v", name, r)
+				e.parked <- parkMsg{kind: parkPanicked}
+				return
+			}
+			e.parked <- parkMsg{kind: parkExited}
+		}()
+		fn(p)
+	}()
+}
+
+// park transfers control back to the engine and blocks until resumed.
+func (p *Proc) park(kind parkKind, ev *event) {
+	p.e.parked <- parkMsg{kind: kind, ev: ev}
+	<-p.resume
+}
+
+// Sleep suspends the process for d of virtual time.
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	ev := p.e.schedule(&event{at: p.e.now.Add(d), proc: p})
+	p.wake = ev
+	p.park(parkScheduled, ev)
+	p.wake = nil
+}
+
+// Yield reschedules the process at the current instant, letting every
+// other event already queued for this instant run first.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Run executes events until the queue is empty or the optional horizon is
+// reached. It returns the final clock value. Run panics if a simulated
+// process panicked or if the simulation deadlocks (live processes remain
+// but no events are schedulable).
+func (e *Engine) Run() Time { return e.RunUntil(Forever) }
+
+// RunUntil executes events with timestamps <= horizon.
+func (e *Engine) RunUntil(horizon Time) Time {
+	if e.running {
+		panic("sim: Run called re-entrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.cancelled {
+			continue
+		}
+		if ev.at > horizon {
+			// Put it back for a later Run call.
+			e.schedule(&event{at: ev.at, proc: ev.proc, fn: ev.fn})
+			return e.now
+		}
+		e.now = ev.at
+		if ev.fn != nil {
+			ev.fn()
+			continue
+		}
+		// Wake the process and wait for it to park again.
+		ev.proc.resume <- struct{}{}
+		msg := <-e.parked
+		switch msg.kind {
+		case parkExited:
+			e.nprocs--
+		case parkPanicked:
+			e.nprocs--
+			panic(e.panicV)
+		case parkScheduled, parkBlocked:
+			// Process parked; its wake event (if any) is queued.
+		}
+	}
+	if e.nprocs > 0 {
+		panic(fmt.Sprintf("sim: deadlock at %v: %d process(es) blocked with empty event queue", e.now, e.nprocs))
+	}
+	return e.now
+}

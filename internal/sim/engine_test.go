@@ -1,0 +1,229 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	e := NewEngine()
+	if e.Now() != 0 {
+		t.Fatalf("new engine clock = %v, want 0", e.Now())
+	}
+}
+
+func TestSleepAdvancesClock(t *testing.T) {
+	e := NewEngine()
+	var woke Time
+	e.Go("sleeper", func(p *Proc) {
+		p.Sleep(42 * Microsecond)
+		woke = p.Now()
+	})
+	end := e.Run()
+	if woke != Time(42*Microsecond) {
+		t.Errorf("woke at %v, want 42us", woke)
+	}
+	if end != woke {
+		t.Errorf("Run returned %v, want %v", end, woke)
+	}
+}
+
+func TestSleepZeroAndNegative(t *testing.T) {
+	e := NewEngine()
+	order := []string{}
+	e.Go("a", func(p *Proc) {
+		p.Sleep(0)
+		order = append(order, "a")
+	})
+	e.Go("b", func(p *Proc) {
+		p.Sleep(-5)
+		order = append(order, "b")
+	})
+	e.Run()
+	if len(order) != 2 {
+		t.Fatalf("got %d wakeups, want 2", len(order))
+	}
+}
+
+func TestEventOrderingFIFOAtSameTime(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(100, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d, want %d (FIFO tie-break violated)", i, v, i)
+		}
+	}
+}
+
+func TestEventOrderingByTime(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(300, func() { order = append(order, 3) })
+	e.At(100, func() { order = append(order, 1) })
+	e.At(200, func() { order = append(order, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestProcessesInterleaveDeterministically(t *testing.T) {
+	run := func() []string {
+		e := NewEngine()
+		var log []string
+		for i := 0; i < 4; i++ {
+			name := fmt.Sprintf("p%d", i)
+			d := Duration(i+1) * 10
+			e.Go(name, func(p *Proc) {
+				for k := 0; k < 3; k++ {
+					p.Sleep(d)
+					log = append(log, fmt.Sprintf("%s@%d", name, p.Now()))
+				}
+			})
+		}
+		e.Run()
+		return log
+	}
+	a, b := run(), run()
+	if len(a) != 12 {
+		t.Fatalf("got %d log entries, want 12", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	e := NewEngine()
+	var hits []Time
+	e.Go("p", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Sleep(100)
+			hits = append(hits, p.Now())
+		}
+	})
+	e.RunUntil(250)
+	if len(hits) != 2 {
+		t.Fatalf("got %d hits before horizon, want 2 (hits=%v)", len(hits), hits)
+	}
+	e.Run()
+	if len(hits) != 5 {
+		t.Fatalf("got %d total hits, want 5", len(hits))
+	}
+}
+
+func TestSpawnFromProcess(t *testing.T) {
+	e := NewEngine()
+	var childTime Time
+	e.Go("parent", func(p *Proc) {
+		p.Sleep(50)
+		e.Go("child", func(c *Proc) {
+			c.Sleep(25)
+			childTime = c.Now()
+		})
+		p.Sleep(100)
+	})
+	e.Run()
+	if childTime != 75 {
+		t.Errorf("child finished at %v, want 75", childTime)
+	}
+}
+
+func TestDeadlockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected deadlock panic")
+		}
+	}()
+	e := NewEngine()
+	c := NewCond(e)
+	e.Go("stuck", func(p *Proc) {
+		c.Wait(p, func() bool { return false })
+	})
+	e.Run()
+}
+
+func TestProcessPanicPropagates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected process panic to propagate")
+		}
+	}()
+	e := NewEngine()
+	e.Go("boom", func(p *Proc) {
+		p.Sleep(10)
+		panic("boom")
+	})
+	e.Run()
+}
+
+func TestYieldRunsQueuedEventsFirst(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Go("a", func(p *Proc) {
+		order = append(order, "a1")
+		p.Yield()
+		order = append(order, "a2")
+	})
+	e.Go("b", func(p *Proc) {
+		order = append(order, "b1")
+	})
+	e.Run()
+	want := []string{"a1", "b1", "a2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	if Time(5).Add(3) != 8 {
+		t.Error("Add broken")
+	}
+	if Forever.Add(100) != Forever {
+		t.Error("Forever must saturate")
+	}
+	if Time(100).Sub(40) != 60 {
+		t.Error("Sub broken")
+	}
+	if DurationOf(1e-9) != 1 {
+		t.Error("DurationOf(1ns) != 1")
+	}
+	if DurationOf(-1) != 0 {
+		t.Error("negative seconds must clamp to 0")
+	}
+	if TransferTime(0, 100) != 0 {
+		t.Error("zero bytes must take zero time")
+	}
+	if got := TransferTime(1e9, 1e9); got != Second {
+		t.Errorf("1GB at 1GB/s = %v, want 1s", got)
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{500, "500ns"},
+		{42 * Microsecond, "42.00us"},
+		{15 * Millisecond, "15.000ms"},
+		{12 * Second, "12.000s"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}

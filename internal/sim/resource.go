@@ -1,0 +1,258 @@
+package sim
+
+import (
+	"math"
+	"sort"
+)
+
+// Resource models a shared bandwidth server (memory interface, fabric
+// link, NIC) with processor-sharing semantics: concurrent transfers split
+// the capacity fairly, subject to an optional per-flow rate cap and an
+// efficiency curve eff(n) that scales usable capacity with the number of
+// active flows. The efficiency curve is how memory-contention knees (row
+// buffer thrash at high occupancy) are expressed.
+//
+// Rates are piecewise constant between membership changes; on every change
+// the engine advances all in-flight transfers and recomputes the
+// water-filling allocation, so transfer times are exact for the fluid
+// model. All methods must be called from process context or engine
+// callbacks (single-threaded by construction).
+type Resource struct {
+	e        *Engine
+	name     string
+	capacity float64           // peak bytes/sec
+	eff      func(int) float64 // usable fraction of capacity given n flows
+
+	flows      []*flow
+	lastUpdate Time
+	timer      *event
+
+	// Stats.
+	totalBytes float64
+	busyTime   Duration // time with >=1 active flow
+}
+
+type flow struct {
+	remaining float64
+	cap       float64 // per-flow rate cap; 0 means uncapped
+	rate      float64
+	p         *Proc  // blocking caller, or nil
+	done      bool   // set when complete (for blocking callers)
+	onDone    func() // async completion callback, or nil
+}
+
+// NewResource returns a bandwidth server with the given peak capacity in
+// bytes per second. A nil eff means eff(n)=1 for all n.
+func NewResource(e *Engine, name string, bytesPerSec float64, eff func(n int) float64) *Resource {
+	if bytesPerSec <= 0 {
+		panic("sim: resource capacity must be positive: " + name)
+	}
+	return &Resource{e: e, name: name, capacity: bytesPerSec, eff: eff}
+}
+
+// Name returns the resource's diagnostic name.
+func (r *Resource) Name() string { return r.name }
+
+// Capacity returns the configured peak bandwidth in bytes/sec.
+func (r *Resource) Capacity() float64 { return r.capacity }
+
+// ActiveFlows reports the number of in-flight transfers.
+func (r *Resource) ActiveFlows() int { return len(r.flows) }
+
+// TotalBytes reports the cumulative bytes served.
+func (r *Resource) TotalBytes() float64 { return r.totalBytes }
+
+// BusyTime reports the cumulative time the resource had work.
+func (r *Resource) BusyTime() Duration {
+	r.advance()
+	return r.busyTime
+}
+
+// Utilization reports busy time as a fraction of elapsed simulation time.
+func (r *Resource) Utilization() float64 {
+	if r.e.now == 0 {
+		return 0
+	}
+	return float64(r.BusyTime()) / float64(r.e.now)
+}
+
+// Transfer moves bytes through the resource, blocking the calling process
+// until completion. perFlowCap (bytes/sec) limits this flow's share; pass
+// 0 for uncapped.
+func (r *Resource) Transfer(p *Proc, bytes, perFlowCap float64) {
+	if bytes <= 0 {
+		return
+	}
+	f := &flow{remaining: bytes, cap: perFlowCap, p: p}
+	r.admit(f)
+	for !f.done {
+		p.park(parkBlocked, nil)
+	}
+}
+
+// TransferAsync moves bytes through the resource and invokes onDone (via
+// an engine callback) at completion. Used by DMA/NIC engines that overlap
+// many outstanding transfers.
+func (r *Resource) TransferAsync(bytes, perFlowCap float64, onDone func()) {
+	if bytes <= 0 {
+		if onDone != nil {
+			r.e.At(r.e.now, onDone)
+		}
+		return
+	}
+	r.admit(&flow{remaining: bytes, cap: perFlowCap, onDone: onDone})
+}
+
+// EstimateRate returns the rate a new flow with the given cap would
+// receive right now. Useful for quasi-static cost estimates.
+func (r *Resource) EstimateRate(perFlowCap float64) float64 {
+	n := len(r.flows) + 1
+	share := r.usable(n) / float64(n)
+	if perFlowCap > 0 && perFlowCap < share {
+		return perFlowCap
+	}
+	return share
+}
+
+func (r *Resource) usable(n int) float64 {
+	c := r.capacity
+	if r.eff != nil {
+		f := r.eff(n)
+		if f < 0 {
+			f = 0
+		}
+		c *= f
+	}
+	return c
+}
+
+func (r *Resource) admit(f *flow) {
+	r.advance()
+	r.totalBytes += f.remaining
+	r.flows = append(r.flows, f)
+	r.reallocate()
+}
+
+// advance applies progress since lastUpdate at the current rates and
+// completes any finished flows.
+func (r *Resource) advance() {
+	now := r.e.now
+	dt := now.Sub(r.lastUpdate)
+	if dt <= 0 {
+		r.lastUpdate = now
+		return
+	}
+	if len(r.flows) > 0 {
+		r.busyTime += dt
+	}
+	r.lastUpdate = now
+	sec := dt.Seconds()
+	live := r.flows[:0]
+	for _, f := range r.flows {
+		f.remaining -= f.rate * sec
+		if f.remaining <= 1e-9 {
+			f.remaining = 0
+			r.complete(f)
+			continue
+		}
+		live = append(live, f)
+	}
+	r.flows = live
+}
+
+func (r *Resource) complete(f *flow) {
+	f.done = true
+	if f.p != nil {
+		r.e.schedule(&event{at: r.e.now, proc: f.p})
+	}
+	if f.onDone != nil {
+		r.e.At(r.e.now, f.onDone)
+	}
+}
+
+// reallocate recomputes water-filling rates and schedules the next
+// completion event.
+func (r *Resource) reallocate() {
+	if r.timer != nil {
+		r.timer.cancelled = true
+		r.timer = nil
+	}
+	n := len(r.flows)
+	if n == 0 {
+		return
+	}
+	r.waterfill()
+	// Next completion.
+	min := math.MaxFloat64
+	for _, f := range r.flows {
+		if f.rate <= 0 {
+			continue
+		}
+		if t := f.remaining / f.rate; t < min {
+			min = t
+		}
+	}
+	if min == math.MaxFloat64 {
+		// All flows capped at zero — configuration error.
+		panic("sim: resource " + r.name + " has flows with zero rate")
+	}
+	d := DurationOf(min)
+	if d < 1 {
+		d = 1
+	}
+	r.timer = r.e.schedule(&event{at: r.e.now.Add(d), fn: r.tick})
+}
+
+func (r *Resource) tick() {
+	r.timer = nil
+	r.advance()
+	r.reallocate()
+}
+
+// waterfill assigns rates: capped flows below the fair share get their
+// cap; the surplus is redistributed among the rest.
+func (r *Resource) waterfill() {
+	n := len(r.flows)
+	total := r.usable(n)
+	// Fast path: uniform uncapped or generous caps.
+	share := total / float64(n)
+	allAbove := true
+	for _, f := range r.flows {
+		if f.cap > 0 && f.cap < share {
+			allAbove = false
+			break
+		}
+	}
+	if allAbove {
+		for _, f := range r.flows {
+			f.rate = share
+		}
+		return
+	}
+	// General water-filling: sort by cap ascending, satisfy small caps,
+	// split the remainder.
+	sorted := make([]*flow, n)
+	copy(sorted, r.flows)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		ci, cj := sorted[i].cap, sorted[j].cap
+		if ci == 0 {
+			ci = math.MaxFloat64
+		}
+		if cj == 0 {
+			cj = math.MaxFloat64
+		}
+		return ci < cj
+	})
+	remainingCap := total
+	remainingFlows := n
+	for _, f := range sorted {
+		fair := remainingCap / float64(remainingFlows)
+		if f.cap > 0 && f.cap < fair {
+			f.rate = f.cap
+		} else {
+			f.rate = fair
+		}
+		remainingCap -= f.rate
+		remainingFlows--
+	}
+}

@@ -1,0 +1,127 @@
+// Package transformer implements the paper's second case study (§II-A,
+// Fig 3): Megatron-style tensor parallelism over the feed-forward block
+// of an autoregressive transformer during the token (decode) phase. The
+// first linear layer is column-partitioned (no communication), the
+// second is row-partitioned and ends in the AllReduce the fused
+// GEMV + AllReduce operator hides.
+package transformer
+
+import (
+	"fmt"
+
+	"fusedcc/internal/core"
+	"fusedcc/internal/kernels"
+	"fusedcc/internal/shmem"
+	"fusedcc/internal/sim"
+	"fusedcc/internal/workload"
+)
+
+// Config sizes one parallel feed-forward block.
+type Config struct {
+	// Hidden is the model dimension M (the AllReduce payload length).
+	Hidden int
+	// FFN is the inner dimension (usually 4*Hidden), split across PEs.
+	FFN int
+	// TileM is the fused operator's output tile height.
+	TileM int
+	Seed  int64
+}
+
+// DefaultConfig returns a small decode-phase block.
+func DefaultConfig() Config {
+	return Config{Hidden: 4096, FFN: 16384, TileM: 64, Seed: 1}
+}
+
+// ParallelFFN is one tensor-parallel feed-forward block instantiated on
+// the PEs of a world.
+type ParallelFFN struct {
+	World *shmem.World
+	PEs   []int
+	Cfg   Config
+
+	// Per-rank first layer: W0 column shard [FFN/k, Hidden], producing
+	// the local activation a_s.
+	gemv1 []*kernels.GEMV
+	act   []*shmem.Symm // per-rank activation buffer (local use only)
+	// Second layer fused with AllReduce: W1 row shard [Hidden, FFN/k].
+	Op *core.GEMVAllReduce
+}
+
+// New builds weights and the fused operator. The decode input vector x
+// is replicated on every rank (synthetic, seeded).
+func New(w *shmem.World, pes []int, cfg Config, opCfg core.Config) (*ParallelFFN, error) {
+	k := len(pes)
+	if k == 0 || cfg.FFN%k != 0 {
+		return nil, fmt.Errorf("transformer: FFN %d not divisible by %d PEs", cfg.FFN, k)
+	}
+	if cfg.Hidden%cfg.TileM != 0 {
+		return nil, fmt.Errorf("transformer: TileM %d must divide Hidden %d", cfg.TileM, cfg.Hidden)
+	}
+	pl := w.Platform()
+	f := &ParallelFFN{World: w, PEs: pes, Cfg: cfg}
+	shard := cfg.FFN / k
+	gemv2 := make([]*kernels.GEMV, k)
+	for s, pe := range pes {
+		rng := workload.Rand(cfg.Seed + int64(s))
+		dev := pl.Device(pe)
+		g1 := &kernels.GEMV{M: shard, K: cfg.Hidden, TileM: min(cfg.TileM, shard),
+			W: dev.Alloc(shard * cfg.Hidden), X: dev.Alloc(cfg.Hidden), Y: dev.Alloc(shard)}
+		workload.FillRandom(rng, g1.W)
+		workload.FillRandom(rng, g1.X)
+		f.gemv1 = append(f.gemv1, g1)
+		g2 := &kernels.GEMV{M: cfg.Hidden, K: shard, TileM: cfg.TileM,
+			W: dev.Alloc(cfg.Hidden * shard), X: g1.Y}
+		workload.FillRandom(rng, g2.W)
+		gemv2[s] = g2
+	}
+	op, err := core.NewGEMVAllReduce(w, pes, gemv2, opCfg)
+	if err != nil {
+		return nil, err
+	}
+	f.Op = op
+	return f, nil
+}
+
+// Output returns the block output (Hidden elements, identical on every
+// PE after a step).
+func (f *ParallelFFN) Output() *shmem.Symm { return f.Op.Out }
+
+// DecodeStep runs one token step of the block: per-rank GEMV through the
+// first layer, activation, then the second layer either fused with the
+// AllReduce or bulk-synchronous.
+func (f *ParallelFFN) DecodeStep(p *sim.Proc, fused bool) core.Report {
+	pl := f.World.Platform()
+	e := pl.E
+	start := e.Now()
+	wg := sim.NewWaitGroup(e)
+	wg.Add(len(f.PEs))
+	for s, pe := range f.PEs {
+		s, pe := s, pe
+		e.Go(fmt.Sprintf("ffn.l1/%d", pe), func(rp *sim.Proc) {
+			dev := pl.Device(pe)
+			g1 := f.gemv1[s]
+			g1.Run(rp, dev, 0)
+			// Activation on the shard (ReLU stands in for GELU; same
+			// element-wise cost).
+			kernels.ReLU(rp, dev, g1.Y, 0, g1.M)
+			wg.Done()
+		})
+	}
+	wg.Wait(p)
+
+	var rep core.Report
+	if fused {
+		rep = f.Op.RunFused(p)
+	} else {
+		rep = f.Op.RunBaseline(p)
+	}
+	rep.Start = start
+	return rep
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

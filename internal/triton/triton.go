@@ -1,0 +1,158 @@
+// Package triton is a miniature analogue of the Triton tile-programming
+// framework, extended — as the paper does (§III-D) — with communication
+// primitives so custom fused computation-collective kernels can be
+// written at tile granularity without touching the runtime internals.
+//
+// A kernel is a "program" body executed once per tile (program id), like
+// Triton's launch grid. The body expresses costs through tile
+// primitives (Load, Dot, Store) and communication through the comm
+// extensions (CommPutRows, CommFlag, CommWait). Programs are multiplexed
+// onto persistent physical workgroups; the Order hook reorders program
+// execution (communication-aware scheduling).
+package triton
+
+import (
+	"fmt"
+
+	"fusedcc/internal/gpu"
+	"fusedcc/internal/shmem"
+	"fusedcc/internal/sim"
+)
+
+// Builder assembles a tile kernel for one device.
+type Builder struct {
+	name     string
+	dev      *gpu.Device
+	world    *shmem.World
+	grid     int
+	wgsPerCU int
+	order    []int
+	body     func(tc *TileCtx)
+	onRetire func(tc *TileCtx)
+}
+
+// NewBuilder starts a kernel definition. world may be nil for
+// compute-only kernels (the comm primitives then panic, mirroring a
+// Triton build without the communication extension linked in).
+func NewBuilder(name string, dev *gpu.Device, world *shmem.World) *Builder {
+	return &Builder{name: name, dev: dev, world: world}
+}
+
+// Grid sets the program (tile) count.
+func (b *Builder) Grid(n int) *Builder { b.grid = n; return b }
+
+// Occupancy caps resident WGs per CU (register pressure of the kernel).
+func (b *Builder) Occupancy(wgsPerCU int) *Builder { b.wgsPerCU = wgsPerCU; return b }
+
+// Order sets the program execution order (a permutation of [0,grid)).
+// Programs are issued to persistent WGs in this order; default is
+// natural order.
+func (b *Builder) Order(order []int) *Builder { b.order = order; return b }
+
+// Body sets the per-program function.
+func (b *Builder) Body(fn func(tc *TileCtx)) *Builder { b.body = fn; return b }
+
+// Launch runs the kernel, blocking the calling process until every
+// program has executed and every workgroup has retired.
+func (b *Builder) Launch(p *sim.Proc) {
+	if b.grid <= 0 {
+		panic("triton: kernel " + b.name + " needs Grid > 0")
+	}
+	if b.body == nil {
+		panic("triton: kernel " + b.name + " has no Body")
+	}
+	order := b.order
+	if order == nil {
+		order = make([]int, b.grid)
+		for i := range order {
+			order[i] = i
+		}
+	}
+	if len(order) != b.grid {
+		panic(fmt.Sprintf("triton: kernel %s order has %d entries for grid %d", b.name, len(order), b.grid))
+	}
+	perCU := b.wgsPerCU
+	if perCU <= 0 || perCU > b.dev.Config().MaxWGSlotsPerCU {
+		perCU = b.dev.Config().MaxWGSlotsPerCU
+	}
+	phys := b.dev.Config().CUs * perCU
+	if phys > b.grid {
+		phys = b.grid
+	}
+	b.dev.Launch(p, gpu.Kernel{
+		Name:     b.name,
+		PhysWGs:  phys,
+		WGsPerCU: perCU,
+		Body: func(wg *gpu.WG) {
+			tc := &TileCtx{wg: wg, world: b.world, Phys: wg.PhysID, NumPhys: phys}
+			for i := wg.PhysID; i < b.grid; i += phys {
+				tc.PID = order[i]
+				b.body(tc)
+			}
+			if b.onRetire != nil {
+				b.onRetire(tc)
+			}
+		},
+	})
+}
+
+// OnRetire registers fn to run on each physical WG after it has executed
+// all of its programs — the hook for end-of-kernel synchronization
+// (raising per-peer flags, polling for incoming tiles).
+func (b *Builder) OnRetire(fn func(tc *TileCtx)) *Builder { b.onRetire = fn; return b }
+
+// TileCtx is the execution context of one program instance.
+type TileCtx struct {
+	wg      *gpu.WG
+	world   *shmem.World
+	PID     int // current program (tile) id
+	Phys    int // physical workgroup id
+	NumPhys int // physical workgroup count
+}
+
+// WG exposes the underlying workgroup (escape hatch for host helpers).
+func (tc *TileCtx) WG() *gpu.WG { return tc.wg }
+
+// Load charges a tile load of bytes from device memory (tl.load).
+func (tc *TileCtx) Load(bytes float64) { tc.wg.Read(bytes) }
+
+// Dot charges flops of tile math on the ALU (tl.dot).
+func (tc *TileCtx) Dot(flops float64) { tc.wg.Compute(flops) }
+
+// Store writes vals (rows x rowLen, row-major; nil in timing mode) into
+// a local buffer with the given stride (tl.store).
+func (tc *TileCtx) Store(dst *gpu.Buffer, dstOff, dstStride int, vals []float32, rows, rowLen int) {
+	tc.wg.Write(float64(rows*rowLen) * 4)
+	if vals == nil || !dst.Functional() {
+		return
+	}
+	for r := 0; r < rows; r++ {
+		copy(dst.Data()[dstOff+r*dstStride:dstOff+r*dstStride+rowLen], vals[r*rowLen:(r+1)*rowLen])
+	}
+}
+
+// comm returns the world or panics (extension not linked).
+func (tc *TileCtx) comm() *shmem.World {
+	if tc.world == nil {
+		panic("triton: communication primitive used in a kernel built without a world")
+	}
+	return tc.world
+}
+
+// CommPutRows streams a tile (rows x rowLen) as zero-copy stores into
+// dstPE's instance of a symmetric buffer — the scale-up communication
+// extension.
+func (tc *TileCtx) CommPutRows(dstPE int, dst *shmem.Symm, dstOff, dstStride int, vals []float32, rows, rowLen int) {
+	tc.comm().StoreValuesRows(tc.wg, dstPE, dst, dstOff, dstStride, vals, rows, rowLen)
+}
+
+// CommFlag adds delta to flag idx on dstPE, ordered after this WG's
+// earlier CommPutRows calls (stores block, so ordering is inherent).
+func (tc *TileCtx) CommFlag(dstPE int, f *shmem.Flags, idx int, delta int64) {
+	tc.comm().StoreRemoteFlag(tc.wg, dstPE, f, idx, delta)
+}
+
+// CommWait blocks until the local flag idx reaches v.
+func (tc *TileCtx) CommWait(f *shmem.Flags, idx int, v int64) {
+	f.WaitGE(tc.wg, idx, v)
+}

@@ -1,0 +1,38 @@
+package triton
+
+import "fusedcc/internal/gpu"
+
+// Tiling is a 2D output-tile configuration for a GEMM-shaped kernel.
+type Tiling struct {
+	TileM, TileN int
+}
+
+// candidateTiles mirrors the config space a Triton autotuner would
+// sweep for a GEMM.
+var candidateTiles = []Tiling{
+	{16, 16}, {16, 32}, {32, 32}, {32, 64},
+	{32, 128}, {64, 64}, {64, 128}, {128, 128},
+}
+
+// BestTiling picks an output tiling for an m x n grid on dev: the
+// largest candidate (fewest per-tile overheads and redundant operand
+// reloads) whose grid still fills every workgroup slot at the given
+// occupancy — the static heuristic standing in for Triton's measured
+// autotuning. Degenerate shapes fall back to the smallest candidate.
+func BestTiling(dev *gpu.Device, m, n, wgsPerCU int) Tiling {
+	if wgsPerCU <= 0 || wgsPerCU > dev.Config().MaxWGSlotsPerCU {
+		wgsPerCU = dev.Config().MaxWGSlotsPerCU
+	}
+	slots := dev.Config().CUs * wgsPerCU
+	best := candidateTiles[0]
+	for _, c := range candidateTiles {
+		if c.TileM > m || c.TileN > n {
+			continue
+		}
+		tiles := ((m + c.TileM - 1) / c.TileM) * ((n + c.TileN - 1) / c.TileN)
+		if tiles >= slots {
+			best = c
+		}
+	}
+	return best
+}

@@ -1,0 +1,74 @@
+// Package workload generates synthetic, seeded inputs for the kernels
+// and models: categorical lookup indices in the style of the public DLRM
+// data generator, and random dense operands. Everything is deterministic
+// given a seed, which keeps simulations and tests reproducible.
+package workload
+
+import (
+	"math/rand"
+
+	"fusedcc/internal/gpu"
+)
+
+// Rand returns a seeded PRNG. A thin wrapper so call sites don't import
+// math/rand directly with inconsistent seeding.
+func Rand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// CSR is a batch of variable-length index bags in compressed sparse row
+// form, the layout EmbeddingBag consumes.
+type CSR struct {
+	Offsets []int32 // len batch+1
+	Indices []int32
+}
+
+// Lookups generates a CSR batch: for each of batch rows, a pooling-sized
+// bag of uniform indices in [0, rows). Pooling varies uniformly in
+// [1, 2*avgPooling) so the mean matches avgPooling, mirroring the DLRM
+// generator's variable pooling.
+func Lookups(rng *rand.Rand, batch, rows int, avgPooling int) CSR {
+	if avgPooling < 1 {
+		avgPooling = 1
+	}
+	offsets := make([]int32, batch+1)
+	var indices []int32
+	for b := 0; b < batch; b++ {
+		n := 1 + rng.Intn(2*avgPooling)
+		if n > rows {
+			n = rows
+		}
+		for i := 0; i < n; i++ {
+			indices = append(indices, int32(rng.Intn(rows)))
+		}
+		offsets[b+1] = int32(len(indices))
+	}
+	return CSR{Offsets: offsets, Indices: indices}
+}
+
+// FixedLookups generates a CSR batch where every bag has exactly pooling
+// indices — useful when tests need deterministic cost per row.
+func FixedLookups(rng *rand.Rand, batch, rows, pooling int) CSR {
+	if pooling > rows {
+		pooling = rows
+	}
+	offsets := make([]int32, batch+1)
+	indices := make([]int32, 0, batch*pooling)
+	for b := 0; b < batch; b++ {
+		for i := 0; i < pooling; i++ {
+			indices = append(indices, int32(rng.Intn(rows)))
+		}
+		offsets[b+1] = int32(len(indices))
+	}
+	return CSR{Offsets: offsets, Indices: indices}
+}
+
+// FillRandom fills a functional buffer with uniform values in [-1, 1).
+// No-op on timing-only buffers.
+func FillRandom(rng *rand.Rand, b *gpu.Buffer) {
+	if !b.Functional() {
+		return
+	}
+	d := b.Data()
+	for i := range d {
+		d[i] = float32(rng.Float64()*2 - 1)
+	}
+}

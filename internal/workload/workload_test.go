@@ -1,0 +1,71 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLookupsPoolingMeanApproximatesTarget(t *testing.T) {
+	rng := Rand(11)
+	const batch, rows, avg = 4000, 10000, 12
+	csr := Lookups(rng, batch, rows, avg)
+	mean := float64(len(csr.Indices)) / batch
+	if mean < 0.7*avg || mean > 1.3*avg {
+		t.Errorf("mean pooling %.1f, want ~%d", mean, avg)
+	}
+}
+
+func TestLookupsClampPooling(t *testing.T) {
+	csr := Lookups(Rand(1), 10, 3, 50) // pooling exceeds table rows
+	for b := 0; b < 10; b++ {
+		if csr.Offsets[b+1]-csr.Offsets[b] > 3 {
+			t.Fatal("bag larger than table")
+		}
+	}
+}
+
+func TestLookupsMinimumPooling(t *testing.T) {
+	csr := Lookups(Rand(2), 5, 100, 0) // avg < 1 clamps to 1
+	if len(csr.Indices) == 0 {
+		t.Fatal("no indices generated")
+	}
+}
+
+// Property: CSR structure is always consistent and indices in range.
+func TestCSRConsistencyProperty(t *testing.T) {
+	f := func(seed int64, b, r, p uint8) bool {
+		batch := int(b)%50 + 1
+		rows := int(r)%200 + 1
+		pooling := int(p)%20 + 1
+		csr := Lookups(Rand(seed), batch, rows, pooling)
+		if len(csr.Offsets) != batch+1 || csr.Offsets[0] != 0 {
+			return false
+		}
+		for i := 0; i < batch; i++ {
+			if csr.Offsets[i+1] < csr.Offsets[i] {
+				return false
+			}
+		}
+		if int(csr.Offsets[batch]) != len(csr.Indices) {
+			return false
+		}
+		for _, idx := range csr.Indices {
+			if idx < 0 || int(idx) >= rows {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFixedLookupsClamp(t *testing.T) {
+	csr := FixedLookups(Rand(3), 4, 2, 10)
+	for b := 0; b < 4; b++ {
+		if csr.Offsets[b+1]-csr.Offsets[b] != 2 {
+			t.Fatal("pooling not clamped to table rows")
+		}
+	}
+}
