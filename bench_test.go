@@ -117,7 +117,10 @@ func BenchmarkAblationKernelSplit(b *testing.B) { benchExperiment(b, "ablation:k
 
 // BenchmarkSimEngineEventThroughput measures raw engine handoff rate.
 func BenchmarkSimEngineEventThroughput(b *testing.B) {
-	sys := NewScaleUp(1, Options{})
+	sys, err := NewScaleUp(1, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
 	done := 0
 	sys.Engine.Go("spin", func(p *Proc) {
 		for done < b.N {
@@ -133,7 +136,10 @@ func BenchmarkSimEngineEventThroughput(b *testing.B) {
 // the Table I scale-up system.
 func BenchmarkFusedGEMVOperator(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		sys := NewScaleUp(4, Options{})
+		sys, err := NewScaleUp(4, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
 		op, err := sys.BuildGEMVAllReduce(8192, 2048, 16, 1, DefaultOperatorConfig())
 		if err != nil {
 			b.Fatal(err)

@@ -5,9 +5,10 @@
 // Usage:
 //
 //	fusionbench -all            # every artifact, full sweeps
-//	fusionbench -fig 12         # one figure
+//	fusionbench -fig 12         # one figure (16 = hybrid-cluster sweep)
 //	fusionbench -table 1        # one setup table
 //	fusionbench -ablations      # the design-choice ablations
+//	fusionbench -shape 4x4      # hybrid comparison on one nodes x gpus shape
 //	fusionbench -quick ...      # shrunken sweeps (CI-sized)
 package main
 
@@ -15,25 +16,56 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
+	"strconv"
 	"time"
 
 	"fusedcc"
 )
 
+// parseShape parses "NxG" (e.g. "4x4") into nodes and GPUs per node,
+// rejecting trailing garbage so "4x4x2" doesn't silently run 4x4.
+func parseShape(s string) (nodes, gpus int, err error) {
+	m := shapeRe.FindStringSubmatch(s)
+	if m == nil {
+		return 0, 0, fmt.Errorf("bad -shape %q: want NODESxGPUS, e.g. 4x4", s)
+	}
+	nodes, _ = strconv.Atoi(m[1])
+	gpus, _ = strconv.Atoi(m[2])
+	return nodes, gpus, nil
+}
+
+var shapeRe = regexp.MustCompile(`^(\d+)x(\d+)$`)
+
 func main() {
 	var (
-		fig       = flag.Int("fig", 0, "regenerate figure N (8..15)")
+		fig       = flag.Int("fig", 0, "regenerate figure N (8..16; 16 is the hybrid-cluster sweep)")
 		table     = flag.Int("table", 0, "regenerate table N (1..2)")
 		all       = flag.Bool("all", false, "regenerate every table and figure")
 		ablations = flag.Bool("ablations", false, "run the design-choice ablations")
+		shape     = flag.String("shape", "", "run the hybrid comparison on one NODESxGPUS shape (e.g. 4x4)")
 		quick     = flag.Bool("quick", false, "shrink sweeps for a fast run")
 	)
 	flag.Parse()
 
+	if *shape != "" {
+		nodes, gpus, err := parseShape(*shape)
+		if err == nil {
+			var res *fusedcc.ExperimentResult
+			res, err = fusedcc.RunHybridShape(nodes, gpus, *quick)
+			if err == nil {
+				fmt.Println(res)
+				return
+			}
+		}
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
 	var ids []string
 	switch {
 	case *all:
-		ids = []string{"table1", "table2", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15"}
+		ids = []string{"table1", "table2", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16"}
 		if !*quick {
 			ids = append(ids, "ablation:zerocopy", "ablation:slicesize", "ablation:occupancy", "ablation:kernelsplit")
 		}

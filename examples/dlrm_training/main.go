@@ -23,7 +23,10 @@ func main() {
 	cfg.RowsPerWG = 32
 
 	run := func(fused bool) fusedcc.Report {
-		sys := fusedcc.NewScaleOut(2, fusedcc.Options{})
+		sys, err := fusedcc.NewScaleOut(2, fusedcc.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
 		model, err := sys.NewDLRM(cfg, fusedcc.DefaultOperatorConfig())
 		if err != nil {
 			log.Fatal(err)

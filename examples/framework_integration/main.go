@@ -27,7 +27,10 @@ func main() {
 		out []float32
 	}
 	runAs := func(opName string) outcome {
-		sys := fusedcc.NewScaleOut(2, fusedcc.Options{Functional: true})
+		sys, err := fusedcc.NewScaleOut(2, fusedcc.Options{Functional: true})
+		if err != nil {
+			log.Fatal(err)
+		}
 		op, err := sys.BuildEmbeddingAllToAll(tables, rows, dim, batch, pooling, slice, 7, fusedcc.DefaultOperatorConfig())
 		if err != nil {
 			log.Fatal(err)
@@ -47,7 +50,10 @@ func main() {
 
 	fmt.Println("registered operators:")
 	{
-		sys := fusedcc.NewScaleOut(2, fusedcc.Options{})
+		sys, err := fusedcc.NewScaleOut(2, fusedcc.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
 		for _, name := range sys.Torch.Ops() {
 			fmt.Println("  ", name)
 		}

@@ -23,7 +23,10 @@ func main() {
 	cfg.TileN = 128
 
 	run := func(fused bool) fusedcc.Report {
-		sys := fusedcc.NewScaleUp(4, fusedcc.Options{})
+		sys, err := fusedcc.NewScaleUp(4, fusedcc.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
 		layer, err := sys.NewMoELayer(cfg, fusedcc.DefaultOperatorConfig())
 		if err != nil {
 			log.Fatal(err)

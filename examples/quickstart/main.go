@@ -22,7 +22,10 @@ func main() {
 	// Functional mode: kernels compute real float32 results so the two
 	// execution models can be checked against each other.
 	run := func(fused bool) (fusedcc.Report, []float32) {
-		sys := fusedcc.NewScaleUp(4, fusedcc.Options{Functional: true})
+		sys, err := fusedcc.NewScaleUp(4, fusedcc.Options{Functional: true})
+		if err != nil {
+			log.Fatal(err)
+		}
 		op, err := sys.BuildGEMVAllReduce(m, k, tile, 42, fusedcc.DefaultOperatorConfig())
 		if err != nil {
 			log.Fatal(err)

@@ -19,7 +19,10 @@ func main() {
 	const steps = 8
 
 	run := func(fused bool) fusedcc.Duration {
-		sys := fusedcc.NewScaleUp(4, fusedcc.Options{})
+		sys, err := fusedcc.NewScaleUp(4, fusedcc.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
 		ffn, err := sys.NewTransformerFFN(cfg, fusedcc.DefaultOperatorConfig())
 		if err != nil {
 			log.Fatal(err)

@@ -14,13 +14,16 @@
 // against their bulk-synchronous baselines.
 //
 // This package is the public facade: it builds systems in the paper's
-// two evaluation shapes and re-exports the types needed to assemble and
-// run operators, models, and the paper's experiments.
+// two evaluation shapes plus general hybrid clusters (any Nodes x
+// GPUsPerNode over a NIC mesh or 2D torus, with two-level hierarchical
+// collectives) and re-exports the types needed to assemble and run
+// operators, models, and the experiments.
 package fusedcc
 
 import (
 	"fmt"
 
+	"fusedcc/internal/collectives"
 	"fusedcc/internal/core"
 	"fusedcc/internal/dlrm"
 	"fusedcc/internal/experiments"
@@ -75,6 +78,33 @@ const (
 	Oblivious = core.Oblivious
 )
 
+// Topology selects the inter-node network of a multi-node system.
+type Topology = platform.Topology
+
+// Inter-node topologies.
+const (
+	// TopologyPointToPoint is the full NIC mesh of Table I.
+	TopologyPointToPoint = platform.TopoPointToPoint
+	// TopologyTorus2D is the 2D torus of the Table II simulations.
+	TopologyTorus2D = platform.TopoTorus2D
+)
+
+// CollectiveAlgo selects the baseline collective algorithm (see
+// OperatorConfig.Collective).
+type CollectiveAlgo = collectives.Algo
+
+// Collective algorithms.
+const (
+	// CollectiveAuto picks flat or hierarchical from the node layout.
+	CollectiveAuto = collectives.Auto
+	// CollectiveFlat forces the single-level algorithms.
+	CollectiveFlat = collectives.Flat
+	// CollectiveRing forces the ring AllReduce.
+	CollectiveRing = collectives.Ring
+	// CollectiveHierarchical forces the two-level algorithms.
+	CollectiveHierarchical = collectives.Hierarchical
+)
+
 // DefaultOperatorConfig returns the evaluation defaults (comm-aware
 // scheduling, one WG slot of register pressure).
 func DefaultOperatorConfig() OperatorConfig { return core.DefaultConfig() }
@@ -93,29 +123,42 @@ type Options struct {
 	// Functional enables real float32 computation on device buffers
 	// (for verification; timing-only runs are cheaper).
 	Functional bool
+	// Topology selects the inter-node network of multi-node systems
+	// (default: point-to-point NIC mesh).
+	Topology Topology
 }
 
 // NewScaleUp builds the paper's scale-up shape: one node with the given
 // number of MI210-class GPUs fully connected at 80 GB/s (Table I).
-func NewScaleUp(gpus int, opt Options) *System {
-	cfg := platform.ScaleUp(gpus)
-	cfg.GPU.Functional = opt.Functional
-	return newSystem(cfg)
+func NewScaleUp(gpus int, opt Options) (*System, error) {
+	return NewCluster(1, gpus, opt)
 }
 
 // NewScaleOut builds the paper's scale-out shape: nodes with one GPU
 // each over a 20 GB/s network (Table I).
-func NewScaleOut(nodes int, opt Options) *System {
-	cfg := platform.ScaleOut(nodes)
+func NewScaleOut(nodes int, opt Options) (*System, error) {
+	return NewCluster(nodes, 1, opt)
+}
+
+// NewCluster builds the general hybrid shape: nodes of fabric-connected
+// MI210-class GPU groups (80 GB/s links) joined by a 20 GB/s-per-node
+// inter-node network of the selected topology. An invalid shape is
+// reported as an error, not a panic.
+func NewCluster(nodes, gpusPerNode int, opt Options) (*System, error) {
+	cfg := platform.Cluster(nodes, gpusPerNode)
 	cfg.GPU.Functional = opt.Functional
+	cfg.Topology = opt.Topology
 	return newSystem(cfg)
 }
 
-func newSystem(cfg platform.Config) *System {
+func newSystem(cfg platform.Config) (*System, error) {
 	e := sim.NewEngine()
-	pl := platform.New(e, cfg)
+	pl, err := platform.New(e, cfg)
+	if err != nil {
+		return nil, err
+	}
 	w := shmem.NewWorld(pl, shmem.DefaultConfig())
-	return &System{Engine: e, Platform: pl, World: w, Torch: torch.New(w)}
+	return &System{Engine: e, Platform: pl, World: w, Torch: torch.New(w)}, nil
 }
 
 // PEs returns all GPU ids, the default communicator membership.
@@ -227,8 +270,9 @@ func NewEmbeddingGradExchange(fwd *EmbeddingAllToAll) *EmbeddingGradExchange {
 }
 
 // RunExperiment regenerates one paper artifact by id: "fig8" .. "fig15",
-// "table1", "table2", or an ablation ("ablation:zerocopy",
-// "ablation:slicesize", "ablation:occupancy", "ablation:kernelsplit").
+// "table1", "table2", an ablation ("ablation:zerocopy",
+// "ablation:slicesize", "ablation:occupancy", "ablation:kernelsplit"),
+// or the beyond-the-paper hybrid-cluster sweep ("fig16" / "hybrid").
 // quick shrinks sweeps for fast runs.
 func RunExperiment(id string, quick bool) (*ExperimentResult, error) {
 	opt := experiments.Options{Quick: quick}
@@ -249,6 +293,8 @@ func RunExperiment(id string, quick bool) (*ExperimentResult, error) {
 		return experiments.Fig14(opt), nil
 	case "fig15":
 		return experiments.Fig15(opt), nil
+	case "fig16", "hybrid":
+		return experiments.Fig16(opt), nil
 	case "table1":
 		return experiments.TableI(), nil
 	case "table2":
@@ -270,9 +316,16 @@ func RunExperiment(id string, quick bool) (*ExperimentResult, error) {
 func Experiments() []string {
 	return []string{
 		"table1", "table2",
-		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
 		"ablation:zerocopy", "ablation:slicesize", "ablation:occupancy", "ablation:kernelsplit",
 	}
+}
+
+// RunHybridShape runs the hybrid-cluster comparison (hierarchical vs
+// flat collectives, fused vs baseline operators) on one nodes x gpus
+// shape — the engine behind fusionbench's -shape flag.
+func RunHybridShape(nodes, gpusPerNode int, quick bool) (*ExperimentResult, error) {
+	return experiments.HybridShape(nodes, gpusPerNode, experiments.Options{Quick: quick})
 }
 
 // GPUModel returns the device model used throughout (MI210-class).

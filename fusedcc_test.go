@@ -5,7 +5,10 @@ import (
 )
 
 func TestScaleUpSystemRunsFusedGEMV(t *testing.T) {
-	sys := NewScaleUp(4, Options{Functional: true})
+	sys, err := NewScaleUp(4, Options{Functional: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	op, err := sys.BuildGEMVAllReduce(64, 16, 8, 1, DefaultOperatorConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -28,7 +31,10 @@ func TestScaleUpSystemRunsFusedGEMV(t *testing.T) {
 }
 
 func TestScaleOutSystemRunsFusedEmbedding(t *testing.T) {
-	sys := NewScaleOut(2, Options{Functional: true})
+	sys, err := NewScaleOut(2, Options{Functional: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	op, err := sys.BuildEmbeddingAllToAll(2, 64, 8, 32, 4, 4, 1, DefaultOperatorConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -40,7 +46,10 @@ func TestScaleOutSystemRunsFusedEmbedding(t *testing.T) {
 	}
 
 	// Baseline on a fresh identical system must match functionally.
-	sys2 := NewScaleOut(2, Options{Functional: true})
+	sys2, err := NewScaleOut(2, Options{Functional: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	op2, err := sys2.BuildEmbeddingAllToAll(2, 64, 8, 32, 4, 4, 1, DefaultOperatorConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -57,7 +66,10 @@ func TestScaleOutSystemRunsFusedEmbedding(t *testing.T) {
 }
 
 func TestGEMMAllToAllViaFacade(t *testing.T) {
-	sys := NewScaleUp(4, Options{Functional: true})
+	sys, err := NewScaleUp(4, Options{Functional: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	op, err := sys.BuildGEMMAllToAll(8, 12, 6, 4, 4, 1, DefaultOperatorConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -69,7 +81,10 @@ func TestGEMMAllToAllViaFacade(t *testing.T) {
 }
 
 func TestModelConstructors(t *testing.T) {
-	sys := NewScaleUp(4, Options{})
+	sys, err := NewScaleUp(4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	cfg := DLRMConfig()
 	cfg.TablesPerGPU = 2
 	cfg.GlobalBatch = 64
@@ -114,7 +129,10 @@ func TestGPUModelExposed(t *testing.T) {
 }
 
 func TestBackwardExchangeViaFacade(t *testing.T) {
-	sys := NewScaleOut(2, Options{Functional: true})
+	sys, err := NewScaleOut(2, Options{Functional: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	fwd, err := sys.BuildEmbeddingAllToAll(2, 64, 8, 32, 4, 4, 1, DefaultOperatorConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -134,5 +152,58 @@ func TestBackwardExchangeViaFacade(t *testing.T) {
 	}
 	if g.GradIn.On(0).Data()[0] == 0 && g.GradIn.On(1).Data()[0] == 0 {
 		t.Error("no gradients delivered")
+	}
+}
+
+func TestNewClusterHybridRunsFused(t *testing.T) {
+	sys, err := NewCluster(2, 2, Options{Functional: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Platform.NDevices(); got != 4 {
+		t.Fatalf("devices = %d, want 4", got)
+	}
+	op, err := sys.BuildGEMVAllReduce(32, 8, 4, 1, DefaultOperatorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	sys.Run(func(p *Proc) { rep = op.RunFused(p) })
+	if rep.Duration() <= 0 {
+		t.Fatal("no simulated time elapsed")
+	}
+
+	// Baseline on an identical cluster must agree bit-for-bit; its Auto
+	// collective resolves to the hierarchical AllReduce.
+	sys2, err := NewCluster(2, 2, Options{Functional: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	op2, err := sys2.BuildGEMVAllReduce(32, 8, 4, 1, DefaultOperatorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys2.Run(func(p *Proc) { op2.RunBaseline(p) })
+	a, b := op.Out.On(0).Data(), op2.Out.On(0).Data()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("elem %d: fused %g != baseline %g", i, a[i], b[i])
+		}
+	}
+}
+
+func TestNewClusterRejectsBadShapes(t *testing.T) {
+	if _, err := NewCluster(0, 4, Options{}); err == nil {
+		t.Error("zero nodes must be an error")
+	}
+	if _, err := NewCluster(2, 0, Options{}); err == nil {
+		t.Error("zero GPUs per node must be an error")
+	}
+	// A 2-node torus cannot be factored with both sides >= 2.
+	if _, err := NewCluster(2, 1, Options{Topology: TopologyTorus2D}); err == nil {
+		t.Error("unfactorable torus must be an error")
+	}
+	if sys, err := NewCluster(8, 2, Options{Topology: TopologyTorus2D}); err != nil || sys == nil {
+		t.Errorf("8-node torus cluster should construct, got %v", err)
 	}
 }

@@ -1,0 +1,3 @@
+module fusedcc
+
+go 1.24

@@ -137,7 +137,7 @@ func (c *Comm) shard(n, r int) (lo, hi int) {
 	return
 }
 
-// AllToAll exchanges cnt elements between every pair of ranks:
+// AllToAllFlat exchanges cnt elements between every pair of ranks:
 // send[d*cnt:(d+1)*cnt] on rank s lands at recv[s*cnt:(s+1)*cnt] on rank
 // d (including the local s==d block, which is a device-local copy).
 //
@@ -146,7 +146,7 @@ func (c *Comm) shard(n, r int) (lo, hi int) {
 // per rank, which is how library All-to-Alls behave and why their
 // effective bandwidth trails the fused fine-grained stores that keep
 // every link busy for the whole kernel.
-func (c *Comm) AllToAll(p *sim.Proc, send, recv *shmem.Symm, cnt int) {
+func (c *Comm) AllToAllFlat(p *sim.Proc, send, recv *shmem.Symm, cnt int) {
 	k := len(c.pes)
 	bytes := float64(cnt) * 4
 	c.forEachRank(p, "alltoall", func(rp *sim.Proc, s int) {
@@ -157,7 +157,13 @@ func (c *Comm) AllToAll(p *sim.Proc, send, recv *shmem.Symm, cnt int) {
 			c.copyPair(rp, s, (s+step)%k, bytes)
 		}
 	})
-	// Functional apply.
+	c.applyAllToAll(send, recv, cnt)
+}
+
+// applyAllToAll performs the functional All-to-All permutation — shared
+// by every algorithm, so all of them produce identical results.
+func (c *Comm) applyAllToAll(send, recv *shmem.Symm, cnt int) {
+	k := len(c.pes)
 	for s := 0; s < k; s++ {
 		for d := 0; d < k; d++ {
 			recv.On(c.pes[d]).CopyWithin(s*cnt, send.On(c.pes[s]), d*cnt, cnt)

@@ -31,7 +31,11 @@ func testPlatform(e *sim.Engine, nodes, gpusPerNode int) *platform.Platform {
 		cfg.NICBandwidth = 1e9
 		cfg.NICLatency = 2 * sim.Microsecond
 	}
-	return platform.New(e, cfg)
+	pl, err := platform.New(e, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return pl
 }
 
 func allPEs(pl *platform.Platform) []int {
@@ -129,7 +133,7 @@ func TestAllToAllCorrectIntraNode(t *testing.T) {
 			d[i] = float32(pe*1000 + i)
 		}
 	}
-	e.Go("coord", func(p *sim.Proc) { c.AllToAll(p, send, recv, cnt) })
+	e.Go("coord", func(p *sim.Proc) { c.AllToAllFlat(p, send, recv, cnt) })
 	e.Run()
 	for dst := 0; dst < k; dst++ {
 		d := recv.On(dst).Data()
@@ -155,7 +159,7 @@ func TestAllToAllCorrectInterNode(t *testing.T) {
 			d[i] = float32(100*pe + i)
 		}
 	}
-	e.Go("coord", func(p *sim.Proc) { c.AllToAll(p, send, recv, cnt) })
+	e.Go("coord", func(p *sim.Proc) { c.AllToAllFlat(p, send, recv, cnt) })
 	e.Run()
 	if got, want := recv.On(1).Data()[0], float32(0*100+1*cnt+0); got != want {
 		t.Errorf("cross-node block wrong: got %g want %g", got, want)
@@ -172,7 +176,7 @@ func TestAllToAllTimeScalesWithPayload(t *testing.T) {
 		w := shmem.NewWorld(pl, shmem.DefaultConfig())
 		c := New(pl, allPEs(pl))
 		send, recv := w.Malloc(2*cnt), w.Malloc(2*cnt)
-		e.Go("coord", func(p *sim.Proc) { c.AllToAll(p, send, recv, cnt) })
+		e.Go("coord", func(p *sim.Proc) { c.AllToAllFlat(p, send, recv, cnt) })
 		return e.Run()
 	}
 	t1, t2 := timeOf(1<<18), timeOf(1<<19)
@@ -319,7 +323,10 @@ func TestAllReduceTimingMode(t *testing.T) {
 	e := sim.NewEngine()
 	cfg := platform.ScaleUp(4)
 	cfg.GPU.Functional = false
-	pl := platform.New(e, cfg)
+	pl, err := platform.New(e, cfg)
+	if err != nil {
+		panic(err)
+	}
 	w := shmem.NewWorld(pl, shmem.DefaultConfig())
 	c := New(pl, allPEs(pl))
 	data := w.Malloc(1 << 20)

@@ -25,7 +25,9 @@
 package core
 
 import (
+	"fusedcc/internal/collectives"
 	"fusedcc/internal/gpu"
+	"fusedcc/internal/platform"
 	"fusedcc/internal/sim"
 	"fusedcc/internal/trace"
 )
@@ -69,6 +71,10 @@ type Config struct {
 	// Timeline, when non-nil and enabled, records per-WG spans for the
 	// Fig 11 profile.
 	Timeline *trace.Timeline
+	// Collective selects the algorithm of the baseline collectives
+	// (RunBaseline / RunKernelSplit). The zero value, collectives.Auto,
+	// picks flat or hierarchical from the communicator's node layout.
+	Collective collectives.Algo
 }
 
 // DefaultConfig returns the runtime defaults used in the evaluation.
@@ -86,6 +92,28 @@ func (c Config) fusedWGsPerCU(dev *gpu.Device) int {
 		o = 1
 	}
 	return o
+}
+
+// commAwareDestOrder ranks rank s's destinations by descending link
+// cost: cross-node destinations first (their slices ride the slow NIC,
+// so their puts must start earliest), then same-node fabric peers, and
+// the rank itself last — nearest-offset order within each tier. On the
+// paper's homogeneous shapes (pure scale-up or pure scale-out) a tier is
+// empty and this reduces to the remote-first order of §III-A.
+func commAwareDestOrder(pl *platform.Platform, pes []int, s int) []int {
+	k := len(pes)
+	order := make([]int, 0, k)
+	var local []int
+	for off := 1; off < k; off++ {
+		d := (s + off) % k
+		if pl.SameNode(pes[s], pes[d]) {
+			local = append(local, d)
+		} else {
+			order = append(order, d)
+		}
+	}
+	order = append(order, local...)
+	return append(order, s)
 }
 
 // Bitmask is the per-slice WG_Done completion mask. Each workgroup that

@@ -31,7 +31,11 @@ func testPlatform(e *sim.Engine, nodes, gpn int) *platform.Platform {
 		NICBandwidth: 2e9,
 		NICLatency:   2 * sim.Microsecond,
 	}
-	return platform.New(e, cfg)
+	pl, err := platform.New(e, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return pl
 }
 
 func newWorld(e *sim.Engine, nodes, gpn int) (*platform.Platform, *shmem.World) {
@@ -449,9 +453,13 @@ func TestGEMVAllReduceValidation(t *testing.T) {
 // --- GEMM + All-to-All ---
 
 func gemmSetup(e *sim.Engine, tokens, n, kdim, tm, tn, ranks int) (*shmem.World, []int, []*kernels.GEMM) {
-	pl, w := newWorld(e, 1, ranks)
+	return gemmSetupShape(e, tokens, n, kdim, tm, tn, 1, ranks)
+}
+
+func gemmSetupShape(e *sim.Engine, tokens, n, kdim, tm, tn, nodes, gpn int) (*shmem.World, []int, []*kernels.GEMM) {
+	pl, w := newWorld(e, nodes, gpn)
 	pes := pesOf(pl)
-	m := tokens * ranks
+	m := tokens * pl.NDevices()
 	gemms := make([]*kernels.GEMM, len(pes))
 	for s, pe := range pes {
 		rng := workload.Rand(int64(70 + s))
@@ -536,5 +544,137 @@ func TestReportSkew(t *testing.T) {
 func TestScheduleString(t *testing.T) {
 	if fmt.Sprint(CommAware) != "comm-aware" || fmt.Sprint(Oblivious) != "oblivious" {
 		t.Error("Schedule.String broken")
+	}
+}
+
+// --- Hybrid (multi-node x multi-GPU) shapes ---
+
+func TestEmbeddingA2AHybridMatchesBaseline(t *testing.T) {
+	// 2 nodes x 2 GPUs: the fused kernel mixes zero-copy fabric stores
+	// (same-node slices) with NIC puts (cross-node slices), and the
+	// baseline's Auto collective resolves to the hierarchical All-to-All.
+	fused, _, equal := embFusedVsBaseline(t, 2, 2, 2, 32, 4, CommAware)
+	if !equal {
+		t.Fatal("fused output differs from baseline on the hybrid shape")
+	}
+	if fused.RemotePuts == 0 {
+		t.Error("hybrid fused run issued no remote communication")
+	}
+}
+
+func TestGEMVARHybridMatchesBaseline(t *testing.T) {
+	run := func(fused bool) []float32 {
+		e := sim.NewEngine()
+		pl, w := newWorld(e, 2, 2)
+		pes := pesOf(pl)
+		gemvs := make([]*kernels.GEMV, len(pes))
+		for s, pe := range pes {
+			g := &kernels.GEMV{M: 32, K: 8, TileM: 4,
+				W: pl.Device(pe).Alloc(32 * 8), X: pl.Device(pe).Alloc(8)}
+			workload.FillRandom(workload.Rand(int64(50+s)), g.W)
+			workload.FillRandom(workload.Rand(int64(90+s)), g.X)
+			gemvs[s] = g
+		}
+		op, err := NewGEMVAllReduce(w, pes, gemvs, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fused {
+			runOp(e, op.RunFused)
+		} else {
+			runOp(e, op.RunBaseline)
+		}
+		return append([]float32(nil), op.Out.On(0).Data()...)
+	}
+	f, b := run(true), run(false)
+	for i := range f {
+		if f[i] != b[i] {
+			t.Fatalf("elem %d: fused %g != baseline %g", i, f[i], b[i])
+		}
+	}
+}
+
+func TestCommAwareDestOrderRanksByLinkCost(t *testing.T) {
+	e := sim.NewEngine()
+	pl := testPlatform(e, 2, 2)
+	pes := pesOf(pl)
+	cases := []struct {
+		s    int
+		want []int
+	}{
+		{0, []int{2, 3, 1, 0}}, // NIC peers first, fabric peer, self
+		{2, []int{0, 1, 3, 2}},
+	}
+	for _, tc := range cases {
+		got := commAwareDestOrder(pl, pes, tc.s)
+		if len(got) != len(tc.want) {
+			t.Fatalf("rank %d: order %v", tc.s, got)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("rank %d: order %v, want %v", tc.s, got, tc.want)
+			}
+		}
+	}
+}
+
+func TestHybridScheduleOrdersNICSlicesFirst(t *testing.T) {
+	e := sim.NewEngine()
+	pl, w := newWorld(e, 2, 2)
+	pes := pesOf(pl)
+	sets := buildEmbedding(pl, pes, 2, 64, 8, 32, 4)
+	op, err := NewEmbeddingAllToAll(w, pes, sets, 32, 4, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < len(pes); s++ {
+		order := op.scheduleSlices(s)
+		// Tier of each slice: 0 = cross-node, 1 = same-node peer, 2 = self.
+		tier := func(sl int) int {
+			d := op.sliceDst(sl)
+			switch {
+			case d == s:
+				return 2
+			case pl.SameNode(pes[s], pes[d]):
+				return 1
+			default:
+				return 0
+			}
+		}
+		for i := 1; i < len(order); i++ {
+			if tier(order[i]) < tier(order[i-1]) {
+				t.Fatalf("rank %d: slice for cheaper link scheduled before costlier one at %d", s, i)
+			}
+		}
+	}
+}
+
+func TestGEMMA2AHybridMatchesBaseline(t *testing.T) {
+	// 2x2 hybrid: the Triton kernel's CommPutRows must route tiles over
+	// the fabric to the same-node peer and over the NIC channel to the
+	// remote node, matching the baseline bit-for-bit.
+	get := func(fusedRun bool) []float32 {
+		e := sim.NewEngine()
+		w, pes, gemms := gemmSetupShape(e, 8, 12, 6, 4, 4, 2, 2)
+		op, err := NewGEMMAllToAll(w, pes, gemms, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fusedRun {
+			runOp(e, op.RunFused)
+		} else {
+			runOp(e, op.RunBaseline)
+		}
+		var all []float32
+		for _, pe := range pes {
+			all = append(all, op.Recv.On(pe).Data()...)
+		}
+		return all
+	}
+	fused, base := get(true), get(false)
+	for i := range fused {
+		if fused[i] != base[i] {
+			t.Fatalf("recv[%d]: fused %g != baseline %g", i, fused[i], base[i])
+		}
 	}
 }

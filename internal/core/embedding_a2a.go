@@ -122,10 +122,10 @@ func (op *EmbeddingAllToAll) scheduleSlices(s int) []int {
 	if op.Config.Schedule == Oblivious {
 		return op.obliviousOrder()
 	}
-	// Comm-aware: remote destinations first, nearest-offset order, self
-	// last; table-major within each destination.
-	for off := 1; off <= op.k; off++ {
-		d := (s + off) % op.k
+	// Comm-aware: destinations by descending link cost (cross-node NIC
+	// slices first, then fabric peers, self last); table-major within
+	// each destination.
+	for _, d := range commAwareDestOrder(op.World.Platform(), op.PEs, s) {
 		for sl := 0; sl < op.numSlices(); sl++ {
 			if op.sliceDst(sl) == d {
 				order = append(order, sl)
@@ -403,7 +403,7 @@ func (op *EmbeddingAllToAll) RunKernelSplit(p *sim.Proc, shards int) Report {
 	e.Go("split.comm", func(cp *sim.Proc) {
 		for sh := 0; sh < shards; sh++ {
 			ready.WaitGE(cp, int64(sh+1))
-			comm.AllToAll(cp, op.send, recv, cnt/shards)
+			comm.AllToAll(cp, op.send, recv, cnt/shards, op.Config.Collective)
 		}
 		commDone.Set(1)
 	})
@@ -470,7 +470,7 @@ func (op *EmbeddingAllToAll) RunBaseline(p *sim.Proc) Report {
 
 	// Phase 2: All-to-All on contiguous per-destination blocks.
 	comm := collectives.New(pl, op.PEs)
-	comm.AllToAll(p, op.send, recv, cnt)
+	comm.AllToAll(p, op.send, recv, cnt, op.Config.Collective)
 
 	// Phase 3: shuffle kernels interleave [src][T][L][D] into the
 	// {L, k*T*D} output layout.

@@ -243,7 +243,7 @@ func (g *EmbeddingGradExchange) RunBaseline(p *sim.Proc) Report {
 
 	// Exchange: each rank sends its packed T*L*D block per owner.
 	comm := collectives.New(pl, op.PEs)
-	comm.AllToAll(p, packed, g.GradIn, cnt)
+	comm.AllToAll(p, packed, g.GradIn, cnt, op.Config.Collective)
 
 	// Scatter-add kernel per rank over all its tables' gradient rows.
 	wgAll := sim.NewWaitGroup(e)

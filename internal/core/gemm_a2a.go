@@ -90,12 +90,11 @@ func (op *GEMMAllToAll) RunFused(p *sim.Proc) Report {
 			g := op.Gemms[s]
 			functional := op.Recv.On(pe).Functional()
 
-			// Communication-aware program order: tiles whose row block
-			// belongs to a remote rank run first.
+			// Communication-aware program order: tiles bound for the
+			// costliest links (cross-node NIC, then fabric) run first.
 			order := make([]int, 0, g.Tiles())
 			if op.Config.Schedule == CommAware {
-				for off := 1; off <= op.k; off++ {
-					d := (s + off) % op.k
+				for _, d := range commAwareDestOrder(pl, op.PEs, s) {
 					for t := 0; t < g.Tiles(); t++ {
 						mlo, _, _, _ := g.TileRect(t)
 						if op.rowOwner(mlo) == d {
@@ -206,7 +205,7 @@ func (op *GEMMAllToAll) RunBaseline(p *sim.Proc) Report {
 	}
 	wgAll.Wait(p)
 	comm := collectives.New(pl, op.PEs)
-	comm.AllToAll(p, send, op.Recv, op.tokens*g0.N)
+	comm.AllToAll(p, send, op.Recv, op.tokens*g0.N, op.Config.Collective)
 	rep.End = e.Now()
 	for s := range rep.PEEnd {
 		rep.PEEnd[s] = rep.End

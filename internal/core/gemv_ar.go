@@ -10,13 +10,16 @@ import (
 	"fusedcc/internal/sim"
 )
 
-// GEMVAllReduce is the fused GEMV + AllReduce operator for scale-up
-// systems (§III-B, Fig 7): the token-phase Megatron row-parallel linear
-// layer. Every rank computes partial outputs y_s = W_s.x_s over the full
-// output length M; the fused kernel reduces them with the two-phase
-// direct algorithm — each rank owns 1/k of the output tiles, peers
-// zero-copy-store their partial tiles straight into the owner's staging
-// buffer, the owner reduces and zero-copy-broadcasts the result.
+// GEMVAllReduce is the fused GEMV + AllReduce operator (§III-B, Fig 7):
+// the token-phase Megatron row-parallel linear layer. Every rank
+// computes partial outputs y_s = W_s.x_s over the full output length M;
+// the fused kernel reduces them with the two-phase direct algorithm —
+// each rank owns 1/k of the output tiles, peers send their partial
+// tiles straight into the owner's staging buffer, the owner reduces and
+// broadcasts the result. Tile delivery is routed per destination:
+// zero-copy native stores to same-node owners (the paper's scale-up
+// path), ordered-channel puts to cross-node owners, so the operator
+// runs on any Nodes x GPUsPerNode shape.
 //
 // Physical WG w handles the same tile set {t : t mod phys == w} on every
 // rank, so the reduction dependency is WG-to-WG: each physical WG sets
@@ -113,16 +116,15 @@ func (op *GEMVAllReduce) runRank(rp *sim.Proc, s, phys int, storeDone, bcastDone
 		WGsPerCU: op.Config.fusedWGsPerCU(dev),
 		Body: func(wg *gpu.WG) {
 			me := wg.PhysID
-			// My tiles, ordered remote-owner-first (comm-aware) or
-			// natural (oblivious).
+			// My tiles, ordered by descending owner link cost
+			// (comm-aware) or natural (oblivious).
 			var myTiles []int
 			for t := me; t < op.tiles; t += phys {
 				myTiles = append(myTiles, t)
 			}
 			if op.Config.Schedule == CommAware {
 				ordered := make([]int, 0, len(myTiles))
-				for off := 1; off <= op.k; off++ {
-					d := (s + off) % op.k
+				for _, d := range commAwareDestOrder(pl, op.PEs, s) {
 					for _, t := range myTiles {
 						if op.owner(t) == d {
 							ordered = append(ordered, t)
@@ -140,7 +142,7 @@ func (op *GEMVAllReduce) runRank(rp *sim.Proc, s, phys int, storeDone, bcastDone
 				if d == s {
 					return // own staging needs no flag
 				}
-				w.StoreRemoteFlag(wg, op.PEs[d], storeDone, s*phys+me, 1)
+				w.SendFlag(wg, op.PEs[d], storeDone, s*phys+me, 1)
 			}
 			for d := 0; d < op.k; d++ {
 				if remaining[d] == 0 {
@@ -152,12 +154,13 @@ func (op *GEMVAllReduce) runRank(rp *sim.Proc, s, phys int, storeDone, bcastDone
 				scratch = make([]float32, g.TileM)
 			}
 			// Compute phase: partial tiles stream straight into the
-			// owner's staging slot [s][tile rows] — zero copy.
+			// owner's staging slot [s][tile rows] — zero copy within the
+			// node, channel puts across nodes.
 			for _, t := range myTiles {
 				d := op.owner(t)
 				lo, hi := g.TileRange(t)
 				g.ComputeTileValues(wg, t, scratch)
-				w.StoreValues(wg, op.PEs[d], op.tmp, s*op.m+lo, scratch, hi-lo)
+				w.SendValues(wg, op.PEs[d], op.tmp, s*op.m+lo, scratch, hi-lo)
 				wg.Busy(op.Config.Bookkeeping)
 				remaining[d]--
 				if remaining[d] == 0 {
@@ -195,11 +198,11 @@ func (op *GEMVAllReduce) runRank(rp *sim.Proc, s, phys int, storeDone, bcastDone
 						scratch[r] = acc
 					}
 				}
-				// All-gather: store the reduced tile into every rank's
+				// All-gather: send the reduced tile into every rank's
 				// output (own included).
 				for off := 0; off < op.k; off++ {
 					d := (s + off) % op.k
-					w.StoreValues(wg, op.PEs[d], op.Out, lo, scratch, rows)
+					w.SendValues(wg, op.PEs[d], op.Out, lo, scratch, rows)
 					if d != s {
 						rep.RemoteBytes += float64(rows) * 4
 					}
@@ -207,7 +210,7 @@ func (op *GEMVAllReduce) runRank(rp *sim.Proc, s, phys int, storeDone, bcastDone
 			}
 			for d := 0; d < op.k; d++ {
 				if d != s {
-					w.StoreRemoteFlag(wg, op.PEs[d], bcastDone, s*phys+me, 1)
+					w.SendFlag(wg, op.PEs[d], bcastDone, s*phys+me, 1)
 				}
 			}
 			// Tail: output complete once every counterpart WG has
@@ -246,7 +249,7 @@ func (op *GEMVAllReduce) RunBaseline(p *sim.Proc) Report {
 	}
 	wgAll.Wait(p)
 	comm := collectives.New(pl, op.PEs)
-	comm.AllReduceDirect(p, op.Out, 0, op.m)
+	comm.AllReduce(p, op.Out, 0, op.m, op.Config.Collective)
 	rep.End = e.Now()
 	for s := range rep.PEEnd {
 		rep.PEEnd[s] = rep.End

@@ -217,7 +217,10 @@ func TestStragglerGPUCorrectnessAndSkew(t *testing.T) {
 		if withStraggler {
 			cfg.GPUOverrides = map[int]gpu.Config{1: slowCfg}
 		}
-		pl := platform.New(e, cfg)
+		pl, err := platform.New(e, cfg)
+		if err != nil {
+			panic(err)
+		}
 		w := shmem.NewWorld(pl, shmem.DefaultConfig())
 		pes := pesOf(pl)
 		sets := buildEmbeddingSeeded(pl, pes, 4, 64, 8, 32, 4, 5)

@@ -25,7 +25,10 @@ func testWorld(e *sim.Engine, nodes, gpn int, functional bool) (*platform.Platfo
 		NICBandwidth: 2e9,
 		NICLatency:   2 * sim.Microsecond,
 	}
-	pl := platform.New(e, cfg)
+	pl, err := platform.New(e, cfg)
+	if err != nil {
+		panic(err)
+	}
 	return pl, shmem.NewWorld(pl, shmem.DefaultConfig())
 }
 

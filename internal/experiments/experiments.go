@@ -93,22 +93,29 @@ type Options struct {
 	Quick bool
 }
 
+// clusterWorld builds a Nodes x GPUsPerNode system with the Table I link
+// parameters on both levels (timing mode). Shapes are fixed per
+// experiment, so a construction failure is a programming error.
+func clusterWorld(nodes, gpusPerNode int) (*platform.Platform, *shmem.World) {
+	e := sim.NewEngine()
+	cfg := platform.Cluster(nodes, gpusPerNode)
+	pl, err := platform.New(e, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return pl, shmem.NewWorld(pl, shmem.DefaultConfig())
+}
+
 // scaleUpWorld builds the Table I scale-up system: one node, four
 // MI210-class GPUs on an 80 GB/s fully-connected fabric (timing mode).
 func scaleUpWorld(gpus int) (*platform.Platform, *shmem.World) {
-	e := sim.NewEngine()
-	cfg := platform.ScaleUp(gpus)
-	pl := platform.New(e, cfg)
-	return pl, shmem.NewWorld(pl, shmem.DefaultConfig())
+	return clusterWorld(1, gpus)
 }
 
 // scaleOutWorld builds the Table I scale-out system: nodes with one GPU
 // each over a 20 GB/s network (timing mode).
 func scaleOutWorld(nodes int) (*platform.Platform, *shmem.World) {
-	e := sim.NewEngine()
-	cfg := platform.ScaleOut(nodes)
-	pl := platform.New(e, cfg)
-	return pl, shmem.NewWorld(pl, shmem.DefaultConfig())
+	return clusterWorld(nodes, 1)
 }
 
 func allPEs(pl *platform.Platform) []int {
@@ -152,28 +159,29 @@ type embConfig struct {
 
 func (c embConfig) label() string { return fmt.Sprintf("{%d|%d}", c.batch, c.tables) }
 
+// embeddingRun times one embedding + All-to-All execution (fused or
+// baseline) for one configuration on a freshly built world.
+func embeddingRun(nodes, gpusPerNode int, c embConfig, dim, pooling, slice int, cfg core.Config, fused bool) sim.Duration {
+	pl, w := clusterWorld(nodes, gpusPerNode)
+	pes := allPEs(pl)
+	sets := timingEmbeddingSets(pl, pes, c.tables, dim, c.batch, pooling)
+	op, err := core.NewEmbeddingAllToAll(w, pes, sets, c.batch, slice, cfg)
+	if err != nil {
+		panic(err)
+	}
+	op.RowsPerWG = slice // coarsened: timing is linear in rows
+	if fused {
+		return runReport(pl, op.RunFused).Duration()
+	}
+	return runReport(pl, op.RunBaseline).Duration()
+}
+
 // embeddingPoint runs fused and baseline embedding + All-to-All for one
 // configuration on freshly built worlds and returns the row.
 func embeddingPoint(nodes, gpusPerNode int, c embConfig, dim, pooling, slice int, cfg core.Config) Row {
-	run := func(fused bool) sim.Duration {
-		var pl *platform.Platform
-		var w *shmem.World
-		if nodes > 1 {
-			pl, w = scaleOutWorld(nodes)
-		} else {
-			pl, w = scaleUpWorld(gpusPerNode)
-		}
-		pes := allPEs(pl)
-		sets := timingEmbeddingSets(pl, pes, c.tables, dim, c.batch, pooling)
-		op, err := core.NewEmbeddingAllToAll(w, pes, sets, c.batch, slice, cfg)
-		if err != nil {
-			panic(err)
-		}
-		op.RowsPerWG = slice // coarsened: timing is linear in rows
-		if fused {
-			return runReport(pl, op.RunFused).Duration()
-		}
-		return runReport(pl, op.RunBaseline).Duration()
+	return Row{
+		Label:    c.label(),
+		Baseline: embeddingRun(nodes, gpusPerNode, c, dim, pooling, slice, cfg, false),
+		Fused:    embeddingRun(nodes, gpusPerNode, c, dim, pooling, slice, cfg, true),
 	}
-	return Row{Label: c.label(), Baseline: run(false), Fused: run(true)}
 }

@@ -191,3 +191,34 @@ func TestResultSummaries(t *testing.T) {
 		t.Errorf("max = %f", m)
 	}
 }
+
+func TestFig16HybridQuickShape(t *testing.T) {
+	res := Fig16(quick)
+	if len(res.Rows) == 0 || len(res.Notes) == 0 {
+		t.Fatal("hybrid sweep produced no rows or notes")
+	}
+	// Every AllReduce row pairs flat ring (baseline) against the
+	// two-level hierarchical algorithm (fused); the hierarchy must win
+	// on every hybrid shape at >= 1 MiB.
+	for _, r := range res.Rows {
+		if !strings.Contains(r.Label, "AR") {
+			continue
+		}
+		if r.Fused >= r.Baseline {
+			t.Errorf("%s: hierarchical %v not faster than flat ring %v", r.Label, r.Fused, r.Baseline)
+		}
+	}
+}
+
+func TestHybridShapeValidatesShape(t *testing.T) {
+	if _, err := HybridShape(0, 4, quick); err == nil {
+		t.Error("invalid shape must be reported as an error")
+	}
+	res, err := HybridShape(2, 2, quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows for 2x2")
+	}
+}

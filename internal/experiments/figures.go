@@ -135,7 +135,10 @@ func Fig11WithTimeline(opt Options) (*Result, *trace.Timeline) {
 	cfg := platform.ScaleOut(2)
 	cfg.GPU.CUs = 8
 	cfg.GPU.MaxWGSlotsPerCU = 5 // fused occupancy: 8x4 = 32 persistent WGs
-	pl := platform.New(e, cfg)
+	pl, err := platform.New(e, cfg)
+	if err != nil {
+		panic(err)
+	}
 	w := shmem.NewWorld(pl, shmem.DefaultConfig())
 	pes := allPEs(pl)
 	tables, batch := 8, 256

@@ -128,7 +128,7 @@ func (l *Layer) Forward(p *sim.Proc, fused bool) core.Report {
 	// Stage 2: dispatch All-to-All (always a collective; the paper fuses
 	// only the combine side).
 	comm := collectives.New(pl, l.PEs)
-	comm.AllToAll(p, tokensOut, l.tokensIn, l.expertRows/k*cfg.ModelDim)
+	comm.AllToAll(p, tokensOut, l.tokensIn, l.expertRows/k*cfg.ModelDim, l.Op.Config.Collective)
 
 	// Stage 3 per rank: first expert GEMM + activation.
 	wg2 := sim.NewWaitGroup(e)

@@ -210,3 +210,55 @@ func TestChannelOrderingProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestTorusWraparoundLatencyAndLength(t *testing.T) {
+	// (0,0) -> (3,0) on a 4x4 torus must wrap: one hop, one hop's
+	// latency, and the single traversed link is the wraparound 0->3.
+	e := sim.NewEngine()
+	tor := NewTorus2D(e, 4, 4, 1e9, 700*sim.Nanosecond)
+	links, lat := tor.Path(tor.ID(0, 0), tor.ID(3, 0))
+	if len(links) != 1 || lat != 700*sim.Nanosecond {
+		t.Fatalf("wraparound path: %d hops, %v latency", len(links), lat)
+	}
+	if links[0] != tor.Link(tor.ID(0, 0), tor.ID(3, 0)) {
+		t.Error("wraparound path must ride the 0->3 link")
+	}
+	// Corner to corner: one wrap in each dimension.
+	links, lat = tor.Path(tor.ID(0, 0), tor.ID(3, 3))
+	if len(links) != 2 || lat != 2*700*sim.Nanosecond {
+		t.Errorf("corner path: %d hops, %v latency, want 2 hops", len(links), lat)
+	}
+}
+
+func TestTorusSharedLinkContention(t *testing.T) {
+	// Two concurrent messages over the same directed torus link share
+	// its bandwidth fairly: each 0.5 GB message at 1 GB/s alone takes
+	// 0.5s, together ~1s.
+	e := sim.NewEngine()
+	tor := NewTorus2D(e, 2, 2, 1e9, 0)
+	var end sim.Time
+	for i := 0; i < 2; i++ {
+		e.Go("s", func(p *sim.Proc) {
+			Send(p, tor, tor.ID(0, 0), tor.ID(1, 0), 0.5e9)
+			end = p.Now()
+		})
+	}
+	e.Run()
+	want := sim.Time(sim.Second)
+	if d := end - want; d < -10 || d > 10 {
+		t.Errorf("contended sends done at %v, want ~%v", end, want)
+	}
+	// A message on a different link is unaffected by that contention.
+	e2 := sim.NewEngine()
+	tor2 := NewTorus2D(e2, 2, 2, 1e9, 0)
+	var soloEnd sim.Time
+	e2.Go("a", func(p *sim.Proc) { Send(p, tor2, tor2.ID(0, 0), tor2.ID(1, 0), 0.5e9) })
+	e2.Go("b", func(p *sim.Proc) {
+		Send(p, tor2, tor2.ID(0, 1), tor2.ID(1, 1), 0.5e9)
+		soloEnd = p.Now()
+	})
+	e2.Run()
+	if soloEnd != sim.Time(500*sim.Millisecond) {
+		t.Errorf("independent link finished at %v, want 500ms", soloEnd)
+	}
+}

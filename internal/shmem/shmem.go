@@ -72,6 +72,46 @@ func (w *World) Platform() *platform.Platform { return w.pl }
 // NPEs returns the PE count (== GPU count).
 func (w *World) NPEs() int { return w.pl.NDevices() }
 
+// Route classifies the data path from srcPE to dstPE: RouteLocal (same
+// device), RouteFabric (same-node peer — the zero-copy native-store
+// path), or RouteNIC (cross-node RDMA put). Fused kernels on hybrid
+// clusters must agree with this classification: native stores along a
+// RouteNIC pair panic (impossible on hardware), puts along a RouteFabric
+// pair ride the fabric channel.
+func (w *World) Route(srcPE, dstPE int) Route {
+	switch {
+	case srcPE == dstPE:
+		return RouteLocal
+	case w.pl.SameNode(srcPE, dstPE):
+		return RouteFabric
+	default:
+		return RouteNIC
+	}
+}
+
+// Route is a data-path class between two PEs.
+type Route int
+
+const (
+	// RouteLocal is a device-local copy.
+	RouteLocal Route = iota
+	// RouteFabric is the same-node scale-up path (native stores / blits).
+	RouteFabric
+	// RouteNIC is the cross-node scale-out path (RDMA over the NIC).
+	RouteNIC
+)
+
+func (r Route) String() string {
+	switch r {
+	case RouteLocal:
+		return "local"
+	case RouteFabric:
+		return "fabric"
+	default:
+		return "nic"
+	}
+}
+
 // fabricNet adapts an intra-node fabric to the netsim.Network interface
 // so the same ordered-channel machinery drives intra-node DMA puts.
 type fabricNet struct{ f *fabric.Fabric }
@@ -407,4 +447,78 @@ func (w *World) StoreRemoteFlag(wg *gpu.WG, dstPE int, f *Flags, idx int, delta 
 	}
 	w.StoreFence(wg, dstPE)
 	f.flags[dstPE][idx].Add(delta)
+}
+
+// PutValuesRowsNbi posts register-resident values toward dstPE on the
+// pair's ordered channel: rows of rowLen elements landing dstStride
+// apart in dst's instance. The values are staged through a send buffer
+// (charged as a workgroup write) and travel as one message — the
+// scale-out counterpart of StoreValuesRows for results that exist only
+// in registers. vals may be nil in timing mode; it is snapshotted at
+// issue.
+func (w *World) PutValuesRowsNbi(wg *gpu.WG, dstPE int, dst *Symm, dstOff, dstStride int, vals []float32, rows, rowLen int) {
+	if rows <= 0 || rowLen <= 0 {
+		return
+	}
+	wg.Busy(w.cfg.PutAPIOverhead)
+	bytes := float64(rows*rowLen) * 4
+	dbuf := dst.On(dstPE)
+	var snap []float32
+	if vals != nil && dbuf.Functional() {
+		snap = append([]float32(nil), vals[:rows*rowLen]...)
+	}
+	apply := func() {
+		if snap == nil {
+			return
+		}
+		for r := 0; r < rows; r++ {
+			copy(dbuf.Data()[dstOff+r*dstStride:dstOff+r*dstStride+rowLen], snap[r*rowLen:(r+1)*rowLen])
+		}
+	}
+	srcPE := wg.Dev.ID()
+	if srcPE == dstPE {
+		wg.Write(bytes)
+		apply()
+		return
+	}
+	// Stage the registers into the send buffer, then let the transfer
+	// engine read it back out.
+	wg.Write(bytes)
+	w.pl.Device(srcPE).HBM().TransferAsync(bytes, 0, nil)
+	w.channel(srcPE, dstPE).Post(bytes, func() {
+		w.pl.Device(dstPE).HBM().TransferAsync(bytes, 0, nil)
+		apply()
+	})
+}
+
+// SendValuesRows delivers register-resident values to any PE over the
+// best path the topology allows — zero-copy native stores within a
+// node, ordered channel puts across nodes — and reports which route was
+// taken. This is what lets one fused kernel run unchanged on scale-up,
+// scale-out, and hybrid clusters.
+func (w *World) SendValuesRows(wg *gpu.WG, dstPE int, dst *Symm, dstOff, dstStride int, vals []float32, rows, rowLen int) Route {
+	route := w.Route(wg.Dev.ID(), dstPE)
+	if route == RouteNIC {
+		w.PutValuesRowsNbi(wg, dstPE, dst, dstOff, dstStride, vals, rows, rowLen)
+	} else {
+		w.StoreValuesRows(wg, dstPE, dst, dstOff, dstStride, vals, rows, rowLen)
+	}
+	return route
+}
+
+// SendValues is SendValuesRows for one contiguous run of n elements.
+func (w *World) SendValues(wg *gpu.WG, dstPE int, dst *Symm, dstOff int, vals []float32, n int) Route {
+	return w.SendValuesRows(wg, dstPE, dst, dstOff, 0, vals, 1, n)
+}
+
+// SendFlag raises a flag on any PE, ordered after this workgroup's
+// earlier sends to that PE: a fenced native store within a node, a
+// fence + ordered-channel put across nodes.
+func (w *World) SendFlag(wg *gpu.WG, dstPE int, f *Flags, idx int, delta int64) {
+	if w.Route(wg.Dev.ID(), dstPE) == RouteNIC {
+		w.Fence(wg)
+		w.PutFlagNbi(wg, dstPE, f, idx, delta)
+		return
+	}
+	w.StoreRemoteFlag(wg, dstPE, f, idx, delta)
 }

@@ -29,7 +29,11 @@ func testPlatform(e *sim.Engine, nodes, gpusPerNode int) *platform.Platform {
 		cfg.NICBandwidth = 1e9
 		cfg.NICLatency = 2 * sim.Microsecond
 	}
-	return platform.New(e, cfg)
+	pl, err := platform.New(e, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return pl
 }
 
 func launch1WG(pl *platform.Platform, dev int, body func(w *gpu.WG)) {
@@ -238,4 +242,73 @@ func TestPlatformShapeHelpers(t *testing.T) {
 	if pl.SameNode(0, 1) != true || pl.SameNode(1, 2) != false {
 		t.Error("SameNode broken")
 	}
+}
+
+func TestRouteClassification(t *testing.T) {
+	e := sim.NewEngine()
+	pl := testPlatform(e, 2, 4)
+	w := NewWorld(pl, DefaultConfig())
+	cases := []struct {
+		src, dst int
+		want     Route
+	}{
+		{0, 0, RouteLocal},
+		{0, 3, RouteFabric},
+		{5, 4, RouteFabric},
+		{0, 4, RouteNIC},
+		{3, 4, RouteNIC}, // adjacent global ids across the node boundary
+	}
+	for _, tc := range cases {
+		if got := w.Route(tc.src, tc.dst); got != tc.want {
+			t.Errorf("Route(%d,%d) = %v, want %v", tc.src, tc.dst, got, tc.want)
+		}
+	}
+}
+
+func TestSendValuesRoutesByTopology(t *testing.T) {
+	// On a 2x2 hybrid, SendValues must take the fabric to a same-node
+	// peer, the NIC channel to a cross-node one, and deliver correct
+	// data on both routes.
+	e := sim.NewEngine()
+	pl := testPlatform(e, 2, 2)
+	w := NewWorld(pl, DefaultConfig())
+	dst := w.Malloc(8)
+	fl := w.MallocFlags(2)
+	vals := []float32{1, 2, 3, 4}
+	var fabricRoute, nicRoute Route
+	launch1WG(pl, 0, func(wg *gpu.WG) {
+		fabricRoute = w.SendValues(wg, 1, dst, 0, vals, 4)
+		w.SendFlag(wg, 1, fl, 0, 1)
+		nicRoute = w.SendValues(wg, 2, dst, 4, vals, 4)
+		w.SendFlag(wg, 2, fl, 1, 1)
+	})
+	e.Run()
+	if fabricRoute != RouteFabric {
+		t.Errorf("same-node send took %v, want fabric", fabricRoute)
+	}
+	if nicRoute != RouteNIC {
+		t.Errorf("cross-node send took %v, want nic", nicRoute)
+	}
+	if fl.On(1, 0).Value() != 1 || fl.On(2, 1).Value() != 1 {
+		t.Fatal("send flags not delivered")
+	}
+	if dst.On(1).Data()[3] != 4 || dst.On(2).Data()[7] != 4 {
+		t.Error("sent values not delivered on both routes")
+	}
+}
+
+func TestStoreRemoteFlagAcrossNodesPanics(t *testing.T) {
+	e := sim.NewEngine()
+	pl := testPlatform(e, 2, 2)
+	w := NewWorld(pl, DefaultConfig())
+	fl := w.MallocFlags(1)
+	launch1WG(pl, 0, func(wg *gpu.WG) {
+		w.StoreRemoteFlag(wg, 2, fl, 0, 1)
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for cross-node StoreRemoteFlag")
+		}
+	}()
+	e.Run()
 }

@@ -27,7 +27,10 @@ func testFramework(e *sim.Engine) (*platform.Platform, *Framework) {
 	cfg.Fabric.LinkBandwidth = 8e9
 	cfg.Fabric.StoreLatency = 700
 	cfg.Fabric.PerWGStoreBandwidth = 2e9
-	pl := platform.New(e, cfg)
+	pl, err := platform.New(e, cfg)
+	if err != nil {
+		panic(err)
+	}
 	return pl, New(shmem.NewWorld(pl, shmem.DefaultConfig()))
 }
 

@@ -24,7 +24,10 @@ func testWorld(e *sim.Engine, functional bool) (*platform.Platform, *shmem.World
 		},
 		Fabric: fabric.Config{LinkBandwidth: 8e9, StoreLatency: 700, PerWGStoreBandwidth: 2e9},
 	}
-	pl := platform.New(e, cfg)
+	pl, err := platform.New(e, cfg)
+	if err != nil {
+		panic(err)
+	}
 	return pl, shmem.NewWorld(pl, shmem.DefaultConfig())
 }
 

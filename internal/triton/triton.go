@@ -139,17 +139,19 @@ func (tc *TileCtx) comm() *shmem.World {
 	return tc.world
 }
 
-// CommPutRows streams a tile (rows x rowLen) as zero-copy stores into
-// dstPE's instance of a symmetric buffer — the scale-up communication
-// extension.
+// CommPutRows streams a tile (rows x rowLen) into dstPE's instance of a
+// symmetric buffer over the route the topology allows: zero-copy native
+// stores to same-node PEs (the scale-up extension), ordered-channel
+// puts across nodes.
 func (tc *TileCtx) CommPutRows(dstPE int, dst *shmem.Symm, dstOff, dstStride int, vals []float32, rows, rowLen int) {
-	tc.comm().StoreValuesRows(tc.wg, dstPE, dst, dstOff, dstStride, vals, rows, rowLen)
+	tc.comm().SendValuesRows(tc.wg, dstPE, dst, dstOff, dstStride, vals, rows, rowLen)
 }
 
 // CommFlag adds delta to flag idx on dstPE, ordered after this WG's
-// earlier CommPutRows calls (stores block, so ordering is inherent).
+// earlier CommPutRows calls on either route (native stores are fenced,
+// channel puts deliver in order).
 func (tc *TileCtx) CommFlag(dstPE int, f *shmem.Flags, idx int, delta int64) {
-	tc.comm().StoreRemoteFlag(tc.wg, dstPE, f, idx, delta)
+	tc.comm().SendFlag(tc.wg, dstPE, f, idx, delta)
 }
 
 // CommWait blocks until the local flag idx reaches v.

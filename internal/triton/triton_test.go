@@ -23,7 +23,10 @@ func testWorld(e *sim.Engine) (*platform.Platform, *shmem.World) {
 	cfg.Fabric.LinkBandwidth = 2e9
 	cfg.Fabric.StoreLatency = 100
 	cfg.Fabric.PerWGStoreBandwidth = 1e9
-	pl := platform.New(e, cfg)
+	pl, err := platform.New(e, cfg)
+	if err != nil {
+		panic(err)
+	}
 	return pl, shmem.NewWorld(pl, shmem.DefaultConfig())
 }
 
