@@ -18,6 +18,7 @@ import (
 	"os"
 	"regexp"
 	"strconv"
+	"strings"
 	"time"
 
 	"fusedcc"
@@ -62,15 +63,25 @@ func main() {
 		os.Exit(1)
 	}
 
+	// The id lists derive from the facade's experiment registry, so the
+	// CLI cannot drift from RunExperiment's dispatch table.
+	var ablationIDs []string
+	for _, id := range fusedcc.Experiments() {
+		if strings.HasPrefix(id, "ablation:") {
+			ablationIDs = append(ablationIDs, id)
+		}
+	}
 	var ids []string
 	switch {
 	case *all:
-		ids = []string{"table1", "table2", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16"}
-		if !*quick {
-			ids = append(ids, "ablation:zerocopy", "ablation:slicesize", "ablation:occupancy", "ablation:kernelsplit")
+		for _, id := range fusedcc.Experiments() {
+			if *quick && strings.HasPrefix(id, "ablation:") {
+				continue
+			}
+			ids = append(ids, id)
 		}
 	case *ablations:
-		ids = []string{"ablation:zerocopy", "ablation:slicesize", "ablation:occupancy", "ablation:kernelsplit"}
+		ids = ablationIDs
 	case *fig != 0:
 		ids = []string{fmt.Sprintf("fig%d", *fig)}
 	case *table != 0:

@@ -1,7 +1,9 @@
 // DLRM inference: a recommendation-model forward pass on two nodes with
-// model-parallel embedding tables, comparing the bulk-synchronous
-// embedding + All-to-All against the fused operator (paper §II-A,
-// Fig 2) — the configuration where the collective is hardest to hide.
+// model-parallel embedding tables (paper §II-A, Fig 2) — the
+// configuration where the collective is hardest to hide. The model is a
+// computation graph; fused=false runs it eagerly (bulk-synchronous
+// embedding + All-to-All), fused=true runs it compiled, where the
+// fusion pass substitutes the fused operator.
 //
 //	go run ./examples/dlrm_inference
 package main

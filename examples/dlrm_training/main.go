@@ -1,7 +1,9 @@
-// DLRM training step: one forward + backward iteration on two nodes.
-// The backward pass sends pooled-output gradients back to their table
-// owners; the fused path overlaps that All-to-All with the embedding
-// gradient scatter-add, mirroring how Fig 15's scale-out simulation
+// DLRM training step: one forward + backward iteration on two nodes,
+// executed as a computation graph. The backward pass sends pooled-output
+// gradients back to their table owners; in compiled mode the fusion
+// pass rewrites both the forward embedding pair and the gradient
+// exchange, overlapping the backward All-to-All with the embedding
+// gradient scatter-add — mirroring how Fig 15's scale-out simulation
 // overlaps both directions. The data-parallel MLP gradient AllReduce
 // runs concurrently in both execution models.
 //

@@ -1,9 +1,11 @@
-// Framework integration (paper §III-D): the fused operators are exposed
-// through an operator registry under stable names with rccl:: baseline
-// twins, so a graph-transformation pass swaps execution models by
-// rewriting the op name — no call-site changes. This example plays the
-// role of that pass: it runs the same DLRM embedding exchange under
-// both registered names and verifies the outputs agree.
+// Framework integration (paper §III-D): the integration layer a
+// framework sees. The model is captured as a typed computation graph
+// whose nodes carry the same stable operator names the torch-style
+// registry exposes; the fusion pass — not the user — swaps the
+// bulk-synchronous embedding_bag → all_to_all pair for the
+// fused::embedding_all2all operator, and the results are verified to be
+// bit-identical. The registry itself is still printed (and still
+// dispatchable) for extensions that hook in by name.
 //
 //	go run ./examples/framework_integration
 package main
@@ -16,39 +18,34 @@ import (
 )
 
 func main() {
-	const (
-		tables, rows, dim = 4, 4096, 64
-		batch, pooling    = 128, 16
-		slice             = 8
-	)
+	spec := fusedcc.EmbeddingSpec{
+		TablesPerGPU: 4, Rows: 4096, Dim: 64,
+		GlobalBatch: 128, AvgPooling: 16, SliceRows: 8, Seed: 7,
+	}
 
 	type outcome struct {
-		rep fusedcc.Report
+		rep *fusedcc.GraphReport
 		out []float32
 	}
-	runAs := func(opName string) outcome {
+	runAs := func(mode fusedcc.ExecMode) outcome {
 		sys, err := fusedcc.NewScaleOut(2, fusedcc.Options{Functional: true})
 		if err != nil {
 			log.Fatal(err)
 		}
-		op, err := sys.BuildEmbeddingAllToAll(tables, rows, dim, batch, pooling, slice, 7, fusedcc.DefaultOperatorConfig())
+		g := sys.NewGraph(fusedcc.DefaultOperatorConfig())
+		pooled, err := g.EmbeddingBagFromSpec("emb_pool", spec)
 		if err != nil {
 			log.Fatal(err)
 		}
-		var rep fusedcc.Report
-		sys.Run(func(p *fusedcc.Proc) {
-			// Dispatch through the registry, exactly as a compiled
-			// graph would.
-			res, err := sys.Torch.Call(p, opName, map[string]any{"op": op})
-			if err != nil {
-				log.Fatal(err)
-			}
-			rep = res.(fusedcc.Report)
-		})
-		return outcome{rep, append([]float32(nil), op.Out.On(0).Data()...)}
+		out, err := g.AllToAll("emb_a2a", pooled)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep := sys.RunGraph(g, mode)
+		return outcome{rep, append([]float32(nil), out.Symm().On(0).Data()...)}
 	}
 
-	fmt.Println("registered operators:")
+	fmt.Println("registered operators (torch-style registry, for by-name extensions):")
 	{
 		sys, err := fusedcc.NewScaleOut(2, fusedcc.Options{})
 		if err != nil {
@@ -59,16 +56,17 @@ func main() {
 		}
 	}
 
-	base := runAs("rccl::embedding_all2all")
-	fused := runAs("fused::embedding_all2all")
+	base := runAs(fusedcc.Eager)
+	fused := runAs(fusedcc.Compiled)
 	for i := range fused.out {
 		if fused.out[i] != base.out[i] {
 			log.Fatalf("graph rewrite changed results at %d", i)
 		}
 	}
-	fmt.Println("\nswapping rccl:: -> fused:: preserved results bit-for-bit")
-	fmt.Printf("rccl::embedding_all2all  %v\n", base.rep.Duration())
-	fmt.Printf("fused::embedding_all2all %v (%.1f%% faster)\n",
+	fmt.Println("\nfusion pass preserved results bit-for-bit")
+	fmt.Print(fused.rep.Compile)
+	fmt.Printf("eager    %v\n", base.rep.Duration())
+	fmt.Printf("compiled %v (%.1f%% faster)\n",
 		fused.rep.Duration(),
 		100*(1-float64(fused.rep.Duration())/float64(base.rep.Duration())))
 }

@@ -1,8 +1,8 @@
 // Mixture-of-Experts layer: expert parallelism across four GPUs with
-// top-2 routing (paper §II-A, Fig 4). The dispatch All-to-All runs as a
-// collective on both paths; the combine All-to-All is either exposed
-// after the expert GEMM (baseline) or fused into it through the
-// Triton-style tile kernel with communication extensions (§III-D).
+// top-2 routing (paper §II-A, Fig 4), executed as a computation graph.
+// The dispatch All-to-All stays a library collective on both paths; in
+// compiled mode the fusion pass rewrites the trailing MatMul → AllToAll
+// pair into the Triton-style fused GEMM + combine kernel (§III-D).
 //
 //	go run ./examples/moe_layer
 package main

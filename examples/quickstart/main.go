@@ -1,6 +1,8 @@
-// Quickstart: build a 4-GPU scale-up system, run the fused
-// GEMV + AllReduce operator and its bulk-synchronous baseline on the
-// same workload, verify they agree, and compare execution times.
+// Quickstart: build a 4-GPU scale-up system, capture a GEMV → AllReduce
+// pair as a two-node computation graph, and run it eagerly (GEMV kernel
+// + RCCL-style AllReduce) and compiled (the fusion pass substitutes the
+// fused GEMV + AllReduce persistent kernel). Outputs are verified to
+// match bit-for-bit and execution times compared.
 //
 //	go run ./examples/quickstart
 package main
@@ -13,46 +15,44 @@ import (
 )
 
 func main() {
-	const (
-		m    = 4096 // output length (transformer hidden)
-		k    = 2048 // per-GPU reduced dimension
-		tile = 64
-	)
+	spec := fusedcc.GEMVSpec{
+		M:     4096, // output length (transformer hidden)
+		K:     2048, // per-GPU reduced dimension
+		TileM: 64,
+		Seed:  42,
+	}
 
 	// Functional mode: kernels compute real float32 results so the two
 	// execution models can be checked against each other.
-	run := func(fused bool) (fusedcc.Report, []float32) {
-		sys, err := fusedcc.NewScaleUp(4, fusedcc.Options{Functional: true})
-		if err != nil {
-			log.Fatal(err)
-		}
-		op, err := sys.BuildGEMVAllReduce(m, k, tile, 42, fusedcc.DefaultOperatorConfig())
-		if err != nil {
-			log.Fatal(err)
-		}
-		var rep fusedcc.Report
-		sys.Run(func(p *fusedcc.Proc) {
-			if fused {
-				rep = op.RunFused(p)
-			} else {
-				rep = op.RunBaseline(p)
-			}
-		})
-		return rep, append([]float32(nil), op.Out.On(0).Data()...)
+	sys, err := fusedcc.NewScaleUp(4, fusedcc.Options{Functional: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := sys.NewGraph(fusedcc.DefaultOperatorConfig())
+	partial, err := g.GEMVFromSpec("gemv", spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := g.AllReduce("allreduce", partial)
+	if err != nil {
+		log.Fatal(err)
 	}
 
-	fusedRep, fusedOut := run(true)
-	baseRep, baseOut := run(false)
+	baseRep := sys.RunGraph(g, fusedcc.Eager)
+	baseOut := append([]float32(nil), out.Symm().On(0).Data()...)
+
+	fusedRep := sys.RunGraph(g, fusedcc.Compiled)
+	fusedOut := out.Symm().On(0).Data()
 
 	for i := range fusedOut {
 		if fusedOut[i] != baseOut[i] {
-			log.Fatalf("mismatch at %d: fused %g vs baseline %g", i, fusedOut[i], baseOut[i])
+			log.Fatalf("mismatch at %d: compiled %g vs eager %g", i, fusedOut[i], baseOut[i])
 		}
 	}
-	fmt.Println("fused and baseline outputs match bit-for-bit")
-	fmt.Printf("baseline (GEMV kernel + RCCL-style AllReduce): %v\n", baseRep.Duration())
-	fmt.Printf("fused (persistent kernel, zero-copy stores):   %v\n", fusedRep.Duration())
+	fmt.Println("compiled and eager outputs match bit-for-bit")
+	fmt.Printf("eager (GEMV kernel + RCCL-style AllReduce):     %v\n", baseRep.Duration())
+	fmt.Printf("compiled (persistent kernel, zero-copy stores): %v\n", fusedRep.Duration())
 	fmt.Printf("reduction: %.1f%%  (remote traffic: %.1f MB in %d stores)\n",
 		100*(1-float64(fusedRep.Duration())/float64(baseRep.Duration())),
-		fusedRep.RemoteBytes/1e6, fusedRep.RemotePuts)
+		fusedRep.RemoteBytes()/1e6, fusedRep.RemotePuts())
 }

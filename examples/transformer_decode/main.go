@@ -1,8 +1,10 @@
 // Transformer decode: token-phase inference through a Megatron-style
-// tensor-parallel feed-forward block on four GPUs (paper §II-A, Fig 3).
-// The second linear layer's AllReduce — up to 46% of decode latency in
-// production stacks — is hidden inside the fused GEMV + AllReduce
-// operator. Runs several decode steps and reports per-token latency.
+// tensor-parallel feed-forward block on four GPUs (paper §II-A, Fig 3),
+// executed as a computation graph. The second linear layer's AllReduce
+// — up to 46% of decode latency in production stacks — is hidden inside
+// the fused GEMV + AllReduce operator the fusion pass substitutes in
+// compiled mode. Runs several decode steps and reports per-token
+// latency.
 //
 //	go run ./examples/transformer_decode
 package main

@@ -13,11 +13,20 @@
 // float32 results, so the fused operators are verified bit-for-bit
 // against their bulk-synchronous baselines.
 //
+// Programs are written against a typed computation-graph IR
+// (NewGraph): compute nodes (EmbeddingBag, GEMV, MatMul, per-rank
+// kernels) and collective nodes (AllToAll, AllReduce, gradient
+// exchange) over distributed tensors. Compile pattern-matches adjacent
+// compute→collective pairs and rewrites them to the fused operators —
+// the §III-D graph-transformation pass — and the executor runs the same
+// graph eagerly (bulk-synchronous) or compiled (fused) with bit-exact
+// results and a per-node timing/traffic report.
+//
 // This package is the public facade: it builds systems in the paper's
 // two evaluation shapes plus general hybrid clusters (any Nodes x
 // GPUsPerNode over a NIC mesh or 2D torus, with two-level hierarchical
 // collectives) and re-exports the types needed to assemble and run
-// operators, models, and the experiments.
+// graphs, operators, models, and the experiments.
 package fusedcc
 
 import (
@@ -28,14 +37,13 @@ import (
 	"fusedcc/internal/dlrm"
 	"fusedcc/internal/experiments"
 	"fusedcc/internal/gpu"
-	"fusedcc/internal/kernels"
+	"fusedcc/internal/graph"
 	"fusedcc/internal/moe"
 	"fusedcc/internal/platform"
 	"fusedcc/internal/shmem"
 	"fusedcc/internal/sim"
 	"fusedcc/internal/torch"
 	"fusedcc/internal/transformer"
-	"fusedcc/internal/workload"
 )
 
 // Re-exported core types. Aliases keep the public API small while the
@@ -71,6 +79,61 @@ type (
 	// ExperimentResult is a regenerated paper figure or table.
 	ExperimentResult = experiments.Result
 )
+
+// Re-exported graph IR types: the compile-and-fuse API every workload
+// is written against.
+type (
+	// Graph is the typed computation graph.
+	Graph = graph.Graph
+	// GraphNode is one vertex of a Graph.
+	GraphNode = graph.Node
+	// GraphValue is an edge: one node's output, another's dependency.
+	GraphValue = graph.Value
+	// GraphExecutor runs graphs with dataflow scheduling.
+	GraphExecutor = graph.Executor
+	// GraphReport is a per-node timing/traffic execution report.
+	GraphReport = graph.Report
+	// ExecMode selects eager or compiled execution.
+	ExecMode = graph.Mode
+	// CompileOptions tunes the fusion pass.
+	CompileOptions = graph.CompileOptions
+	// CompileReport lists the rewrites a fusion pass applied.
+	CompileReport = graph.CompileReport
+	// FusionPattern identifies one compute→collective rewrite.
+	FusionPattern = graph.Pattern
+
+	// GEMVSpec describes a GEMV + AllReduce workload (named fields
+	// replacing the old positional constructor arguments).
+	GEMVSpec = graph.GEMVSpec
+	// EmbeddingSpec describes an embedding + All-to-All workload.
+	EmbeddingSpec = graph.EmbeddingSpec
+	// GEMMSpec describes a GEMM + All-to-All workload.
+	GEMMSpec = graph.GEMMSpec
+)
+
+// Graph execution modes.
+const (
+	// Eager runs every node bulk-synchronous (compute kernels +
+	// library collectives).
+	Eager = graph.Eager
+	// Compiled applies the fusion pass before running.
+	Compiled = graph.Compiled
+)
+
+// Fusion patterns (see Compile and CompileOptions.Disable).
+const (
+	PatternGEMVAllReduce     = graph.PatternGEMVAllReduce
+	PatternEmbeddingAllToAll = graph.PatternEmbeddingAllToAll
+	PatternGEMMAllToAll      = graph.PatternGEMMAllToAll
+	PatternGradExchange      = graph.PatternGradExchange
+)
+
+// Compile runs the fusion pass on a graph: adjacent compute→collective
+// pairs matching an enabled pattern are rewritten to the fused
+// operators; unmatched nodes still run as eager baselines.
+func Compile(g *Graph, opt CompileOptions) (*Graph, *CompileReport) {
+	return graph.Compile(g, opt)
+}
 
 // Scheduling policies (paper §III-A, Fig 14).
 const (
@@ -177,6 +240,24 @@ func (s *System) Run(fn func(p *Proc)) Duration {
 	return Duration(s.Engine.Run())
 }
 
+// NewGraph returns an empty computation graph over all the system's
+// GPUs. Build nodes with the graph's typed builders, then run it with
+// RunGraph (or a GraphExecutor) in Eager or Compiled mode.
+func (s *System) NewGraph(cfg OperatorConfig) *Graph {
+	return graph.New(s.World, s.PEs(), cfg)
+}
+
+// RunGraph drives one execution of g in the given mode as the host
+// program and returns the per-node report.
+func (s *System) RunGraph(g *Graph, mode ExecMode) *GraphReport {
+	var (
+		x   GraphExecutor
+		rep *GraphReport
+	)
+	s.Run(func(p *Proc) { rep = x.Execute(p, g, mode) })
+	return rep
+}
+
 // NewDLRM builds the DLRM case study on this system.
 func (s *System) NewDLRM(cfg dlrm.Config, opCfg OperatorConfig) (*DLRM, error) {
 	return dlrm.New(s.World, s.PEs(), cfg, opCfg)
@@ -201,72 +282,91 @@ func TransformerConfig() transformer.Config { return transformer.DefaultConfig()
 // MoEConfig returns the default MoE case-study configuration.
 func MoEConfig() moe.Config { return moe.DefaultConfig() }
 
-// BuildGEMVAllReduce assembles the fused GEMV + AllReduce operator with
-// synthetic seeded weights: every rank computes y_s = W_s.x_s of shape
-// (m x k) and the operator produces the reduced y on every GPU.
-func (s *System) BuildGEMVAllReduce(m, k, tileM int, seed int64, cfg OperatorConfig) (*GEMVAllReduce, error) {
-	pes := s.PEs()
-	gemvs := make([]*kernels.GEMV, len(pes))
-	for i, pe := range pes {
-		rng := workload.Rand(seed + int64(i))
-		dev := s.Platform.Device(pe)
-		g := &kernels.GEMV{M: m, K: k, TileM: tileM,
-			W: dev.Alloc(m * k), X: dev.Alloc(k)}
-		workload.FillRandom(rng, g.W)
-		workload.FillRandom(rng, g.X)
-		gemvs[i] = g
+// NewGEMVAllReduce assembles the GEMV + AllReduce pair operator from a
+// spec, with synthetic seeded weights: every rank computes y_s = W_s.x_s
+// and the operator produces the reduced y on every GPU.
+func (s *System) NewGEMVAllReduce(spec GEMVSpec, cfg OperatorConfig) (*GEMVAllReduce, error) {
+	gemvs, err := spec.Build(s.Platform, s.PEs())
+	if err != nil {
+		return nil, err
 	}
-	return core.NewGEMVAllReduce(s.World, pes, gemvs, cfg)
+	return core.NewGEMVAllReduce(s.World, s.PEs(), gemvs, cfg)
+}
+
+// NewEmbeddingAllToAll assembles the embedding + All-to-All pair
+// operator from a spec, with synthetic seeded tables and lookups.
+func (s *System) NewEmbeddingAllToAll(spec EmbeddingSpec, cfg OperatorConfig) (*EmbeddingAllToAll, error) {
+	return spec.NewOperator(s.World, s.PEs(), cfg)
+}
+
+// NewGEMMAllToAll assembles the GEMM + All-to-All pair operator from a
+// spec, with synthetic seeded operands: per-rank GEMM of
+// (Tokens*len(PEs)) x N x K.
+func (s *System) NewGEMMAllToAll(spec GEMMSpec, cfg OperatorConfig) (*GEMMAllToAll, error) {
+	gemms, err := spec.Build(s.Platform, s.PEs())
+	if err != nil {
+		return nil, err
+	}
+	return core.NewGEMMAllToAll(s.World, s.PEs(), gemms, cfg)
+}
+
+// BuildGEMVAllReduce assembles the fused GEMV + AllReduce operator.
+//
+// Deprecated: use NewGEMVAllReduce with a GEMVSpec.
+func (s *System) BuildGEMVAllReduce(m, k, tileM int, seed int64, cfg OperatorConfig) (*GEMVAllReduce, error) {
+	return s.NewGEMVAllReduce(GEMVSpec{M: m, K: k, TileM: tileM, Seed: seed}, cfg)
 }
 
 // BuildEmbeddingAllToAll assembles the fused embedding + All-to-All
-// operator with synthetic seeded tables and lookups: tablesPerGPU tables
-// of rows x dim per rank, pooled over globalBatch with avgPooling
-// lookups per row.
+// operator.
+//
+// Deprecated: use NewEmbeddingAllToAll with an EmbeddingSpec.
 func (s *System) BuildEmbeddingAllToAll(tablesPerGPU, rows, dim, globalBatch, avgPooling, sliceRows int, seed int64, cfg OperatorConfig) (*EmbeddingAllToAll, error) {
-	pes := s.PEs()
-	sets := make([]*kernels.EmbeddingSet, len(pes))
-	for i, pe := range pes {
-		rng := workload.Rand(seed + int64(i))
-		dev := s.Platform.Device(pe)
-		var bags []*kernels.EmbeddingBag
-		for t := 0; t < tablesPerGPU; t++ {
-			tab := kernels.NewEmbeddingTable(dev, rows, dim)
-			workload.FillRandom(rng, tab.Weights)
-			bag := &kernels.EmbeddingBag{Table: tab, Batch: globalBatch, AvgPooling: float64(avgPooling)}
-			if dev.Config().Functional {
-				csr := workload.Lookups(rng, globalBatch, rows, avgPooling)
-				bag.Offsets, bag.Indices = csr.Offsets, csr.Indices
-			}
-			bags = append(bags, bag)
-		}
-		sets[i] = &kernels.EmbeddingSet{Bags: bags}
-	}
-	return core.NewEmbeddingAllToAll(s.World, pes, sets, globalBatch, sliceRows, cfg)
+	return s.NewEmbeddingAllToAll(EmbeddingSpec{
+		TablesPerGPU: tablesPerGPU, Rows: rows, Dim: dim,
+		GlobalBatch: globalBatch, AvgPooling: avgPooling, SliceRows: sliceRows, Seed: seed,
+	}, cfg)
 }
 
-// BuildGEMMAllToAll assembles the fused GEMM + All-to-All operator with
-// synthetic seeded operands: per-rank GEMM of (tokens*len(PEs)) x n x k.
+// BuildGEMMAllToAll assembles the fused GEMM + All-to-All operator.
+//
+// Deprecated: use NewGEMMAllToAll with a GEMMSpec.
 func (s *System) BuildGEMMAllToAll(tokens, n, k, tileM, tileN int, seed int64, cfg OperatorConfig) (*GEMMAllToAll, error) {
-	pes := s.PEs()
-	m := tokens * len(pes)
-	gemms := make([]*kernels.GEMM, len(pes))
-	for i, pe := range pes {
-		rng := workload.Rand(seed + int64(i))
-		dev := s.Platform.Device(pe)
-		g := &kernels.GEMM{M: m, N: n, K: k, TileM: tileM, TileN: tileN,
-			A: dev.Alloc(m * k), B: dev.Alloc(k * n)}
-		workload.FillRandom(rng, g.A)
-		workload.FillRandom(rng, g.B)
-		gemms[i] = g
-	}
-	return core.NewGEMMAllToAll(s.World, pes, gemms, cfg)
+	return s.NewGEMMAllToAll(GEMMSpec{Tokens: tokens, N: n, K: k, TileM: tileM, TileN: tileN, Seed: seed}, cfg)
 }
 
 // NewEmbeddingGradExchange builds the backward gradient exchange for a
 // forward embedding + All-to-All operator.
 func NewEmbeddingGradExchange(fwd *EmbeddingAllToAll) *EmbeddingGradExchange {
 	return core.NewEmbeddingGradExchange(fwd)
+}
+
+// experiment is one registry row: a primary id, optional aliases, and
+// the runner. RunExperiment and Experiments both derive from the table,
+// so the dispatch and the catalogue cannot drift.
+type experiment struct {
+	id      string
+	aliases []string
+	run     func(experiments.Options) *ExperimentResult
+}
+
+// experimentTable lists the regenerable artifacts in paper order.
+var experimentTable = []experiment{
+	{id: "table1", run: func(experiments.Options) *ExperimentResult { return experiments.TableI() }},
+	{id: "table2", run: func(experiments.Options) *ExperimentResult { return experiments.TableII() }},
+	{id: "fig8", run: experiments.Fig8},
+	{id: "fig9", run: experiments.Fig9},
+	{id: "fig10", run: experiments.Fig10},
+	{id: "fig11", run: experiments.Fig11},
+	{id: "fig12", run: experiments.Fig12},
+	{id: "fig13", run: experiments.Fig13},
+	{id: "fig14", run: experiments.Fig14},
+	{id: "fig15", run: experiments.Fig15},
+	{id: "fig16", aliases: []string{"hybrid"}, run: experiments.Fig16},
+	{id: "ablation:zerocopy", run: experiments.AblationZeroCopy},
+	{id: "ablation:slicesize", run: experiments.AblationSliceSize},
+	{id: "ablation:occupancy", run: experiments.AblationOccupancyPenalty},
+	{id: "ablation:kernelsplit", run: experiments.AblationKernelSplit},
 }
 
 // RunExperiment regenerates one paper artifact by id: "fig8" .. "fig15",
@@ -276,49 +376,27 @@ func NewEmbeddingGradExchange(fwd *EmbeddingAllToAll) *EmbeddingGradExchange {
 // quick shrinks sweeps for fast runs.
 func RunExperiment(id string, quick bool) (*ExperimentResult, error) {
 	opt := experiments.Options{Quick: quick}
-	switch id {
-	case "fig8":
-		return experiments.Fig8(opt), nil
-	case "fig9":
-		return experiments.Fig9(opt), nil
-	case "fig10":
-		return experiments.Fig10(opt), nil
-	case "fig11":
-		return experiments.Fig11(opt), nil
-	case "fig12":
-		return experiments.Fig12(opt), nil
-	case "fig13":
-		return experiments.Fig13(opt), nil
-	case "fig14":
-		return experiments.Fig14(opt), nil
-	case "fig15":
-		return experiments.Fig15(opt), nil
-	case "fig16", "hybrid":
-		return experiments.Fig16(opt), nil
-	case "table1":
-		return experiments.TableI(), nil
-	case "table2":
-		return experiments.TableII(), nil
-	case "ablation:zerocopy":
-		return experiments.AblationZeroCopy(opt), nil
-	case "ablation:slicesize":
-		return experiments.AblationSliceSize(opt), nil
-	case "ablation:occupancy":
-		return experiments.AblationOccupancyPenalty(opt), nil
-	case "ablation:kernelsplit":
-		return experiments.AblationKernelSplit(opt), nil
-	default:
-		return nil, fmt.Errorf("fusedcc: unknown experiment %q", id)
+	for _, ex := range experimentTable {
+		if ex.id == id {
+			return ex.run(opt), nil
+		}
+		for _, a := range ex.aliases {
+			if a == id {
+				return ex.run(opt), nil
+			}
+		}
 	}
+	return nil, fmt.Errorf("fusedcc: unknown experiment %q", id)
 }
 
-// Experiments lists the regenerable artifact ids in paper order.
+// Experiments lists the regenerable artifact ids in paper order,
+// derived from the same registry RunExperiment dispatches on.
 func Experiments() []string {
-	return []string{
-		"table1", "table2",
-		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
-		"ablation:zerocopy", "ablation:slicesize", "ablation:occupancy", "ablation:kernelsplit",
+	ids := make([]string, len(experimentTable))
+	for i, ex := range experimentTable {
+		ids[i] = ex.id
 	}
+	return ids
 }
 
 // RunHybridShape runs the hybrid-cluster comparison (hierarchical vs

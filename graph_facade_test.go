@@ -1,0 +1,125 @@
+package fusedcc
+
+import "testing"
+
+// TestGraphCompileViaFacade drives the whole public workflow: build a
+// graph from specs, run it eagerly, compile it, and verify the fusion
+// pass produced the fused operator with bit-exact results.
+func TestGraphCompileViaFacade(t *testing.T) {
+	sys, err := NewScaleUp(4, Options{Functional: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := sys.NewGraph(DefaultOperatorConfig())
+	mv, err := g.GEMVFromSpec("mv", GEMVSpec{M: 64, K: 16, TileM: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := g.AllReduce("ar", mv)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eager := sys.RunGraph(g, Eager)
+	want := append([]float32(nil), out.Symm().On(0).Data()...)
+
+	compiled := sys.RunGraph(g, Compiled)
+	if compiled.Compile == nil || len(compiled.Compile.Rewrites) != 1 {
+		t.Fatalf("compile report = %+v", compiled.Compile)
+	}
+	if compiled.Compile.Rewrites[0].Pattern != PatternGEMVAllReduce {
+		t.Errorf("pattern = %v", compiled.Compile.Rewrites[0].Pattern)
+	}
+	got := out.Symm().On(0).Data()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("elem %d: compiled %g != eager %g", i, got[i], want[i])
+		}
+	}
+	if eager.Duration() <= 0 || compiled.Duration() <= 0 {
+		t.Error("zero-duration graph runs")
+	}
+	if len(eager.Nodes) != 2 || len(compiled.Nodes) != 1 {
+		t.Errorf("node reports: eager %d compiled %d", len(eager.Nodes), len(compiled.Nodes))
+	}
+}
+
+// TestSpecConstructorsMatchDeprecated verifies the spec-struct
+// constructors build the same operators as the deprecated positional
+// wrappers (same seeds → bit-identical outputs).
+func TestSpecConstructorsMatchDeprecated(t *testing.T) {
+	runSpec := func() []float32 {
+		sys, err := NewScaleUp(4, Options{Functional: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		op, err := sys.NewGEMVAllReduce(GEMVSpec{M: 64, K: 16, TileM: 8, Seed: 9}, DefaultOperatorConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.Run(func(p *Proc) { op.RunFused(p) })
+		return append([]float32(nil), op.Out.On(0).Data()...)
+	}
+	runDeprecated := func() []float32 {
+		sys, err := NewScaleUp(4, Options{Functional: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		op, err := sys.BuildGEMVAllReduce(64, 16, 8, 9, DefaultOperatorConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.Run(func(p *Proc) { op.RunFused(p) })
+		return append([]float32(nil), op.Out.On(0).Data()...)
+	}
+	a, b := runSpec(), runDeprecated()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("elem %d: spec %g != deprecated %g", i, a[i], b[i])
+		}
+	}
+}
+
+// TestSpecValidation verifies invalid specs surface as errors.
+func TestSpecValidation(t *testing.T) {
+	sys, err := NewScaleUp(2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.NewGEMVAllReduce(GEMVSpec{M: 0, K: 8, TileM: 4}, DefaultOperatorConfig()); err == nil {
+		t.Error("zero-M GEMV spec must error")
+	}
+	if _, err := sys.NewGEMVAllReduce(GEMVSpec{M: -1, K: 8, TileM: 4}, DefaultOperatorConfig()); err == nil {
+		t.Error("negative-M GEMV spec must error, not panic")
+	}
+	if _, err := sys.NewGEMMAllToAll(GEMMSpec{Tokens: -4, N: 8, K: 4, TileM: 2, TileN: 2}, DefaultOperatorConfig()); err == nil {
+		t.Error("negative-token GEMM spec must error, not panic")
+	}
+	if _, err := sys.NewEmbeddingAllToAll(EmbeddingSpec{TablesPerGPU: 0}, DefaultOperatorConfig()); err == nil {
+		t.Error("zero-table embedding spec must error")
+	}
+	if _, err := sys.NewGEMMAllToAll(GEMMSpec{Tokens: 4, N: 0, K: 4, TileM: 2, TileN: 2}, DefaultOperatorConfig()); err == nil {
+		t.Error("zero-N GEMM spec must error")
+	}
+}
+
+// TestExperimentRegistryAliases verifies the table-driven registry
+// resolves aliases and keeps Experiments() in sync with dispatch.
+func TestExperimentRegistryAliases(t *testing.T) {
+	for _, id := range Experiments() {
+		found := false
+		for _, want := range []string{"table1", "table2", "fig8", "fig9", "fig10", "fig11", "fig12",
+			"fig13", "fig14", "fig15", "fig16", "ablation:zerocopy", "ablation:slicesize",
+			"ablation:occupancy", "ablation:kernelsplit"} {
+			if id == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("unexpected experiment id %q", id)
+		}
+	}
+	if len(Experiments()) != 15 {
+		t.Errorf("experiment catalogue has %d entries, want 15", len(Experiments()))
+	}
+}

@@ -44,6 +44,7 @@ type EmbeddingAllToAll struct {
 
 	k, T, D, L int
 	send       *shmem.Symm
+	recv       *shmem.Symm // lazy: baseline receive staging
 	rowStride  int
 }
 
@@ -419,24 +420,27 @@ func (op *EmbeddingAllToAll) RunKernelSplit(p *sim.Proc, shards int) Report {
 	return rep
 }
 
-// RunBaseline executes the bulk-synchronous comparator: per-table
-// embedding kernels writing a bucketized send buffer, an RCCL-style
-// All-to-All, and a shuffle kernel that interleaves the received blocks
-// into the {L, k*T*D} layout (§IV-A baseline; the shuffle is the
-// rearrangement the fused operator's point-to-point layout avoids).
-func (op *EmbeddingAllToAll) RunBaseline(p *sim.Proc) Report {
-	w := op.World
-	pl := w.Platform()
+// recvBuf lazily allocates the baseline receive staging buffer.
+func (op *EmbeddingAllToAll) recvBuf() *shmem.Symm {
+	if op.recv == nil {
+		op.recv = op.World.Malloc(op.k * op.T * op.L * op.D)
+	}
+	return op.recv
+}
+
+// RunPooling executes only the compute half of the bulk-synchronous
+// path: per-table embedding kernels on every rank concurrently, writing
+// the bucketized send buffer. This is the eager-mode body of a graph
+// EmbeddingBag node.
+func (op *EmbeddingAllToAll) RunPooling(p *sim.Proc) Report {
+	pl := op.World.Platform()
 	e := pl.E
 	rep := Report{Start: e.Now(), PEEnd: make([]sim.Time, op.k)}
 	cnt := op.T * op.L * op.D
-	recv := w.Malloc(op.k * cnt)
 	rowsPerWG := op.RowsPerWG
 	if rowsPerWG <= 0 {
 		rowsPerWG = 1
 	}
-
-	// Phase 1: embedding kernels on every rank concurrently.
 	wgAll := sim.NewWaitGroup(e)
 	wgAll.Add(op.k)
 	for s := 0; s < op.k; s++ {
@@ -463,19 +467,33 @@ func (op *EmbeddingAllToAll) RunBaseline(p *sim.Proc) Report {
 					bag.ComputeRows(wg, b0, n, sendBuf, off)
 				})
 			}
+			rep.PEEnd[s] = rp.Now()
 			wgAll.Done()
 		})
 	}
 	wgAll.Wait(p)
+	rep.End = e.Now()
+	return rep
+}
 
-	// Phase 2: All-to-All on contiguous per-destination blocks.
+// RunExchange executes only the communication half of the bulk-
+// synchronous path: the RCCL-style All-to-All over the bucketized send
+// buffer plus the shuffle kernels that interleave the received
+// [src][T][L][D] blocks into the {L, k*T*D} output layout (the
+// rearrangement the fused operator's point-to-point layout avoids).
+// This is the eager-mode body of a graph AllToAll node.
+func (op *EmbeddingAllToAll) RunExchange(p *sim.Proc) Report {
+	pl := op.World.Platform()
+	e := pl.E
+	rep := Report{Start: e.Now(), PEEnd: make([]sim.Time, op.k)}
+	cnt := op.T * op.L * op.D
+	recv := op.recvBuf()
+
 	comm := collectives.New(pl, op.PEs)
 	comm.AllToAll(p, op.send, recv, cnt, op.Config.Collective)
 
-	// Phase 3: shuffle kernels interleave [src][T][L][D] into the
-	// {L, k*T*D} output layout.
-	wgAll2 := sim.NewWaitGroup(e)
-	wgAll2.Add(op.k)
+	wgAll := sim.NewWaitGroup(e)
+	wgAll.Add(op.k)
 	for s := 0; s < op.k; s++ {
 		s := s
 		pe := op.PEs[s]
@@ -496,10 +514,22 @@ func (op *EmbeddingAllToAll) RunBaseline(p *sim.Proc) Report {
 				}
 			})
 			rep.PEEnd[s] = rp.Now()
-			wgAll2.Done()
+			wgAll.Done()
 		})
 	}
-	wgAll2.Wait(p)
+	wgAll.Wait(p)
 	rep.End = e.Now()
+	return rep
+}
+
+// RunBaseline executes the bulk-synchronous comparator: per-table
+// embedding kernels writing a bucketized send buffer, an RCCL-style
+// All-to-All, and a shuffle kernel that interleaves the received blocks
+// into the {L, k*T*D} layout (§IV-A baseline).
+func (op *EmbeddingAllToAll) RunBaseline(p *sim.Proc) Report {
+	rep := op.RunPooling(p)
+	ex := op.RunExchange(p)
+	rep.End = ex.End
+	copy(rep.PEEnd, ex.PEEnd)
 	return rep
 }

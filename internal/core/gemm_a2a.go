@@ -31,7 +31,8 @@ type GEMMAllToAll struct {
 	// Recv is the combine output, k*TokensPerRank*N elements per PE.
 	Recv *shmem.Symm
 
-	k, tokens int // tokens per rank
+	k, tokens int         // tokens per rank
+	send      *shmem.Symm // lazy: baseline send staging
 }
 
 // NewGEMMAllToAll validates shapes and allocates the combine buffer.
@@ -179,15 +180,24 @@ func (op *GEMMAllToAll) RunFused(p *sim.Proc) Report {
 	return rep
 }
 
-// RunBaseline executes the bulk-synchronous comparator: the stock tiled
-// GEMM kernel per rank (writing C locally), then an RCCL-style
-// All-to-All over the contiguous row blocks.
-func (op *GEMMAllToAll) RunBaseline(p *sim.Proc) Report {
+// sendBuf lazily allocates the baseline send staging buffer.
+func (op *GEMMAllToAll) sendBuf() *shmem.Symm {
+	if op.send == nil {
+		g0 := op.Gemms[0]
+		op.send = op.World.Malloc(g0.M * g0.N)
+	}
+	return op.send
+}
+
+// RunCompute executes only the compute half of the bulk-synchronous
+// path: the stock tiled GEMM kernel per rank, writing the full local
+// output into the send staging buffer. This is the eager-mode body of a
+// graph MatMul node.
+func (op *GEMMAllToAll) RunCompute(p *sim.Proc) Report {
 	pl := op.World.Platform()
 	e := pl.E
 	rep := Report{Start: e.Now(), PEEnd: make([]sim.Time, op.k)}
-	g0 := op.Gemms[0]
-	send := op.World.Malloc(g0.M * g0.N)
+	send := op.sendBuf()
 
 	wgAll := sim.NewWaitGroup(e)
 	wgAll.Add(op.k)
@@ -200,15 +210,42 @@ func (op *GEMMAllToAll) RunBaseline(p *sim.Proc) Report {
 			g.C = send.On(pe)
 			g.Run(rp, pl.Device(pe), 0)
 			g.C = saved
+			rep.PEEnd[s] = rp.Now()
 			wgAll.Done()
 		})
 	}
 	wgAll.Wait(p)
+	rep.End = e.Now()
+	return rep
+}
+
+// RunExchange executes only the collective half of the bulk-synchronous
+// path: the RCCL-style combine All-to-All over the contiguous row
+// blocks staged by RunCompute. This is the eager-mode body of a graph
+// AllToAll node.
+func (op *GEMMAllToAll) RunExchange(p *sim.Proc) Report {
+	pl := op.World.Platform()
+	e := pl.E
+	rep := Report{Start: e.Now(), PEEnd: make([]sim.Time, op.k)}
+	g0 := op.Gemms[0]
 	comm := collectives.New(pl, op.PEs)
-	comm.AllToAll(p, send, op.Recv, op.tokens*g0.N, op.Config.Collective)
+	comm.AllToAll(p, op.sendBuf(), op.Recv, op.tokens*g0.N, op.Config.Collective)
 	rep.End = e.Now()
 	for s := range rep.PEEnd {
 		rep.PEEnd[s] = rep.End
+	}
+	return rep
+}
+
+// RunBaseline executes the bulk-synchronous comparator: the stock tiled
+// GEMM kernel per rank (writing C locally), then an RCCL-style
+// All-to-All over the contiguous row blocks.
+func (op *GEMMAllToAll) RunBaseline(p *sim.Proc) Report {
+	rep := op.RunCompute(p)
+	ex := op.RunExchange(p)
+	rep.End = ex.End
+	for s := range rep.PEEnd {
+		rep.PEEnd[s] = ex.End
 	}
 	return rep
 }

@@ -224,10 +224,11 @@ func (op *GEMVAllReduce) runRank(rp *sim.Proc, s, phys int, storeDone, bcastDone
 	})
 }
 
-// RunBaseline executes the bulk-synchronous comparator: a conventional
-// GEMV kernel per rank writing the partial output, then an RCCL-style
-// two-phase direct AllReduce.
-func (op *GEMVAllReduce) RunBaseline(p *sim.Proc) Report {
+// RunCompute executes only the compute half of the bulk-synchronous
+// path: a conventional GEMV kernel per rank writing its partial output
+// into Out (each rank's Out instance holds that rank's un-reduced y).
+// This is the eager-mode body of a graph GEMV node.
+func (op *GEMVAllReduce) RunCompute(p *sim.Proc) Report {
 	pl := op.World.Platform()
 	e := pl.E
 	rep := Report{Start: e.Now(), PEEnd: make([]sim.Time, op.k)}
@@ -244,15 +245,40 @@ func (op *GEMVAllReduce) RunBaseline(p *sim.Proc) Report {
 				lo, _ := g.TileRange(t)
 				g.ComputeTile(wg, t, out, lo)
 			})
+			rep.PEEnd[s] = rp.Now()
 			wgAll.Done()
 		})
 	}
 	wgAll.Wait(p)
+	rep.End = e.Now()
+	return rep
+}
+
+// RunAllReduce executes only the collective half of the bulk-synchronous
+// path: the RCCL-style AllReduce over the partial outputs staged in Out.
+// This is the eager-mode body of a graph AllReduce node.
+func (op *GEMVAllReduce) RunAllReduce(p *sim.Proc) Report {
+	pl := op.World.Platform()
+	e := pl.E
+	rep := Report{Start: e.Now(), PEEnd: make([]sim.Time, op.k)}
 	comm := collectives.New(pl, op.PEs)
 	comm.AllReduce(p, op.Out, 0, op.m, op.Config.Collective)
 	rep.End = e.Now()
 	for s := range rep.PEEnd {
 		rep.PEEnd[s] = rep.End
+	}
+	return rep
+}
+
+// RunBaseline executes the bulk-synchronous comparator: a conventional
+// GEMV kernel per rank writing the partial output, then an RCCL-style
+// two-phase direct AllReduce.
+func (op *GEMVAllReduce) RunBaseline(p *sim.Proc) Report {
+	rep := op.RunCompute(p)
+	ar := op.RunAllReduce(p)
+	rep.End = ar.End
+	for s := range rep.PEEnd {
+		rep.PEEnd[s] = ar.End
 	}
 	return rep
 }

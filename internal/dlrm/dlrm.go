@@ -2,8 +2,17 @@
 // paper's first case study (§II-A, Fig 2): embedding tables distributed
 // model-parallel across GPUs, bottom and top MLPs replicated
 // data-parallel, and the embedding-output All-to-All that switches
-// between the two parallelism regimes — executed either bulk-synchronous
-// (RCCL baseline) or through the fused embedding + All-to-All operator.
+// between the two parallelism regimes.
+//
+// The model is expressed as computation graphs. The forward graph runs
+// the bottom MLP concurrently with an EmbeddingBag → AllToAll pair
+// (dataflow scheduling provides the overlap); the training graph
+// extends it with the backward MLP stack, the embedding-gradient
+// exchange, and the data-parallel MLP gradient AllReduce. In compiled
+// mode the fusion pass rewrites the pair to the fused embedding +
+// All-to-All operator and the gradient exchange to its fused
+// counterpart — the fused paths come from the compiler, not from
+// hand-wiring.
 package dlrm
 
 import (
@@ -12,6 +21,7 @@ import (
 	"fusedcc/internal/collectives"
 	"fusedcc/internal/core"
 	"fusedcc/internal/gpu"
+	"fusedcc/internal/graph"
 	"fusedcc/internal/kernels"
 	"fusedcc/internal/shmem"
 	"fusedcc/internal/sim"
@@ -59,10 +69,17 @@ type Model struct {
 	EmbOp *core.EmbeddingAllToAll
 	// GradOp is the backward gradient exchange (training only).
 	GradOp *core.EmbeddingGradExchange
+
+	opCfg core.Config
+	grads *shmem.Symm // data-parallel MLP gradient payload (lazy)
+	fwd   *graph.Graph
+	train *graph.Graph // lazy: inference-only models never pay for it
+	exec  graph.Executor
 }
 
-// New builds tables and synthetic categorical inputs on every PE and
-// prepares the embedding + All-to-All operator.
+// New builds tables and synthetic categorical inputs on every PE,
+// prepares the embedding + All-to-All pair, and assembles the forward
+// and training graphs.
 func New(w *shmem.World, pes []int, cfg Config, opCfg core.Config) (*Model, error) {
 	if cfg.TablesPerGPU <= 0 || cfg.EmbeddingDim <= 0 || cfg.GlobalBatch <= 0 {
 		return nil, fmt.Errorf("dlrm: invalid config %+v", cfg)
@@ -96,7 +113,82 @@ func New(w *shmem.World, pes []int, cfg Config, opCfg core.Config) (*Model, erro
 	}
 	m.EmbOp = op
 	m.GradOp = core.NewEmbeddingGradExchange(op)
+	m.opCfg = opCfg
+
+	m.fwd = graph.New(w, pes, opCfg)
+	if _, err := m.addForward(m.fwd); err != nil {
+		return nil, err
+	}
 	return m, nil
+}
+
+// addForward appends the forward-pass nodes to g and returns the final
+// (interaction + top MLP) value.
+func (m *Model) addForward(g *graph.Graph) (graph.Value, error) {
+	pl := m.World.Platform()
+	// Bottom MLP: the only computation independent of the embedding
+	// exchange (§II-A); dataflow scheduling overlaps the two branches.
+	bot := g.PerRank("bottom_mlp", func(p *sim.Proc, rank, pe int) {
+		mlp := &kernels.MLP{Widths: m.Cfg.BottomMLP, Batch: m.LocalBatch()}
+		mlp.Forward(p, pl.Device(pe))
+	})
+	pooled := g.EmbeddingBag("emb_pool", m.EmbOp)
+	exch, err := g.AllToAll("emb_a2a", pooled)
+	if err != nil {
+		return graph.Value{}, err
+	}
+	top := g.PerRank("interaction+top_mlp", func(p *sim.Proc, rank, pe int) {
+		dev := pl.Device(pe)
+		m.interaction(p, dev)
+		mlp := &kernels.MLP{Widths: m.Cfg.TopMLP, Batch: m.LocalBatch()}
+		mlp.Forward(p, dev)
+	}, exch, bot)
+	return top, nil
+}
+
+// addBackward appends the training-only nodes: backward MLP +
+// interaction kernels, then the embedding-gradient exchange concurrent
+// with the data-parallel MLP gradient AllReduce (the production overlap
+// of the paper's Fig 15 setup).
+func (m *Model) addBackward(g *graph.Graph, top graph.Value) {
+	pl := m.World.Platform()
+	bwd := g.PerRank("backward_mlps", func(p *sim.Proc, rank, pe int) {
+		// ≈2x forward cost: dgrad + wgrad.
+		dev := pl.Device(pe)
+		topMLP := &kernels.MLP{Widths: m.Cfg.TopMLP, Batch: m.LocalBatch()}
+		topMLP.Forward(p, dev)
+		topMLP.Forward(p, dev)
+		m.interaction(p, dev)
+		bot := &kernels.MLP{Widths: m.Cfg.BottomMLP, Batch: m.LocalBatch()}
+		bot.Forward(p, dev)
+		bot.Forward(p, dev)
+	}, top)
+	g.GradExchange("emb_grad_exchange", m.GradOp, bwd)
+	// Ring, matching the NCCL/RCCL schedule production data-parallel
+	// training uses (and the pre-graph implementation).
+	g.AllReduceSymmAlgo("mlp_grad_allreduce", m.grads, 0, m.MLPParams(), collectives.Ring, bwd)
+}
+
+// ForwardGraph returns the forward-pass computation graph.
+func (m *Model) ForwardGraph() *graph.Graph { return m.fwd }
+
+// TrainGraph returns the training-iteration computation graph,
+// building it (and the gradient payload) on first use so inference-only
+// models never pay for training state.
+func (m *Model) TrainGraph() *graph.Graph {
+	if m.train == nil {
+		m.grads = m.World.Malloc(m.MLPParams())
+		g := graph.New(m.World, m.PEs, m.opCfg)
+		top, err := m.addForward(g)
+		if err != nil {
+			// New already built the forward graph from the same inputs,
+			// so a failure here is impossible by construction.
+			panic(err)
+		}
+		m.addBackward(g, top)
+		m.train = g
+	}
+	return m.train
 }
 
 // LocalBatch returns the per-GPU batch shard.
@@ -106,57 +198,21 @@ func (m *Model) LocalBatch() int { return m.Cfg.GlobalBatch / len(m.PEs) }
 // vector plus every embedding table's pooled vector.
 func (m *Model) Features() int { return len(m.PEs)*m.Cfg.TablesPerGPU + 1 }
 
-// Forward runs one inference pass: the bottom MLP (independent
-// computation) concurrent with embedding + All-to-All, then the
-// interaction operator and top MLP on the local batch shard. fused picks
-// the execution model for the embedding + All-to-All stage.
+// execute runs g eagerly or compiled and condenses the report.
+func (m *Model) execute(p *sim.Proc, g *graph.Graph, fused bool) core.Report {
+	mode := graph.Eager
+	if fused {
+		mode = graph.Compiled
+	}
+	return m.exec.Execute(p, g, mode).Summary(len(m.PEs))
+}
+
+// Forward runs one inference pass through the graph executor: the
+// bottom MLP concurrent with the embedding + All-to-All (fused when
+// compiled), then the interaction operator and top MLP on the local
+// batch shard.
 func (m *Model) Forward(p *sim.Proc, fused bool) core.Report {
-	pl := m.World.Platform()
-	e := pl.E
-	start := e.Now()
-
-	// Stage 1: bottom MLP on every rank, concurrent with the embedding
-	// exchange (the only independent computation, §II-A).
-	var embRep core.Report
-	wg := sim.NewWaitGroup(e)
-	wg.Add(len(m.PEs) + 1)
-	for _, pe := range m.PEs {
-		pe := pe
-		e.Go(fmt.Sprintf("dlrm.botmlp/%d", pe), func(rp *sim.Proc) {
-			mlp := &kernels.MLP{Widths: m.Cfg.BottomMLP, Batch: m.LocalBatch()}
-			mlp.Forward(rp, pl.Device(pe))
-			wg.Done()
-		})
-	}
-	e.Go("dlrm.emb", func(rp *sim.Proc) {
-		if fused {
-			embRep = m.EmbOp.RunFused(rp)
-		} else {
-			embRep = m.EmbOp.RunBaseline(rp)
-		}
-		wg.Done()
-	})
-	wg.Wait(p)
-
-	// Stage 2: interaction + top MLP per rank.
-	wg2 := sim.NewWaitGroup(e)
-	wg2.Add(len(m.PEs))
-	for _, pe := range m.PEs {
-		pe := pe
-		e.Go(fmt.Sprintf("dlrm.top/%d", pe), func(rp *sim.Proc) {
-			dev := pl.Device(pe)
-			m.interaction(rp, dev)
-			top := &kernels.MLP{Widths: m.Cfg.TopMLP, Batch: m.LocalBatch()}
-			top.Forward(rp, dev)
-			wg2.Done()
-		})
-	}
-	wg2.Wait(p)
-
-	rep := embRep
-	rep.Start = start
-	rep.End = e.Now()
-	return rep
+	return m.execute(p, m.fwd, fused)
 }
 
 // MLPParams returns the dense-parameter count per replica, the payload
@@ -167,61 +223,14 @@ func (m *Model) MLPParams() int {
 	return bot.Params() + top.Params()
 }
 
-// TrainStep runs one training iteration: the forward pass, the backward
-// MLP and interaction kernels, the embedding-gradient exchange (fused
-// or bulk-synchronous), and the data-parallel MLP gradient AllReduce —
-// the latter overlapped with the embedding path in both execution
-// models, matching production schedules and the paper's Fig 15 setup.
+// TrainStep runs one training iteration through the graph executor:
+// the forward pass, the backward MLP and interaction kernels, and the
+// embedding-gradient exchange concurrent with the data-parallel MLP
+// gradient AllReduce — the latter overlapped with the embedding path in
+// both execution models, matching production schedules and the paper's
+// Fig 15 setup.
 func (m *Model) TrainStep(p *sim.Proc, fused bool) core.Report {
-	pl := m.World.Platform()
-	e := pl.E
-	start := e.Now()
-	m.Forward(p, fused)
-
-	// Backward MLP + interaction on every rank (≈2x forward cost:
-	// dgrad + wgrad), concurrent across ranks.
-	wg := sim.NewWaitGroup(e)
-	wg.Add(len(m.PEs))
-	for _, pe := range m.PEs {
-		pe := pe
-		e.Go(fmt.Sprintf("dlrm.bwd/%d", pe), func(rp *sim.Proc) {
-			dev := pl.Device(pe)
-			top := &kernels.MLP{Widths: m.Cfg.TopMLP, Batch: m.LocalBatch()}
-			top.Forward(rp, dev)
-			top.Forward(rp, dev)
-			m.interaction(rp, dev)
-			bot := &kernels.MLP{Widths: m.Cfg.BottomMLP, Batch: m.LocalBatch()}
-			bot.Forward(rp, dev)
-			bot.Forward(rp, dev)
-			wg.Done()
-		})
-	}
-	wg.Wait(p)
-
-	// Embedding-gradient exchange and MLP gradient AllReduce run
-	// concurrently; the iteration ends when both finish.
-	done := sim.NewWaitGroup(e)
-	done.Add(2)
-	var rep core.Report
-	e.Go("dlrm.embgrad", func(rp *sim.Proc) {
-		if fused {
-			rep = m.GradOp.RunFused(rp)
-		} else {
-			rep = m.GradOp.RunBaseline(rp)
-		}
-		done.Done()
-	})
-	e.Go("dlrm.mlp.allreduce", func(rp *sim.Proc) {
-		comm := collectives.New(pl, m.PEs)
-		grads := m.World.Malloc(m.MLPParams())
-		comm.AllReduceRing(rp, grads, 0, m.MLPParams())
-		done.Done()
-	})
-	done.Wait(p)
-
-	rep.Start = start
-	rep.End = e.Now()
-	return rep
+	return m.execute(p, m.TrainGraph(), fused)
 }
 
 // interaction charges the pairwise dot-product interaction op: for each

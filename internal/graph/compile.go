@@ -1,0 +1,236 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+
+	"fusedcc/internal/core"
+)
+
+// Pattern identifies one fusion rewrite the compiler knows.
+type Pattern int
+
+const (
+	// PatternGEMVAllReduce rewrites gemv → all_reduce to the fused
+	// GEMV + AllReduce persistent kernel (§III-B).
+	PatternGEMVAllReduce Pattern = iota
+	// PatternEmbeddingAllToAll rewrites embedding_bag → all_to_all to
+	// the fused embedding + All-to-All persistent kernel (§III-A).
+	PatternEmbeddingAllToAll
+	// PatternGEMMAllToAll rewrites matmul → all_to_all to the fused
+	// Triton-built GEMM + All-to-All kernel (§III-B, §III-D).
+	PatternGEMMAllToAll
+	// PatternGradExchange rewrites the bulk-synchronous embedding-
+	// gradient exchange to the fused overlapped exchange (Fig 15).
+	PatternGradExchange
+	numPatterns
+)
+
+func (pt Pattern) String() string {
+	switch pt {
+	case PatternGEMVAllReduce:
+		return "gemv+all_reduce"
+	case PatternEmbeddingAllToAll:
+		return "embedding_bag+all_to_all"
+	case PatternGEMMAllToAll:
+		return "matmul+all_to_all"
+	case PatternGradExchange:
+		return "embedding_grad_exchange"
+	}
+	return fmt.Sprintf("pattern(%d)", int(pt))
+}
+
+// CompileOptions tunes the fusion pass. The zero value enables every
+// pattern.
+type CompileOptions struct {
+	// Disable lists patterns the pass must not apply.
+	Disable []Pattern
+}
+
+func (o CompileOptions) enabled(pt Pattern) bool {
+	for _, d := range o.Disable {
+		if d == pt {
+			return false
+		}
+	}
+	return true
+}
+
+// Rewrite records one applied fusion.
+type Rewrite struct {
+	Pattern Pattern
+	// Compute and Collective name the replaced nodes (Compute is empty
+	// for the gradient-exchange implementation swap).
+	Compute, Collective string
+	// Fused names the substituted node.
+	Fused string
+}
+
+// CompileReport summarizes a fusion pass.
+type CompileReport struct {
+	Rewrites []Rewrite
+	// Unfused counts collective nodes left on the eager path.
+	Unfused int
+}
+
+func (r *CompileReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "compile: %d fusion(s), %d collective(s) left eager\n", len(r.Rewrites), r.Unfused)
+	for _, rw := range r.Rewrites {
+		if rw.Compute != "" {
+			fmt.Fprintf(&b, "  %s: (%s, %s) -> %s\n", rw.Pattern, rw.Compute, rw.Collective, rw.Fused)
+		} else {
+			fmt.Fprintf(&b, "  %s: %s -> %s\n", rw.Pattern, rw.Collective, rw.Fused)
+		}
+	}
+	return b.String()
+}
+
+// Compile runs the fusion pass: it returns a new graph in which every
+// adjacent compute→collective pair matching an enabled pattern is
+// replaced by the corresponding fused computation-collective node, and
+// every eager gradient exchange by its fused counterpart. Unmatched
+// nodes are copied unchanged and still run as eager baselines. The
+// input graph is not modified; both graphs share the same backing
+// operators (and therefore buffers), so eager and compiled runs of the
+// same model are directly comparable.
+//
+// A pair fuses only when the collective directly consumes the compute
+// node's value, both are bound to the same backing operator, and the
+// compute node has no other consumer (fusing it would hide the staged
+// intermediate another node reads).
+func Compile(g *Graph, opt CompileOptions) (*Graph, *CompileReport) {
+	rep := &CompileReport{}
+	out := New(g.world, g.pes, g.cfg)
+
+	// match maps a fusable collective node to its producing compute
+	// node; replaced maps original nodes to their substitutes in the
+	// output graph (filled during the copy).
+	match := map[*Node]*Node{}
+	computeMatched := map[*Node]bool{}
+	replaced := map[*Node]*Node{}
+
+	for _, c := range g.nodes {
+		if c.op.Kind() != KindCollective {
+			continue
+		}
+		pair := pairOf(c.op)
+		if pair == nil {
+			continue
+		}
+		pt, ok := patternFor(c.op)
+		if !ok || !opt.enabled(pt) {
+			continue
+		}
+		// The producing compute node: the input bound to the same pair.
+		var producer *Node
+		for _, in := range c.in {
+			if in.op.Kind() == KindCompute && pairOf(in.op) == pair {
+				producer = in
+				break
+			}
+		}
+		if producer == nil || g.consumers(producer) != 1 {
+			continue
+		}
+		match[c] = producer
+		computeMatched[producer] = true
+	}
+
+	for _, n := range g.nodes {
+		if computeMatched[n] {
+			continue // compute half: emitted at its collective's position
+		}
+		if producer, matched := match[n]; matched {
+			// Substitute one fused node for the pair. It inherits the
+			// compute node's dependencies plus the collective's other
+			// dependencies, so dataflow scheduling starts it exactly
+			// where the compute node would have started.
+			fn, pt := fuseNodes(producer, n)
+			fn.in = mapInputs(append(append([]*Node{}, producer.in...), exclude(n.in, producer)...), replaced)
+			fn.id, fn.g = len(out.nodes), out
+			out.nodes = append(out.nodes, fn)
+			replaced[producer] = fn
+			replaced[n] = fn
+			rep.Rewrites = append(rep.Rewrites, Rewrite{Pattern: pt, Compute: producer.name, Collective: n.name, Fused: fn.name})
+			continue
+		}
+		if gx, ok := n.op.(*gradExchangeOp); ok && !gx.fused && opt.enabled(PatternGradExchange) {
+			fn := &Node{name: n.name, op: &gradExchangeOp{op: gx.op, fused: true}}
+			fn.in = mapInputs(n.in, replaced)
+			fn.id, fn.g = len(out.nodes), out
+			out.nodes = append(out.nodes, fn)
+			replaced[n] = fn
+			rep.Rewrites = append(rep.Rewrites, Rewrite{Pattern: PatternGradExchange, Collective: n.name, Fused: fn.name})
+			continue
+		}
+		cp := &Node{name: n.name, op: n.op}
+		cp.in = mapInputs(n.in, replaced)
+		cp.id, cp.g = len(out.nodes), out
+		out.nodes = append(out.nodes, cp)
+		replaced[n] = cp
+		if n.op.Kind() == KindCollective {
+			rep.Unfused++
+		}
+	}
+	return out, rep
+}
+
+// patternFor classifies a fusable collective op.
+func patternFor(op Op) (Pattern, bool) {
+	switch op.(type) {
+	case *allReduceOp:
+		return PatternGEMVAllReduce, true
+	case *embAllToAllOp:
+		return PatternEmbeddingAllToAll, true
+	case *gemmAllToAllOp:
+		return PatternGEMMAllToAll, true
+	}
+	return 0, false
+}
+
+// fuseNodes builds the fused node replacing compute node n and
+// collective node c.
+func fuseNodes(n, c *Node) (*Node, Pattern) {
+	name := n.name + "+" + c.name
+	switch pair := pairOf(c.op).(type) {
+	case *core.GEMVAllReduce:
+		return &Node{name: name, op: &fusedGEMVAllReduceOp{op: pair}}, PatternGEMVAllReduce
+	case *core.EmbeddingAllToAll:
+		return &Node{name: name, op: &fusedEmbeddingAllToAllOp{op: pair}}, PatternEmbeddingAllToAll
+	case *core.GEMMAllToAll:
+		return &Node{name: name, op: &fusedGEMMAllToAllOp{op: pair}}, PatternGEMMAllToAll
+	}
+	panic("graph: fuseNodes on non-fusable pair") // unreachable: patternFor gated
+}
+
+// exclude returns ins without node x.
+func exclude(ins []*Node, x *Node) []*Node {
+	var out []*Node
+	for _, in := range ins {
+		if in != x {
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+// mapInputs rewrites dependency pointers into the new graph, dropping
+// duplicates introduced by pair merging.
+func mapInputs(ins []*Node, replaced map[*Node]*Node) []*Node {
+	var out []*Node
+	seen := map[*Node]bool{}
+	for _, in := range ins {
+		m, ok := replaced[in]
+		if !ok {
+			// Input precedes this node in topological order, so it has
+			// been emitted already; missing means a foreign node.
+			panic(fmt.Sprintf("graph: input %q not part of the compiled graph", in.name))
+		}
+		if !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	return out
+}

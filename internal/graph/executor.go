@@ -1,0 +1,201 @@
+package graph
+
+import (
+	"fmt"
+
+	"fusedcc/internal/core"
+	"fusedcc/internal/sim"
+)
+
+// Mode selects the execution model of a graph run.
+type Mode int
+
+const (
+	// Eager runs the graph as built: compute nodes as conventional
+	// kernels, collective nodes as library collectives — the bulk-
+	// synchronous baseline.
+	Eager Mode = iota
+	// Compiled runs the graph through the fusion pass first, so matched
+	// compute→collective pairs execute as fused persistent kernels.
+	Compiled
+)
+
+func (m Mode) String() string {
+	if m == Compiled {
+		return "compiled"
+	}
+	return "eager"
+}
+
+// NodeReport is the per-node line of an execution report.
+type NodeReport struct {
+	Name string
+	Op   string
+	Kind NodeKind
+	// Start and End bound the node's execution in simulated time.
+	Start, End sim.Time
+	// RemotePuts and RemoteBytes count the node's GPU-initiated
+	// communication (fused nodes only; library collectives move data
+	// through the collective cost model instead).
+	RemotePuts  int
+	RemoteBytes float64
+}
+
+// Duration returns the node's simulated execution time.
+func (nr NodeReport) Duration() sim.Duration { return nr.End.Sub(nr.Start) }
+
+// Report captures one graph execution.
+type Report struct {
+	Mode Mode
+	// Start and End bound the whole graph (the makespan window).
+	Start, End sim.Time
+	// Nodes holds one entry per executed node, in graph order.
+	Nodes []NodeReport
+	// Compile is the fusion-pass report (nil in Eager mode).
+	Compile *CompileReport
+}
+
+// Duration returns the graph makespan.
+func (r *Report) Duration() sim.Duration { return r.End.Sub(r.Start) }
+
+// Node returns the report line of the named node, or nil.
+func (r *Report) Node(name string) *NodeReport {
+	for i := range r.Nodes {
+		if r.Nodes[i].Name == name {
+			return &r.Nodes[i]
+		}
+	}
+	return nil
+}
+
+// RemotePuts sums GPU-initiated communication operations over nodes.
+func (r *Report) RemotePuts() int {
+	n := 0
+	for i := range r.Nodes {
+		n += r.Nodes[i].RemotePuts
+	}
+	return n
+}
+
+// RemoteBytes sums GPU-initiated communication bytes over nodes.
+func (r *Report) RemoteBytes() float64 {
+	b := 0.0
+	for i := range r.Nodes {
+		b += r.Nodes[i].RemoteBytes
+	}
+	return b
+}
+
+// Summary condenses the graph report into the operator Report shape
+// the case studies and experiments consume: the makespan window plus
+// total GPU-initiated traffic, with every PE credited the final time.
+func (r *Report) Summary(peCount int) core.Report {
+	rep := core.Report{
+		Start: r.Start, End: r.End,
+		PEEnd:      make([]sim.Time, peCount),
+		RemotePuts: r.RemotePuts(), RemoteBytes: r.RemoteBytes(),
+	}
+	for i := range rep.PEEnd {
+		rep.PEEnd[i] = r.End
+	}
+	return rep
+}
+
+// String renders the report as an aligned per-node table.
+func (r *Report) String() string {
+	s := fmt.Sprintf("graph run (%s): %v makespan\n", r.Mode, r.Duration())
+	for _, nr := range r.Nodes {
+		s += fmt.Sprintf("  %-28s %-32s %-10s %12v", nr.Name, nr.Op, nr.Kind, nr.Duration())
+		if nr.RemotePuts > 0 {
+			s += fmt.Sprintf("  %6d puts %10.1f KB", nr.RemotePuts, nr.RemoteBytes/1e3)
+		}
+		s += "\n"
+	}
+	return s
+}
+
+// Executor runs graphs with dataflow scheduling: every node starts the
+// moment all its dependencies have finished, so independent subgraphs
+// (a DLRM bottom MLP and its embedding exchange, say) overlap without
+// hand-written concurrency.
+type Executor struct {
+	// Options tunes the fusion pass used in Compiled mode.
+	Options CompileOptions
+
+	// compiled caches the fusion-pass output per source graph so
+	// repeated Compiled executions (decode loops, training iterations)
+	// do not recompile a static graph. Invalidated when the source
+	// graph grows.
+	compiled map[*Graph]compiledEntry
+}
+
+type compiledEntry struct {
+	g     *Graph
+	rep   *CompileReport
+	nodes int    // len(source.nodes) at compile time
+	opts  string // fingerprint of the options used
+}
+
+// compile returns the cached fused form of g, compiling on first use
+// (or after g gained nodes, or after Options changed).
+func (x *Executor) compile(g *Graph) (*Graph, *CompileReport) {
+	opts := fmt.Sprint(x.Options.Disable)
+	if ent, ok := x.compiled[g]; ok && ent.nodes == len(g.nodes) && ent.opts == opts {
+		return ent.g, ent.rep
+	}
+	cg, crep := Compile(g, x.Options)
+	if x.compiled == nil {
+		x.compiled = map[*Graph]compiledEntry{}
+	}
+	x.compiled[g] = compiledEntry{g: cg, rep: crep, nodes: len(g.nodes), opts: opts}
+	return cg, crep
+}
+
+// Execute runs g in the given mode on the coordinating process and
+// blocks until every node has finished. In Compiled mode the graph is
+// first rewritten by Compile (cached across calls); the input graph is
+// never modified. An empty graph is a valid no-op.
+func (x *Executor) Execute(p *sim.Proc, g *Graph, mode Mode) *Report {
+	rg := g
+	rep := &Report{Mode: mode}
+	if mode == Compiled {
+		rg, rep.Compile = x.compile(g)
+	}
+
+	e := g.world.Platform().E
+	rep.Start = e.Now()
+	rep.Nodes = make([]NodeReport, len(rg.nodes))
+
+	done := make([]*sim.Flag, len(rg.nodes))
+	for i := range done {
+		done[i] = sim.NewFlag(e)
+	}
+	all := sim.NewWaitGroup(e)
+	all.Add(len(rg.nodes))
+	for i, n := range rg.nodes {
+		i, n := i, n
+		e.Go(fmt.Sprintf("graph/%s", n.name), func(np *sim.Proc) {
+			for _, in := range n.in {
+				done[in.id].WaitGE(np, 1)
+			}
+			r := n.op.Run(np)
+			rep.Nodes[i] = NodeReport{
+				Name: n.name, Op: n.op.OpName(), Kind: n.op.Kind(),
+				Start: r.Start, End: r.End,
+				RemotePuts: r.RemotePuts, RemoteBytes: r.RemoteBytes,
+			}
+			done[i].Set(1)
+			all.Done()
+		})
+	}
+	all.Wait(p)
+	rep.End = e.Now()
+	return rep
+}
+
+// Run executes g in the given mode with a default Executor — the
+// one-line entry point for callers with no compile options to set.
+func Run(p *sim.Proc, g *Graph, mode Mode) *Report {
+	var x Executor
+	return x.Execute(p, g, mode)
+}

@@ -1,0 +1,170 @@
+package graph
+
+import (
+	"fmt"
+
+	"fusedcc/internal/collectives"
+	"fusedcc/internal/core"
+	"fusedcc/internal/shmem"
+	"fusedcc/internal/sim"
+)
+
+// ---- compute ops ----
+
+type embeddingBagOp struct{ op *core.EmbeddingAllToAll }
+
+func (o *embeddingBagOp) OpName() string              { return "embedding_bag" }
+func (o *embeddingBagOp) Kind() NodeKind              { return KindCompute }
+func (o *embeddingBagOp) Run(p *sim.Proc) core.Report { return o.op.RunPooling(p) }
+
+type gemvOp struct{ op *core.GEMVAllReduce }
+
+func (o *gemvOp) OpName() string              { return "gemv" }
+func (o *gemvOp) Kind() NodeKind              { return KindCompute }
+func (o *gemvOp) Run(p *sim.Proc) core.Report { return o.op.RunCompute(p) }
+
+type matmulOp struct{ op *core.GEMMAllToAll }
+
+func (o *matmulOp) OpName() string              { return "matmul" }
+func (o *matmulOp) Kind() NodeKind              { return KindCompute }
+func (o *matmulOp) Run(p *sim.Proc) core.Report { return o.op.RunCompute(p) }
+
+type perRankOp struct {
+	g  *Graph
+	fn func(p *sim.Proc, rank, pe int)
+}
+
+func (o *perRankOp) OpName() string { return "per_rank" }
+func (o *perRankOp) Kind() NodeKind { return KindCompute }
+
+func (o *perRankOp) Run(p *sim.Proc) core.Report {
+	pl := o.g.world.Platform()
+	e := pl.E
+	rep := core.Report{Start: e.Now(), PEEnd: make([]sim.Time, len(o.g.pes))}
+	wg := sim.NewWaitGroup(e)
+	wg.Add(len(o.g.pes))
+	for rank, pe := range o.g.pes {
+		rank, pe := rank, pe
+		e.Go(fmt.Sprintf("graph.rank%d", rank), func(rp *sim.Proc) {
+			o.fn(rp, rank, pe)
+			rep.PEEnd[rank] = rp.Now()
+			wg.Done()
+		})
+	}
+	wg.Wait(p)
+	rep.End = e.Now()
+	return rep
+}
+
+// ---- collective ops (eager halves of the pairs) ----
+
+type allReduceOp struct{ op *core.GEMVAllReduce }
+
+func (o *allReduceOp) OpName() string              { return "all_reduce" }
+func (o *allReduceOp) Kind() NodeKind              { return KindCollective }
+func (o *allReduceOp) Run(p *sim.Proc) core.Report { return o.op.RunAllReduce(p) }
+
+type embAllToAllOp struct{ op *core.EmbeddingAllToAll }
+
+func (o *embAllToAllOp) OpName() string              { return "all_to_all" }
+func (o *embAllToAllOp) Kind() NodeKind              { return KindCollective }
+func (o *embAllToAllOp) Run(p *sim.Proc) core.Report { return o.op.RunExchange(p) }
+
+type gemmAllToAllOp struct{ op *core.GEMMAllToAll }
+
+func (o *gemmAllToAllOp) OpName() string              { return "all_to_all" }
+func (o *gemmAllToAllOp) Kind() NodeKind              { return KindCollective }
+func (o *gemmAllToAllOp) Run(p *sim.Proc) core.Report { return o.op.RunExchange(p) }
+
+type gradExchangeOp struct {
+	op    *core.EmbeddingGradExchange
+	fused bool
+}
+
+func (o *gradExchangeOp) OpName() string {
+	if o.fused {
+		return "fused::embedding_grad_exchange"
+	}
+	return "embedding_grad_exchange"
+}
+
+func (o *gradExchangeOp) Kind() NodeKind {
+	if o.fused {
+		return KindFused
+	}
+	return KindCollective
+}
+
+func (o *gradExchangeOp) Run(p *sim.Proc) core.Report {
+	if o.fused {
+		return o.op.RunFused(p)
+	}
+	return o.op.RunBaseline(p)
+}
+
+// symmCollectiveOp is a generic library collective over arbitrary
+// symmetric buffers — real communication, but with no producing compute
+// node in the IR to fuse with.
+type symmCollectiveOp struct {
+	g          *Graph
+	name       string // "all_reduce" | "all_to_all"
+	data, recv *shmem.Symm
+	off, elems int
+	algo       collectives.Algo
+}
+
+func (o *symmCollectiveOp) OpName() string { return o.name }
+func (o *symmCollectiveOp) Kind() NodeKind { return KindCollective }
+
+func (o *symmCollectiveOp) Run(p *sim.Proc) core.Report {
+	pl := o.g.world.Platform()
+	rep := core.Report{Start: pl.E.Now()}
+	comm := collectives.New(pl, o.g.pes)
+	if o.name == "all_to_all" {
+		comm.AllToAll(p, o.data, o.recv, o.elems, o.algo)
+	} else {
+		comm.AllReduce(p, o.data, o.off, o.elems, o.algo)
+	}
+	rep.End = pl.E.Now()
+	return rep
+}
+
+// ---- fused ops (substituted by the compiler) ----
+
+type fusedGEMVAllReduceOp struct{ op *core.GEMVAllReduce }
+
+func (o *fusedGEMVAllReduceOp) OpName() string              { return "fused::gemv_allreduce" }
+func (o *fusedGEMVAllReduceOp) Kind() NodeKind              { return KindFused }
+func (o *fusedGEMVAllReduceOp) Run(p *sim.Proc) core.Report { return o.op.RunFused(p) }
+
+type fusedEmbeddingAllToAllOp struct{ op *core.EmbeddingAllToAll }
+
+func (o *fusedEmbeddingAllToAllOp) OpName() string              { return "fused::embedding_all2all" }
+func (o *fusedEmbeddingAllToAllOp) Kind() NodeKind              { return KindFused }
+func (o *fusedEmbeddingAllToAllOp) Run(p *sim.Proc) core.Report { return o.op.RunFused(p) }
+
+type fusedGEMMAllToAllOp struct{ op *core.GEMMAllToAll }
+
+func (o *fusedGEMMAllToAllOp) OpName() string              { return "fused::gemm_all2all" }
+func (o *fusedGEMMAllToAllOp) Kind() NodeKind              { return KindFused }
+func (o *fusedGEMMAllToAllOp) Run(p *sim.Proc) core.Report { return o.op.RunFused(p) }
+
+// pairOf returns the backing pair operator of a compute or collective
+// op that participates in fusion, or nil.
+func pairOf(op Op) any {
+	switch o := op.(type) {
+	case *embeddingBagOp:
+		return o.op
+	case *gemvOp:
+		return o.op
+	case *matmulOp:
+		return o.op
+	case *allReduceOp:
+		return o.op
+	case *embAllToAllOp:
+		return o.op
+	case *gemmAllToAllOp:
+		return o.op
+	}
+	return nil
+}

@@ -2,15 +2,21 @@
 // a Mixture-of-Experts layer under expert parallelism. Each PE hosts one
 // expert; tokens are routed top-2, dispatched with an All-to-All, run
 // through the expert feed-forward network, and returned with the combine
-// All-to-All — the collective the fused GEMM + All-to-All operator
-// overlaps with the second expert GEMM.
+// All-to-All.
+//
+// The layer is expressed as a computation graph: gate → dispatch
+// All-to-All → first expert GEMM + activation → MatMul → combine
+// All-to-All. In compiled mode the fusion pass rewrites the trailing
+// MatMul → AllToAll pair to the fused Triton-built GEMM + All-to-All
+// operator; the dispatch stays a library collective on both paths (the
+// paper fuses only the combine side).
 package moe
 
 import (
 	"fmt"
 
-	"fusedcc/internal/collectives"
 	"fusedcc/internal/core"
+	"fusedcc/internal/graph"
 	"fusedcc/internal/kernels"
 	"fusedcc/internal/shmem"
 	"fusedcc/internal/sim"
@@ -48,13 +54,18 @@ type Layer struct {
 	// expertRows is the tokens each expert processes per layer pass:
 	// TopK * TokensPerGPU under the uniform assumption.
 	expertRows int
+	tokensOut  *shmem.Symm // dispatch staging: routed tokens leaving each rank
 	tokensIn   *shmem.Symm // dispatch staging: expert input tokens
 	gemm1      []*kernels.GEMM
-	// Op fuses the second expert GEMM with the combine All-to-All.
+	// Op pairs the second expert GEMM with the combine All-to-All.
 	Op *core.GEMMAllToAll
+
+	g    *graph.Graph
+	exec graph.Executor
 }
 
-// New validates the shape and builds weights and routing state.
+// New validates the shape, builds weights and routing state, and
+// assembles the layer's computation graph.
 func New(w *shmem.World, pes []int, cfg Config, opCfg core.Config) (*Layer, error) {
 	k := len(pes)
 	if k == 0 {
@@ -69,6 +80,7 @@ func New(w *shmem.World, pes []int, cfg Config, opCfg core.Config) (*Layer, erro
 	}
 	l := &Layer{World: w, PEs: pes, Cfg: cfg, expertRows: rows}
 	pl := w.Platform()
+	l.tokensOut = w.Malloc(rows * cfg.ModelDim)
 	l.tokensIn = w.Malloc(rows * cfg.ModelDim)
 	gemm2 := make([]*kernels.GEMM, k)
 	for s, pe := range pes {
@@ -90,69 +102,48 @@ func New(w *shmem.World, pes []int, cfg Config, opCfg core.Config) (*Layer, erro
 		return nil, err
 	}
 	l.Op = op
+
+	g := graph.New(w, pes, opCfg)
+	gate := g.PerRank("gate", func(p *sim.Proc, rank, pe int) {
+		// Gating router: tiny GEMM (tokens x experts) staging the
+		// routed tokens for dispatch.
+		dev := pl.Device(pe)
+		gt := &kernels.GEMM{M: cfg.TokensPerGPU, N: k, K: cfg.ModelDim, TileM: 32, TileN: k}
+		gt.Run(p, dev, 0)
+	})
+	disp := g.AllToAllSymm("dispatch", l.tokensOut, l.tokensIn, rows/k*cfg.ModelDim, gate)
+	ffn1 := g.PerRank("expert_ffn1+act", func(p *sim.Proc, rank, pe int) {
+		dev := pl.Device(pe)
+		l.gemm1[rank].Run(p, dev, 0)
+		kernels.ReLU(p, dev, l.gemm1[rank].C, 0, rows*cfg.FFNDim)
+	}, disp)
+	mm := g.MatMul("expert_ffn2", op, ffn1)
+	if _, err := g.AllToAll("combine", mm); err != nil {
+		return nil, err
+	}
+	l.g = g
 	return l, nil
 }
+
+// Graph returns the layer's computation graph (eager form; Compile
+// produces the fused form).
+func (l *Layer) Graph() *graph.Graph { return l.g }
 
 // Combined returns the combine output: on each PE, [k][expertRows/k]
 // rows of ModelDim — the TopK partial outputs of the PE's own tokens,
 // ready for the weighted combine.
 func (l *Layer) Combined() *shmem.Symm { return l.Op.Recv }
 
-// Forward runs one layer pass. fused selects the execution model for
-// the second expert GEMM + combine All-to-All; the gate, dispatch
-// All-to-All, first GEMM, and activation are common to both paths.
+// Forward runs one layer pass through the graph executor. fused selects
+// compiled mode, where the fusion pass substitutes the fused
+// GEMM + combine All-to-All; the gate, dispatch All-to-All, first GEMM,
+// and activation are common to both paths.
 func (l *Layer) Forward(p *sim.Proc, fused bool) core.Report {
-	pl := l.World.Platform()
-	e := pl.E
-	start := e.Now()
-	k := len(l.PEs)
-	cfg := l.Cfg
-
-	// Stage 1 per rank: gating router (tiny GEMM: tokens x experts) and
-	// token staging for dispatch.
-	tokensOut := l.World.Malloc(l.expertRows * cfg.ModelDim)
-	wg := sim.NewWaitGroup(e)
-	wg.Add(k)
-	for s, pe := range l.PEs {
-		pe := pe
-		_ = s
-		e.Go(fmt.Sprintf("moe.gate/%d", pe), func(rp *sim.Proc) {
-			dev := pl.Device(pe)
-			gate := &kernels.GEMM{M: cfg.TokensPerGPU, N: k, K: cfg.ModelDim, TileM: 32, TileN: k}
-			gate.Run(rp, dev, 0)
-			wg.Done()
-		})
-	}
-	wg.Wait(p)
-
-	// Stage 2: dispatch All-to-All (always a collective; the paper fuses
-	// only the combine side).
-	comm := collectives.New(pl, l.PEs)
-	comm.AllToAll(p, tokensOut, l.tokensIn, l.expertRows/k*cfg.ModelDim, l.Op.Config.Collective)
-
-	// Stage 3 per rank: first expert GEMM + activation.
-	wg2 := sim.NewWaitGroup(e)
-	wg2.Add(k)
-	for s, pe := range l.PEs {
-		s, pe := s, pe
-		e.Go(fmt.Sprintf("moe.ffn1/%d", pe), func(rp *sim.Proc) {
-			dev := pl.Device(pe)
-			l.gemm1[s].Run(rp, dev, 0)
-			kernels.ReLU(rp, dev, l.gemm1[s].C, 0, l.expertRows*cfg.FFNDim)
-			wg2.Done()
-		})
-	}
-	wg2.Wait(p)
-
-	// Stage 4: second expert GEMM fused (or not) with combine.
-	var rep core.Report
+	mode := graph.Eager
 	if fused {
-		rep = l.Op.RunFused(p)
-	} else {
-		rep = l.Op.RunBaseline(p)
+		mode = graph.Compiled
 	}
-	rep.Start = start
-	return rep
+	return l.exec.Execute(p, l.g, mode).Summary(len(l.PEs))
 }
 
 func min(a, b int) int {

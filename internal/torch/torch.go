@@ -3,7 +3,9 @@
 // heap allocation API the paper adds (the torch.tensor.to() analogue
 // that lands data in NIC-registered device memory), and an operator
 // registry through which the fused operators are exposed under stable
-// names — the hook a graph-transformation pass would call.
+// names — the by-name hook for framework extensions. The graph-
+// transformation pass itself lives in internal/graph, whose fused nodes
+// carry these same operator names.
 package torch
 
 import (
@@ -23,16 +25,26 @@ type Tensor struct {
 	buf   *gpu.Buffer
 }
 
-// NewTensor allocates a tensor of the given shape on dev.
-func NewTensor(dev *gpu.Device, shape ...int) *Tensor {
+// numel validates a shape and returns its element count. Invalid
+// configuration is an error, not a panic.
+func numel(shape []int) (int, error) {
 	n := 1
 	for _, d := range shape {
 		if d <= 0 {
-			panic(fmt.Sprintf("torch: bad dim %d in shape %v", d, shape))
+			return 0, fmt.Errorf("torch: bad dim %d in shape %v", d, shape)
 		}
 		n *= d
 	}
-	return &Tensor{shape: append([]int(nil), shape...), buf: dev.Alloc(n)}
+	return n, nil
+}
+
+// NewTensor allocates a tensor of the given shape on dev.
+func NewTensor(dev *gpu.Device, shape ...int) (*Tensor, error) {
+	n, err := numel(shape)
+	if err != nil {
+		return nil, err
+	}
+	return &Tensor{shape: append([]int(nil), shape...), buf: dev.Alloc(n)}, nil
 }
 
 // Shape returns the dimensions.
@@ -47,15 +59,17 @@ func (t *Tensor) Buffer() *gpu.Buffer { return t.buf }
 // Device returns the owning device.
 func (t *Tensor) Device() *gpu.Device { return t.buf.Device() }
 
-// CopyFromHost fills the tensor from host data (functional mode only).
-func (t *Tensor) CopyFromHost(data []float32) {
-	if !t.buf.Functional() {
-		return
-	}
+// CopyFromHost fills the tensor from host data (functional mode only;
+// a timing-mode copy is a no-op). A length mismatch is an error.
+func (t *Tensor) CopyFromHost(data []float32) error {
 	if len(data) != t.buf.Len() {
-		panic(fmt.Sprintf("torch: host data %d elements for tensor of %d", len(data), t.buf.Len()))
+		return fmt.Errorf("torch: host data %d elements for tensor of %d", len(data), t.buf.Len())
+	}
+	if !t.buf.Functional() {
+		return nil
 	}
 	copy(t.buf.Data(), data)
+	return nil
 }
 
 // SymmetricTensor is a tensor replicated across the symmetric heap of
@@ -98,15 +112,12 @@ func (f *Framework) World() *shmem.World { return f.world }
 
 // SymmetricEmpty allocates a symmetric tensor of the given per-PE shape
 // (the roc_shmem_malloc-backed torch.empty analogue).
-func (f *Framework) SymmetricEmpty(shape ...int) *SymmetricTensor {
-	n := 1
-	for _, d := range shape {
-		if d <= 0 {
-			panic(fmt.Sprintf("torch: bad dim %d in shape %v", d, shape))
-		}
-		n *= d
+func (f *Framework) SymmetricEmpty(shape ...int) (*SymmetricTensor, error) {
+	n, err := numel(shape)
+	if err != nil {
+		return nil, err
 	}
-	return &SymmetricTensor{shape: append([]int(nil), shape...), symm: f.world.Malloc(n)}
+	return &SymmetricTensor{shape: append([]int(nil), shape...), symm: f.world.Malloc(n)}, nil
 }
 
 // Register installs an operator under a name. Re-registering a name

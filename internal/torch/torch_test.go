@@ -37,7 +37,10 @@ func testFramework(e *sim.Engine) (*platform.Platform, *Framework) {
 func TestTensorShapeAndData(t *testing.T) {
 	e := sim.NewEngine()
 	pl, _ := testFramework(e)
-	ten := NewTensor(pl.Device(0), 4, 8)
+	ten, err := NewTensor(pl.Device(0), 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if ten.Numel() != 32 {
 		t.Fatalf("numel = %d", ten.Numel())
 	}
@@ -48,16 +51,24 @@ func TestTensorShapeAndData(t *testing.T) {
 	for i := range host {
 		host[i] = float32(i)
 	}
-	ten.CopyFromHost(host)
+	if err := ten.CopyFromHost(host); err != nil {
+		t.Fatal(err)
+	}
 	if ten.Buffer().Data()[31] != 31 {
 		t.Error("host copy failed")
+	}
+	if err := ten.CopyFromHost(host[:3]); err == nil {
+		t.Error("length mismatch must be an error")
 	}
 }
 
 func TestSymmetricEmptyAllocatesEveryPE(t *testing.T) {
 	e := sim.NewEngine()
 	_, f := testFramework(e)
-	st := f.SymmetricEmpty(16, 2)
+	st, err := f.SymmetricEmpty(16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for pe := 0; pe < f.World().NPEs(); pe++ {
 		if st.On(pe).Len() != 32 {
 			t.Fatalf("PE %d len = %d", pe, st.On(pe).Len())
@@ -155,13 +166,16 @@ func TestCallMissingAttr(t *testing.T) {
 	e.Run()
 }
 
-func TestBadShapePanics(t *testing.T) {
+func TestBadShapeErrors(t *testing.T) {
 	e := sim.NewEngine()
-	pl, _ := testFramework(e)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("want panic for zero dim")
-		}
-	}()
-	NewTensor(pl.Device(0), 4, 0)
+	pl, f := testFramework(e)
+	if _, err := NewTensor(pl.Device(0), 4, 0); err == nil {
+		t.Error("NewTensor with a zero dim must error")
+	}
+	if _, err := NewTensor(pl.Device(0), -1); err == nil {
+		t.Error("NewTensor with a negative dim must error")
+	}
+	if _, err := f.SymmetricEmpty(0, 8); err == nil {
+		t.Error("SymmetricEmpty with a zero dim must error")
+	}
 }

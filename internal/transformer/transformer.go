@@ -4,12 +4,19 @@
 // first linear layer is column-partitioned (no communication), the
 // second is row-partitioned and ends in the AllReduce the fused
 // GEMV + AllReduce operator hides.
+//
+// The block is expressed as a computation graph: a per-rank first
+// layer + activation node feeding a GEMV → AllReduce pair. In eager
+// mode the pair runs bulk-synchronous; in compiled mode the fusion pass
+// (graph.Compile) rewrites the pair to the fused operator — the fused
+// path is produced by the compiler, not hand-wired.
 package transformer
 
 import (
 	"fmt"
 
 	"fusedcc/internal/core"
+	"fusedcc/internal/graph"
 	"fusedcc/internal/kernels"
 	"fusedcc/internal/shmem"
 	"fusedcc/internal/sim"
@@ -42,13 +49,16 @@ type ParallelFFN struct {
 	// Per-rank first layer: W0 column shard [FFN/k, Hidden], producing
 	// the local activation a_s.
 	gemv1 []*kernels.GEMV
-	act   []*shmem.Symm // per-rank activation buffer (local use only)
-	// Second layer fused with AllReduce: W1 row shard [Hidden, FFN/k].
+	// Second layer paired with AllReduce: W1 row shard [Hidden, FFN/k].
 	Op *core.GEMVAllReduce
+
+	g    *graph.Graph
+	exec graph.Executor
 }
 
-// New builds weights and the fused operator. The decode input vector x
-// is replicated on every rank (synthetic, seeded).
+// New builds weights, the pair operator, and the block's computation
+// graph. The decode input vector x is replicated on every rank
+// (synthetic, seeded).
 func New(w *shmem.World, pes []int, cfg Config, opCfg core.Config) (*ParallelFFN, error) {
 	k := len(pes)
 	if k == 0 || cfg.FFN%k != 0 {
@@ -79,44 +89,41 @@ func New(w *shmem.World, pes []int, cfg Config, opCfg core.Config) (*ParallelFFN
 		return nil, err
 	}
 	f.Op = op
+
+	g := graph.New(w, pes, opCfg)
+	l1 := g.PerRank("ffn1+act", func(p *sim.Proc, rank, pe int) {
+		dev := pl.Device(pe)
+		g1 := f.gemv1[rank]
+		g1.Run(p, dev, 0)
+		// Activation on the shard (ReLU stands in for GELU; same
+		// element-wise cost).
+		kernels.ReLU(p, dev, g1.Y, 0, g1.M)
+	})
+	mv := g.GEMV("ffn2", op, l1)
+	if _, err := g.AllReduce("allreduce", mv); err != nil {
+		return nil, err
+	}
+	f.g = g
 	return f, nil
 }
+
+// Graph returns the block's computation graph (eager form; Compile
+// produces the fused form).
+func (f *ParallelFFN) Graph() *graph.Graph { return f.g }
 
 // Output returns the block output (Hidden elements, identical on every
 // PE after a step).
 func (f *ParallelFFN) Output() *shmem.Symm { return f.Op.Out }
 
-// DecodeStep runs one token step of the block: per-rank GEMV through the
-// first layer, activation, then the second layer either fused with the
-// AllReduce or bulk-synchronous.
+// DecodeStep runs one token step of the block through the graph
+// executor: eager (bulk-synchronous second layer + library AllReduce)
+// or compiled (the fusion pass substitutes the fused GEMV + AllReduce).
 func (f *ParallelFFN) DecodeStep(p *sim.Proc, fused bool) core.Report {
-	pl := f.World.Platform()
-	e := pl.E
-	start := e.Now()
-	wg := sim.NewWaitGroup(e)
-	wg.Add(len(f.PEs))
-	for s, pe := range f.PEs {
-		s, pe := s, pe
-		e.Go(fmt.Sprintf("ffn.l1/%d", pe), func(rp *sim.Proc) {
-			dev := pl.Device(pe)
-			g1 := f.gemv1[s]
-			g1.Run(rp, dev, 0)
-			// Activation on the shard (ReLU stands in for GELU; same
-			// element-wise cost).
-			kernels.ReLU(rp, dev, g1.Y, 0, g1.M)
-			wg.Done()
-		})
-	}
-	wg.Wait(p)
-
-	var rep core.Report
+	mode := graph.Eager
 	if fused {
-		rep = f.Op.RunFused(p)
-	} else {
-		rep = f.Op.RunBaseline(p)
+		mode = graph.Compiled
 	}
-	rep.Start = start
-	return rep
+	return f.exec.Execute(p, f.g, mode).Summary(len(f.PEs))
 }
 
 func min(a, b int) int {
