@@ -140,7 +140,7 @@ func BenchmarkFusedGEMVOperator(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		op, err := sys.BuildGEMVAllReduce(8192, 2048, 16, 1, DefaultOperatorConfig())
+		op, err := sys.NewGEMVAllReduce(GEMVSpec{M: 8192, K: 2048, TileM: 16, Seed: 1}, DefaultOperatorConfig())
 		if err != nil {
 			b.Fatal(err)
 		}

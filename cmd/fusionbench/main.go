@@ -9,10 +9,15 @@
 //	fusionbench -table 1        # one setup table
 //	fusionbench -ablations      # the design-choice ablations
 //	fusionbench -shape 4x4      # hybrid comparison on one nodes x gpus shape
+//	fusionbench -pipeline       # eager vs pipelined vs fused mode sweep
+//	fusionbench -mode pipelined -chunks 4 -layers 4 -shape 2x4
+//	                            # one execution-mode configuration
+//	fusionbench -json out.json  # also emit machine-readable makespans
 //	fusionbench -quick ...      # shrunken sweeps (CI-sized)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -38,29 +43,125 @@ func parseShape(s string) (nodes, gpus int, err error) {
 
 var shapeRe = regexp.MustCompile(`^(\d+)x(\d+)$`)
 
+// parseMode maps the -mode flag to an execution mode.
+func parseMode(s string) (fusedcc.ExecMode, error) {
+	switch s {
+	case "eager":
+		return fusedcc.Eager, nil
+	case "fused", "compiled":
+		return fusedcc.Compiled, nil
+	case "pipelined":
+		return fusedcc.Pipelined, nil
+	}
+	return 0, fmt.Errorf("bad -mode %q: want eager, pipelined, or fused", s)
+}
+
+// jsonRow and jsonResult are the BENCH_pipeline.json schema: one entry
+// per experiment with per-row makespans in nanoseconds, so CI can track
+// the performance trajectory across commits.
+type jsonRow struct {
+	Label      string  `json:"label"`
+	BaselineNs int64   `json:"baseline_ns"`
+	FusedNs    int64   `json:"fused_ns"`
+	Normalized float64 `json:"normalized"`
+}
+
+type jsonResult struct {
+	ID    string    `json:"id"`
+	Title string    `json:"title"`
+	Rows  []jsonRow `json:"rows"`
+	Notes []string  `json:"notes,omitempty"`
+}
+
+// writeJSON emits the collected results as a machine-readable file.
+func writeJSON(path string, results []*fusedcc.ExperimentResult) error {
+	out := make([]jsonResult, 0, len(results))
+	for _, res := range results {
+		jr := jsonResult{ID: res.ID, Title: res.Title, Notes: res.Notes}
+		for _, r := range res.Rows {
+			jr.Rows = append(jr.Rows, jsonRow{
+				Label:      r.Label,
+				BaselineNs: int64(r.Baseline),
+				FusedNs:    int64(r.Fused),
+				Normalized: r.Normalized(),
+			})
+		}
+		out = append(out, jr)
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
 func main() {
 	var (
 		fig       = flag.Int("fig", 0, "regenerate figure N (8..16; 16 is the hybrid-cluster sweep)")
 		table     = flag.Int("table", 0, "regenerate table N (1..2)")
 		all       = flag.Bool("all", false, "regenerate every table and figure")
 		ablations = flag.Bool("ablations", false, "run the design-choice ablations")
-		shape     = flag.String("shape", "", "run the hybrid comparison on one NODESxGPUS shape (e.g. 4x4)")
+		shape     = flag.String("shape", "", "nodes x GPUs shape (e.g. 4x4): hybrid comparison, or the shape of -mode")
+		pipeline  = flag.Bool("pipeline", false, "run the eager vs pipelined vs fused execution-mode sweep")
+		mode      = flag.String("mode", "", "run one execution-mode configuration: eager, pipelined, or fused")
+		chunks    = flag.Int("chunks", fusedcc.DefaultChunks, "pipeline depth K for -mode pipelined")
+		layers    = flag.Int("layers", 2, "stack depth L for -mode (decoder layers / MoE layers / DLRM groups)")
+		jsonPath  = flag.String("json", "", "also write the results as machine-readable JSON (e.g. BENCH_pipeline.json)")
 		quick     = flag.Bool("quick", false, "shrink sweeps for a fast run")
 	)
 	flag.Parse()
 
-	if *shape != "" {
-		nodes, gpus, err := parseShape(*shape)
-		if err == nil {
-			var res *fusedcc.ExperimentResult
-			res, err = fusedcc.RunHybridShape(nodes, gpus, *quick)
-			if err == nil {
-				fmt.Println(res)
-				return
+	var results []*fusedcc.ExperimentResult
+	emit := func(res *fusedcc.ExperimentResult) {
+		fmt.Println(res)
+		results = append(results, res)
+	}
+	finish := func() {
+		if *jsonPath != "" {
+			if err := writeJSON(*jsonPath, results); err != nil {
+				fail(err)
+			}
+			fmt.Printf("(wrote %s)\n", *jsonPath)
+		}
+	}
+
+	switch {
+	case *mode != "":
+		m, err := parseMode(*mode)
+		if err != nil {
+			fail(err)
+		}
+		nodes, gpus := 1, 8
+		if *shape != "" {
+			if nodes, gpus, err = parseShape(*shape); err != nil {
+				fail(err)
 			}
 		}
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		res, err := fusedcc.RunPipelineConfig(nodes, gpus, *layers, *chunks, m, *quick)
+		if err != nil {
+			fail(err)
+		}
+		emit(res)
+		finish()
+		return
+
+	case *shape != "":
+		nodes, gpus, err := parseShape(*shape)
+		if err != nil {
+			fail(err)
+		}
+		res, err := fusedcc.RunHybridShape(nodes, gpus, *quick)
+		if err != nil {
+			fail(err)
+		}
+		emit(res)
+		finish()
+		return
 	}
 
 	// The id lists derive from the facade's experiment registry, so the
@@ -82,6 +183,8 @@ func main() {
 		}
 	case *ablations:
 		ids = ablationIDs
+	case *pipeline:
+		ids = []string{"pipeline"}
 	case *fig != 0:
 		ids = []string{fmt.Sprintf("fig%d", *fig)}
 	case *table != 0:
@@ -95,10 +198,10 @@ func main() {
 		start := time.Now()
 		res, err := fusedcc.RunExperiment(id, *quick)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(err)
 		}
-		fmt.Println(res)
+		emit(res)
 		fmt.Printf("(regenerated in %v)\n\n", time.Since(start).Round(time.Millisecond))
 	}
+	finish()
 }

@@ -70,12 +70,23 @@ type (
 	// EmbeddingAllToAll: gradients return to table owners with the
 	// All-to-All overlapped against the scatter-add.
 	EmbeddingGradExchange = core.EmbeddingGradExchange
-	// DLRM is the recommendation-model case study.
+	// DLRM is the recommendation-model case study. Config.Groups > 1
+	// builds the multi-table, multi-interaction variant whose embedding
+	// groups are independent graph branches.
 	DLRM = dlrm.Model
+	// DLRMModelConfig sizes the DLRM case study.
+	DLRMModelConfig = dlrm.Config
 	// ParallelFFN is the tensor-parallel transformer block case study.
 	ParallelFFN = transformer.ParallelFFN
+	// TransformerDecoder is the N-layer decoder stack built as a single
+	// graph (attention stand-in + FFN pair per layer).
+	TransformerDecoder = transformer.Decoder
+	// DecoderConfig sizes a TransformerDecoder.
+	DecoderConfig = transformer.DecoderConfig
 	// MoELayer is the mixture-of-experts case study.
 	MoELayer = moe.Layer
+	// MoEStack is L chained MoE layers built as a single graph.
+	MoEStack = moe.Stack
 	// ExperimentResult is a regenerated paper figure or table.
 	ExperimentResult = experiments.Result
 )
@@ -89,16 +100,25 @@ type (
 	GraphNode = graph.Node
 	// GraphValue is an edge: one node's output, another's dependency.
 	GraphValue = graph.Value
-	// GraphExecutor runs graphs with dataflow scheduling.
+	// GraphExecutor runs graphs with dataflow scheduling (and, in
+	// Pipelined mode or with Streams set, stream-aware scheduling over
+	// per-GPU compute/comm queues).
 	GraphExecutor = graph.Executor
-	// GraphReport is a per-node timing/traffic execution report.
+	// GraphReport is a per-node timing/traffic execution report, with
+	// per-stream occupancy in stream-aware runs.
 	GraphReport = graph.Report
-	// ExecMode selects eager or compiled execution.
+	// StreamReport is one GPU's stream-occupancy line of a GraphReport.
+	StreamReport = graph.StreamReport
+	// ExecMode selects eager, compiled, or pipelined execution.
 	ExecMode = graph.Mode
 	// CompileOptions tunes the fusion pass.
 	CompileOptions = graph.CompileOptions
 	// CompileReport lists the rewrites a fusion pass applied.
 	CompileReport = graph.CompileReport
+	// PartitionReport lists the pair splits a partition pass applied.
+	PartitionReport = graph.PartitionReport
+	// PartitionSplit records one chunked pair of a partition pass.
+	PartitionSplit = graph.Split
 	// FusionPattern identifies one compute→collective rewrite.
 	FusionPattern = graph.Pattern
 
@@ -118,7 +138,16 @@ const (
 	Eager = graph.Eager
 	// Compiled applies the fusion pass before running.
 	Compiled = graph.Compiled
+	// Pipelined applies the partition pass before running: fusible
+	// pairs execute as K chunked sub-node chains whose collectives
+	// overlap later chunks' compute on per-GPU streams — the
+	// CoCoNet/GC3-style software-pipelining alternative to fusion.
+	Pipelined = graph.Pipelined
 )
+
+// DefaultChunks is the pipeline depth Pipelined mode uses when the
+// executor's Chunks field is zero.
+const DefaultChunks = graph.DefaultChunks
 
 // Fusion patterns (see Compile and CompileOptions.Disable).
 const (
@@ -133,6 +162,23 @@ const (
 // operators; unmatched nodes still run as eager baselines.
 func Compile(g *Graph, opt CompileOptions) (*Graph, *CompileReport) {
 	return graph.Compile(g, opt)
+}
+
+// Partition runs the chunking pass on a graph: every fusible
+// compute→collective pair is split into chunks chunked sub-node chains
+// (clamped to each operator's granularity) whose interleaved schedule
+// software-pipelines communication behind compute. Chunked execution is
+// bit-exact with eager.
+func Partition(g *Graph, chunks int) (*Graph, *PartitionReport) {
+	return graph.Partition(g, chunks)
+}
+
+// Stack chains layers onto a graph: build(l, prev) appends layer l's
+// nodes and returns its output value; prev is the zero GraphValue for
+// layer 0. It returns the last layer's output — the layer-builder API
+// multi-layer model stacks are assembled with.
+func Stack(g *Graph, layers int, build func(layer int, prev GraphValue) (GraphValue, error)) (GraphValue, error) {
+	return graph.Stack(g, layers, build)
 }
 
 // Scheduling policies (paper §III-A, Fig 14).
@@ -273,6 +319,20 @@ func (s *System) NewMoELayer(cfg moe.Config, opCfg OperatorConfig) (*MoELayer, e
 	return moe.New(s.World, s.PEs(), cfg, opCfg)
 }
 
+// NewTransformerDecoder builds an N-layer decoder stack as one graph,
+// runnable in any execution mode (Eager, Compiled, Pipelined).
+func (s *System) NewTransformerDecoder(cfg DecoderConfig, opCfg OperatorConfig) (*TransformerDecoder, error) {
+	return transformer.NewDecoder(s.World, s.PEs(), cfg, opCfg)
+}
+
+// NewMoEStack builds a stack of layers MoE layers as one graph.
+func (s *System) NewMoEStack(cfg moe.Config, layers int, opCfg OperatorConfig) (*MoEStack, error) {
+	return moe.NewStack(s.World, s.PEs(), cfg, layers, opCfg)
+}
+
+// DecoderDefaultConfig returns the default decoder-stack configuration.
+func DecoderDefaultConfig() DecoderConfig { return transformer.DefaultDecoderConfig() }
+
 // DLRMConfig returns the default DLRM case-study configuration.
 func DLRMConfig() dlrm.Config { return dlrm.DefaultConfig() }
 
@@ -310,31 +370,6 @@ func (s *System) NewGEMMAllToAll(spec GEMMSpec, cfg OperatorConfig) (*GEMMAllToA
 	return core.NewGEMMAllToAll(s.World, s.PEs(), gemms, cfg)
 }
 
-// BuildGEMVAllReduce assembles the fused GEMV + AllReduce operator.
-//
-// Deprecated: use NewGEMVAllReduce with a GEMVSpec.
-func (s *System) BuildGEMVAllReduce(m, k, tileM int, seed int64, cfg OperatorConfig) (*GEMVAllReduce, error) {
-	return s.NewGEMVAllReduce(GEMVSpec{M: m, K: k, TileM: tileM, Seed: seed}, cfg)
-}
-
-// BuildEmbeddingAllToAll assembles the fused embedding + All-to-All
-// operator.
-//
-// Deprecated: use NewEmbeddingAllToAll with an EmbeddingSpec.
-func (s *System) BuildEmbeddingAllToAll(tablesPerGPU, rows, dim, globalBatch, avgPooling, sliceRows int, seed int64, cfg OperatorConfig) (*EmbeddingAllToAll, error) {
-	return s.NewEmbeddingAllToAll(EmbeddingSpec{
-		TablesPerGPU: tablesPerGPU, Rows: rows, Dim: dim,
-		GlobalBatch: globalBatch, AvgPooling: avgPooling, SliceRows: sliceRows, Seed: seed,
-	}, cfg)
-}
-
-// BuildGEMMAllToAll assembles the fused GEMM + All-to-All operator.
-//
-// Deprecated: use NewGEMMAllToAll with a GEMMSpec.
-func (s *System) BuildGEMMAllToAll(tokens, n, k, tileM, tileN int, seed int64, cfg OperatorConfig) (*GEMMAllToAll, error) {
-	return s.NewGEMMAllToAll(GEMMSpec{Tokens: tokens, N: n, K: k, TileM: tileM, TileN: tileN, Seed: seed}, cfg)
-}
-
 // NewEmbeddingGradExchange builds the backward gradient exchange for a
 // forward embedding + All-to-All operator.
 func NewEmbeddingGradExchange(fwd *EmbeddingAllToAll) *EmbeddingGradExchange {
@@ -363,6 +398,7 @@ var experimentTable = []experiment{
 	{id: "fig14", run: experiments.Fig14},
 	{id: "fig15", run: experiments.Fig15},
 	{id: "fig16", aliases: []string{"hybrid"}, run: experiments.Fig16},
+	{id: "pipeline", run: experiments.Pipeline},
 	{id: "ablation:zerocopy", run: experiments.AblationZeroCopy},
 	{id: "ablation:slicesize", run: experiments.AblationSliceSize},
 	{id: "ablation:occupancy", run: experiments.AblationOccupancyPenalty},
@@ -404,6 +440,15 @@ func Experiments() []string {
 // shape — the engine behind fusionbench's -shape flag.
 func RunHybridShape(nodes, gpusPerNode int, quick bool) (*ExperimentResult, error) {
 	return experiments.HybridShape(nodes, gpusPerNode, experiments.Options{Quick: quick})
+}
+
+// RunPipelineConfig runs one {shape, layers, chunks} configuration of
+// the execution-mode comparison on all three case-study stacks — the
+// engine behind fusionbench's -mode/-chunks/-layers flags. Rows pair
+// the eager baseline against the requested mode; notes carry all three
+// makespans and per-stream occupancy.
+func RunPipelineConfig(nodes, gpusPerNode, layers, chunks int, mode ExecMode, quick bool) (*ExperimentResult, error) {
+	return experiments.PipelinePoint(nodes, gpusPerNode, layers, chunks, mode, experiments.Options{Quick: quick})
 }
 
 // GPUModel returns the device model used throughout (MI210-class).

@@ -9,7 +9,7 @@ func TestScaleUpSystemRunsFusedGEMV(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	op, err := sys.BuildGEMVAllReduce(64, 16, 8, 1, DefaultOperatorConfig())
+	op, err := sys.NewGEMVAllReduce(GEMVSpec{M: 64, K: 16, TileM: 8, Seed: 1}, DefaultOperatorConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +35,7 @@ func TestScaleOutSystemRunsFusedEmbedding(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	op, err := sys.BuildEmbeddingAllToAll(2, 64, 8, 32, 4, 4, 1, DefaultOperatorConfig())
+	op, err := sys.NewEmbeddingAllToAll(EmbeddingSpec{TablesPerGPU: 2, Rows: 64, Dim: 8, GlobalBatch: 32, AvgPooling: 4, SliceRows: 4, Seed: 1}, DefaultOperatorConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +50,7 @@ func TestScaleOutSystemRunsFusedEmbedding(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	op2, err := sys2.BuildEmbeddingAllToAll(2, 64, 8, 32, 4, 4, 1, DefaultOperatorConfig())
+	op2, err := sys2.NewEmbeddingAllToAll(EmbeddingSpec{TablesPerGPU: 2, Rows: 64, Dim: 8, GlobalBatch: 32, AvgPooling: 4, SliceRows: 4, Seed: 1}, DefaultOperatorConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +70,7 @@ func TestGEMMAllToAllViaFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	op, err := sys.BuildGEMMAllToAll(8, 12, 6, 4, 4, 1, DefaultOperatorConfig())
+	op, err := sys.NewGEMMAllToAll(GEMMSpec{Tokens: 8, N: 12, K: 6, TileM: 4, TileN: 4, Seed: 1}, DefaultOperatorConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +133,7 @@ func TestBackwardExchangeViaFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fwd, err := sys.BuildEmbeddingAllToAll(2, 64, 8, 32, 4, 4, 1, DefaultOperatorConfig())
+	fwd, err := sys.NewEmbeddingAllToAll(EmbeddingSpec{TablesPerGPU: 2, Rows: 64, Dim: 8, GlobalBatch: 32, AvgPooling: 4, SliceRows: 4, Seed: 1}, DefaultOperatorConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +163,7 @@ func TestNewClusterHybridRunsFused(t *testing.T) {
 	if got := sys.Platform.NDevices(); got != 4 {
 		t.Fatalf("devices = %d, want 4", got)
 	}
-	op, err := sys.BuildGEMVAllReduce(32, 8, 4, 1, DefaultOperatorConfig())
+	op, err := sys.NewGEMVAllReduce(GEMVSpec{M: 32, K: 8, TileM: 4, Seed: 1}, DefaultOperatorConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +179,7 @@ func TestNewClusterHybridRunsFused(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	op2, err := sys2.BuildGEMVAllReduce(32, 8, 4, 1, DefaultOperatorConfig())
+	op2, err := sys2.NewGEMVAllReduce(GEMVSpec{M: 32, K: 8, TileM: 4, Seed: 1}, DefaultOperatorConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

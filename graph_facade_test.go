@@ -44,11 +44,12 @@ func TestGraphCompileViaFacade(t *testing.T) {
 	}
 }
 
-// TestSpecConstructorsMatchDeprecated verifies the spec-struct
-// constructors build the same operators as the deprecated positional
-// wrappers (same seeds → bit-identical outputs).
-func TestSpecConstructorsMatchDeprecated(t *testing.T) {
-	runSpec := func() []float32 {
+// TestSpecConstructorsDeterministic verifies the spec-struct
+// constructors are reproducible: the same seeded spec on two fresh
+// systems yields bit-identical operator outputs (the property the
+// removed positional wrappers were pinned against).
+func TestSpecConstructorsDeterministic(t *testing.T) {
+	run := func() []float32 {
 		sys, err := NewScaleUp(4, Options{Functional: true})
 		if err != nil {
 			t.Fatal(err)
@@ -60,23 +61,100 @@ func TestSpecConstructorsMatchDeprecated(t *testing.T) {
 		sys.Run(func(p *Proc) { op.RunFused(p) })
 		return append([]float32(nil), op.Out.On(0).Data()...)
 	}
-	runDeprecated := func() []float32 {
-		sys, err := NewScaleUp(4, Options{Functional: true})
-		if err != nil {
-			t.Fatal(err)
-		}
-		op, err := sys.BuildGEMVAllReduce(64, 16, 8, 9, DefaultOperatorConfig())
-		if err != nil {
-			t.Fatal(err)
-		}
-		sys.Run(func(p *Proc) { op.RunFused(p) })
-		return append([]float32(nil), op.Out.On(0).Data()...)
-	}
-	a, b := runSpec(), runDeprecated()
+	a, b := run(), run()
 	for i := range a {
 		if a[i] != b[i] {
-			t.Fatalf("elem %d: spec %g != deprecated %g", i, a[i], b[i])
+			t.Fatalf("elem %d: first run %g != second run %g", i, a[i], b[i])
 		}
+	}
+}
+
+// TestGraphPipelinedViaFacade drives the pipelined mode end to end
+// through the public API: partition a spec-built pair, run it, and
+// verify bit-exactness against eager plus stream statistics.
+func TestGraphPipelinedViaFacade(t *testing.T) {
+	sys, err := NewScaleUp(4, Options{Functional: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := sys.NewGraph(DefaultOperatorConfig())
+	mv, err := g.GEMVFromSpec("mv", GEMVSpec{M: 64, K: 16, TileM: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := g.AllReduce("ar", mv)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eager := sys.RunGraph(g, Eager)
+	want := append([]float32(nil), out.Symm().On(0).Data()...)
+
+	var (
+		x   GraphExecutor
+		rep *GraphReport
+	)
+	x.Chunks = 2
+	sys.Run(func(p *Proc) { rep = x.Execute(p, g, Pipelined) })
+	if rep.Partition == nil || len(rep.Partition.Splits) != 1 {
+		t.Fatalf("partition report = %+v", rep.Partition)
+	}
+	if rep.Partition.Splits[0].Pattern != PatternGEMVAllReduce || rep.Partition.Splits[0].Chunks != 2 {
+		t.Errorf("split = %+v", rep.Partition.Splits[0])
+	}
+	got := out.Symm().On(0).Data()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("elem %d: pipelined %g != eager %g", i, got[i], want[i])
+		}
+	}
+	if len(rep.Streams) == 0 {
+		t.Error("pipelined run reported no stream statistics")
+	}
+	if len(eager.Nodes) != 2 || len(rep.Nodes) != 4 {
+		t.Errorf("node reports: eager %d pipelined %d", len(eager.Nodes), len(rep.Nodes))
+	}
+
+	// The standalone Partition pass is exported too.
+	pg, prep := Partition(g, 2)
+	if len(prep.Splits) != 1 || len(pg.Nodes()) != 4 {
+		t.Errorf("Partition: %d splits, %d nodes", len(prep.Splits), len(pg.Nodes()))
+	}
+}
+
+// TestStackViaFacade builds a tiny layered graph with the facade Stack
+// helper and the stack constructors.
+func TestStackViaFacade(t *testing.T) {
+	sys, err := NewScaleUp(4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := sys.NewGraph(DefaultOperatorConfig())
+	out, err := Stack(g, 2, func(l int, prev GraphValue) (GraphValue, error) {
+		return g.PerRank("layer", func(p *Proc, rank, pe int) {}, prev), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Producer() == nil || len(g.Nodes()) != 2 {
+		t.Errorf("stacked graph has %d nodes", len(g.Nodes()))
+	}
+
+	dec, err := sys.NewTransformerDecoder(DecoderConfig{Layers: 2, Hidden: 256, FFN: 512, TileM: 8, Seed: 1}, DefaultOperatorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(dec.Graph().Nodes()); got != 10 {
+		t.Errorf("decoder graph has %d nodes, want 10", got)
+	}
+	mc := MoEConfig()
+	mc.TokensPerGPU, mc.ModelDim, mc.FFNDim, mc.TileM, mc.TileN = 16, 32, 64, 4, 8
+	st, err := sys.NewMoEStack(mc, 2, DefaultOperatorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(st.Graph().Nodes()); got != 10 {
+		t.Errorf("moe stack graph has %d nodes, want 10", got)
 	}
 }
 
@@ -109,7 +187,7 @@ func TestExperimentRegistryAliases(t *testing.T) {
 	for _, id := range Experiments() {
 		found := false
 		for _, want := range []string{"table1", "table2", "fig8", "fig9", "fig10", "fig11", "fig12",
-			"fig13", "fig14", "fig15", "fig16", "ablation:zerocopy", "ablation:slicesize",
+			"fig13", "fig14", "fig15", "fig16", "pipeline", "ablation:zerocopy", "ablation:slicesize",
 			"ablation:occupancy", "ablation:kernelsplit"} {
 			if id == want {
 				found = true
@@ -119,7 +197,7 @@ func TestExperimentRegistryAliases(t *testing.T) {
 			t.Errorf("unexpected experiment id %q", id)
 		}
 	}
-	if len(Experiments()) != 15 {
-		t.Errorf("experiment catalogue has %d entries, want 15", len(Experiments()))
+	if len(Experiments()) != 16 {
+		t.Errorf("experiment catalogue has %d entries, want 16", len(Experiments()))
 	}
 }

@@ -35,11 +35,20 @@ type Comm struct {
 	pl       *platform.Platform
 	pes      []int
 	protocol sim.Duration
+	launch   sim.Duration // per-rank kernel-launch cost; <0 = device default
 }
 
 // SetProtocolOverhead overrides the per-collective fixed cost (for
 // ablations; the default models an RCCL-class library).
 func (c *Comm) SetProtocolOverhead(d sim.Duration) { c.protocol = d }
+
+// SetLaunchOverhead overrides the per-rank collective kernel-launch
+// cost. Chunk-scheduled collective chains (GC3-style) dispatch one
+// persistent kernel for the whole chain, so chunks after the first pay
+// only a flag poll instead of a fresh launch; they model that by
+// setting a near-zero overhead here. A negative value restores the
+// device default.
+func (c *Comm) SetLaunchOverhead(d sim.Duration) { c.launch = d }
 
 // New builds a communicator. The PE list order defines rank order.
 func New(pl *platform.Platform, pes []int) *Comm {
@@ -56,7 +65,7 @@ func New(pl *platform.Platform, pes []int) *Comm {
 		}
 		seen[pe] = true
 	}
-	return &Comm{pl: pl, pes: append([]int(nil), pes...), protocol: DefaultProtocolOverhead}
+	return &Comm{pl: pl, pes: append([]int(nil), pes...), protocol: DefaultProtocolOverhead, launch: -1}
 }
 
 // Size returns the rank count.
@@ -84,10 +93,14 @@ func (c *Comm) forEachRank(p *sim.Proc, name string, body func(rp *sim.Proc, ran
 	wg.Wait(p)
 }
 
-// launch charges one collective-kernel launch plus the library protocol
-// overhead on a rank.
-func (c *Comm) launch(rp *sim.Proc, rank int) {
-	rp.Sleep(c.dev(rank).Config().KernelLaunchOverhead + c.protocol)
+// launchRank charges one collective-kernel launch plus the library
+// protocol overhead on a rank.
+func (c *Comm) launchRank(rp *sim.Proc, rank int) {
+	l := c.launch
+	if l < 0 {
+		l = c.dev(rank).Config().KernelLaunchOverhead
+	}
+	rp.Sleep(l + c.protocol)
 }
 
 // copyPair moves bytes from rank src to rank dst, blocking rp. Same-node
@@ -147,26 +160,34 @@ func (c *Comm) shard(n, r int) (lo, hi int) {
 // effective bandwidth trails the fused fine-grained stores that keep
 // every link busy for the whole kernel.
 func (c *Comm) AllToAllFlat(p *sim.Proc, send, recv *shmem.Symm, cnt int) {
+	c.allToAllFlat(p, send, recv, cnt, 0, cnt)
+}
+
+// allToAllFlat is the pairwise exchange over one sub-block per
+// destination: rank s's send[d*stride+off : +cnt] lands at rank d's
+// recv[s*stride+off]. AllToAllFlat is the off=0, cnt=stride case.
+func (c *Comm) allToAllFlat(p *sim.Proc, send, recv *shmem.Symm, stride, off, cnt int) {
 	k := len(c.pes)
 	bytes := float64(cnt) * 4
 	c.forEachRank(p, "alltoall", func(rp *sim.Proc, s int) {
-		c.launch(rp, s)
+		c.launchRank(rp, s)
 		// Local block: read + write on own HBM.
 		c.dev(s).HBM().Transfer(rp, 2*bytes, 0)
 		for step := 1; step < k; step++ {
 			c.copyPair(rp, s, (s+step)%k, bytes)
 		}
 	})
-	c.applyAllToAll(send, recv, cnt)
+	c.applyAllToAll(send, recv, stride, off, cnt)
 }
 
-// applyAllToAll performs the functional All-to-All permutation — shared
-// by every algorithm, so all of them produce identical results.
-func (c *Comm) applyAllToAll(send, recv *shmem.Symm, cnt int) {
+// applyAllToAll performs the functional All-to-All permutation over one
+// sub-block per destination — shared by every algorithm, so all of them
+// produce identical results.
+func (c *Comm) applyAllToAll(send, recv *shmem.Symm, stride, off, cnt int) {
 	k := len(c.pes)
 	for s := 0; s < k; s++ {
 		for d := 0; d < k; d++ {
-			recv.On(c.pes[d]).CopyWithin(s*cnt, send.On(c.pes[s]), d*cnt, cnt)
+			recv.On(c.pes[d]).CopyWithin(s*stride+off, send.On(c.pes[s]), d*stride+off, cnt)
 		}
 	}
 }
@@ -182,7 +203,7 @@ func (c *Comm) AllReduceDirect(p *sim.Proc, data *shmem.Symm, off, n int) {
 	}
 	sums := c.snapshotSum(data, off, n)
 	c.forEachRank(p, "allreduce.direct", func(rp *sim.Proc, r int) {
-		c.launch(rp, r)
+		c.launchRank(rp, r)
 		lo, hi := c.shard(n, r)
 		shardBytes := float64(hi-lo) * 4
 		// Phase 1: send my copy of every peer shard to its owner...
@@ -225,7 +246,7 @@ func (c *Comm) ReduceScatter(p *sim.Proc, data *shmem.Symm, off, n int) {
 	}
 	sums := c.snapshotSum(data, off, n)
 	c.forEachRank(p, "reducescatter", func(rp *sim.Proc, r int) {
-		c.launch(rp, r)
+		c.launchRank(rp, r)
 		lo, hi := c.shard(n, r)
 		wg := sim.NewWaitGroup(rp.Engine())
 		for offr := 1; offr < k; offr++ {
@@ -265,7 +286,7 @@ func (c *Comm) AllGather(p *sim.Proc, data *shmem.Symm, off, n int) {
 		}
 	}
 	c.forEachRank(p, "allgather", func(rp *sim.Proc, r int) {
-		c.launch(rp, r)
+		c.launchRank(rp, r)
 		lo, hi := c.shard(n, r)
 		shardBytes := float64(hi-lo) * 4
 		wg := sim.NewWaitGroup(rp.Engine())
@@ -309,7 +330,7 @@ func (c *Comm) Broadcast(p *sim.Proc, root int, data *shmem.Symm, off, n int) {
 		if r != root {
 			return
 		}
-		c.launch(rp, r)
+		c.launchRank(rp, r)
 		wg := sim.NewWaitGroup(rp.Engine())
 		for d := 0; d < k; d++ {
 			if d == root {

@@ -347,3 +347,74 @@ func TestWorkloadFillRandomRange(t *testing.T) {
 		}
 	}
 }
+
+// TestAllToAllSubChunksComposeToFull verifies that running the strided
+// sub-block exchange once per chunk reproduces exactly the full
+// AllToAll — the bit-exactness contract of the pipelined execution mode
+// — on flat and hierarchical layouts.
+func TestAllToAllSubChunksComposeToFull(t *testing.T) {
+	shapes := []struct {
+		name       string
+		nodes, gpn int
+		algo       Algo
+		chunks     int
+	}{
+		{"flat-1x4-K2", 1, 4, Flat, 2},
+		{"flat-4x1-K3", 4, 1, Flat, 3},
+		{"hier-2x2-K2", 2, 2, Hierarchical, 2},
+	}
+	for _, sh := range shapes {
+		sh := sh
+		t.Run(sh.name, func(t *testing.T) {
+			const stride = 12
+			// Reference: full AllToAll.
+			e, pl, w, c := setup(t, sh.nodes, sh.gpn)
+			k := len(allPEs(pl))
+			send, recv := w.Malloc(k*stride), w.Malloc(k*stride)
+			for _, pe := range allPEs(pl) {
+				fillRank(send, pe, float32(100*pe))
+			}
+			e.Go("full", func(p *sim.Proc) { c.AllToAll(p, send, recv, stride, sh.algo) })
+			e.Run()
+			want := make([][]float32, k)
+			for _, pe := range allPEs(pl) {
+				want[pe] = append([]float32(nil), recv.On(pe).Data()...)
+			}
+
+			// Chunked: same exchange as K sub-block calls.
+			e2, pl2, w2, c2 := setup(t, sh.nodes, sh.gpn)
+			send2, recv2 := w2.Malloc(k*stride), w2.Malloc(k*stride)
+			for _, pe := range allPEs(pl2) {
+				fillRank(send2, pe, float32(100*pe))
+			}
+			e2.Go("chunked", func(p *sim.Proc) {
+				for ch := 0; ch < sh.chunks; ch++ {
+					lo := ch * stride / sh.chunks
+					hi := (ch + 1) * stride / sh.chunks
+					c2.AllToAllSub(p, send2, recv2, stride, lo, hi-lo, sh.algo)
+				}
+			})
+			e2.Run()
+			for _, pe := range allPEs(pl2) {
+				got := recv2.On(pe).Data()
+				for i := range want[pe] {
+					if got[i] != want[pe][i] {
+						t.Fatalf("pe %d elem %d: chunked %g != full %g", pe, i, got[i], want[pe][i])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestAllToAllSubRejectsBadSubBlock(t *testing.T) {
+	e, _, w, c := setup(t, 1, 2)
+	send, recv := w.Malloc(2*8), w.Malloc(2*8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-block sub-range must panic")
+		}
+	}()
+	e.Go("bad", func(p *sim.Proc) { c.AllToAllSub(p, send, recv, 8, 6, 4, Flat) })
+	e.Run()
+}

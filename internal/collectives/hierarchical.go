@@ -104,21 +104,34 @@ func (c *Comm) AllReduce(p *sim.Proc, data *shmem.Symm, off, n int, algo Algo) {
 // selected algorithm: send[d*cnt:(d+1)*cnt] on rank s lands at
 // recv[s*cnt:(s+1)*cnt] on rank d.
 func (c *Comm) AllToAll(p *sim.Proc, send, recv *shmem.Symm, cnt int, algo Algo) {
+	c.AllToAllSub(p, send, recv, cnt, 0, cnt, algo)
+}
+
+// AllToAllSub exchanges one sub-block of each per-destination block:
+// rank s's send[d*stride+off : +cnt] lands at recv[s*stride+off] on rank
+// d. AllToAll is the special case off=0, cnt=stride. This is the chunked
+// collective of the pipelined execution mode: a partitioned exchange
+// moves 1/K of every block per call while later compute chunks still
+// fill the rest of the staging buffer.
+func (c *Comm) AllToAllSub(p *sim.Proc, send, recv *shmem.Symm, stride, off, cnt int, algo Algo) {
+	if off < 0 || cnt <= 0 || off+cnt > stride {
+		panic(fmt.Sprintf("collectives: AllToAllSub sub-block [%d,%d) outside block stride %d", off, off+cnt, stride))
+	}
 	if c.Resolve(algo) == Hierarchical {
-		c.AllToAllHier(p, send, recv, cnt)
+		c.allToAllHier(p, send, recv, stride, off, cnt)
 		return
 	}
-	c.AllToAllFlat(p, send, recv, cnt)
+	c.allToAllFlat(p, send, recv, stride, off, cnt)
 }
 
 // sub builds a communicator over a subset of this communicator's ranks,
-// inheriting platform and protocol overhead.
+// inheriting platform, protocol, and launch overheads.
 func (c *Comm) sub(ranks []int) *Comm {
 	pes := make([]int, len(ranks))
 	for i, r := range ranks {
 		pes[i] = c.pes[r]
 	}
-	return &Comm{pl: c.pl, pes: pes, protocol: c.protocol}
+	return &Comm{pl: c.pl, pes: pes, protocol: c.protocol, launch: c.launch}
 }
 
 // phase runs body(i) for i in [0,k) on concurrent processes and blocks
@@ -195,9 +208,15 @@ func (c *Comm) AllReduceHier(p *sim.Proc, data *shmem.Symm, off, n int) {
 // directly over the fabric as in the flat algorithm. Layouts without the
 // hierarchy fall back to the flat exchange.
 func (c *Comm) AllToAllHier(p *sim.Proc, send, recv *shmem.Symm, cnt int) {
+	c.allToAllHier(p, send, recv, cnt, 0, cnt)
+}
+
+// allToAllHier is the hierarchical exchange over one sub-block per
+// destination (see AllToAllSub for the addressing).
+func (c *Comm) allToAllHier(p *sim.Proc, send, recv *shmem.Symm, stride, off, cnt int) {
 	groups, ok := c.hierGroups()
 	if !ok {
-		c.AllToAllFlat(p, send, recv, cnt)
+		c.allToAllFlat(p, send, recv, stride, off, cnt)
 		return
 	}
 	k := len(c.pes)
@@ -215,7 +234,7 @@ func (c *Comm) AllToAllHier(p *sim.Proc, send, recv *shmem.Symm, cnt int) {
 	// blocks directly over the fabric and forwards its remote-node
 	// blocks to the node leader (leaders already hold theirs).
 	c.forEachRank(p, "a2a.hier.pack", func(rp *sim.Proc, s int) {
-		c.launch(rp, s)
+		c.launchRank(rp, s)
 		// Local block: read + write on own HBM.
 		c.dev(s).HBM().Transfer(rp, 2*bytes, 0)
 		for _, d := range groups[nodeOf[s]] {
@@ -254,5 +273,5 @@ func (c *Comm) AllToAllHier(p *sim.Proc, send, recv *shmem.Symm, cnt int) {
 		c.copyPair(rp, leader(nodeOf[s]), s, float64(remoteRanks)*bytes)
 	})
 
-	c.applyAllToAll(send, recv, cnt)
+	c.applyAllToAll(send, recv, stride, off, cnt)
 }

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"testing"
+
+	"fusedcc/internal/sim"
+)
+
+// The chunked phase entry points are the substrate of the pipelined
+// execution mode: K compute chunks and K collective chunks must together
+// perform exactly the work of the full bulk-synchronous phases, so the
+// partitioned graph is bit-exact with eager by construction. These tests
+// run every chunk sequentially and diff the outputs against a full-phase
+// run on an identical world, including a chunk count that does not
+// divide the work evenly.
+
+func TestGEMVChunkedPhasesBitExact(t *testing.T) {
+	const m, kdim, tile = 96, 32, 8 // 12 tiles
+	run := func(chunks int) []float32 {
+		e := sim.NewEngine()
+		_, w, pes, gemvs := gemvSetup(e, m, kdim, tile)
+		op, err := NewGEMVAllReduce(w, pes, gemvs, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		runOp(e, func(p *sim.Proc) Report {
+			for c := 0; c < chunks; c++ {
+				op.RunComputeChunk(p, c, chunks)
+				op.RunAllReduceChunk(p, c, chunks)
+			}
+			return Report{}
+		})
+		return append([]float32(nil), op.Out.On(pes[0]).Data()...)
+	}
+	full := func() []float32 {
+		e := sim.NewEngine()
+		_, w, pes, gemvs := gemvSetup(e, m, kdim, tile)
+		op, err := NewGEMVAllReduce(w, pes, gemvs, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		runOp(e, op.RunBaseline)
+		return append([]float32(nil), op.Out.On(pes[0]).Data()...)
+	}()
+	for _, chunks := range []int{2, 5} { // 5 does not divide 12 tiles
+		got := run(chunks)
+		for i := range full {
+			if got[i] != full[i] {
+				t.Fatalf("K=%d elem %d: chunked %g != full %g", chunks, i, got[i], full[i])
+			}
+		}
+	}
+	// Chunk element ranges must tile the output exactly.
+	e := sim.NewEngine()
+	_, w, pes, gemvs := gemvSetup(e, m, kdim, tile)
+	op, err := NewGEMVAllReduce(w, pes, gemvs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := 0
+	for c := 0; c < 5; c++ {
+		lo, hi := op.chunkElems(c, 5)
+		if lo != covered {
+			t.Fatalf("chunk %d starts at %d, want %d (gap or overlap)", c, lo, covered)
+		}
+		covered = hi
+	}
+	if covered != m {
+		t.Fatalf("chunks cover %d elems, want %d", covered, m)
+	}
+}
+
+func TestEmbeddingChunkedPhasesBitExact(t *testing.T) {
+	const tables, rows, dim, batch, pooling, slice = 5, 64, 8, 32, 4, 4
+	build := func(e *sim.Engine) (*EmbeddingAllToAll, []int) {
+		pl, w := newWorld(e, 2, 2)
+		pes := pesOf(pl)
+		sets := buildEmbedding(pl, pes, tables, rows, dim, batch, pooling)
+		op, err := NewEmbeddingAllToAll(w, pes, sets, batch, slice, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return op, pes
+	}
+	full := func() [][]float32 {
+		e := sim.NewEngine()
+		op, pes := build(e)
+		runOp(e, op.RunBaseline)
+		var out [][]float32
+		for _, pe := range pes {
+			out = append(out, append([]float32(nil), op.Out.On(pe).Data()...))
+		}
+		return out
+	}()
+	for _, chunks := range []int{2, 3} { // 3 does not divide 5 tables
+		e := sim.NewEngine()
+		op, pes := build(e)
+		runOp(e, func(p *sim.Proc) Report {
+			for c := 0; c < chunks; c++ {
+				op.RunPoolingChunk(p, c, chunks)
+				op.RunExchangeChunk(p, c, chunks)
+			}
+			return Report{}
+		})
+		for i, pe := range pes {
+			got := op.Out.On(pe).Data()
+			for j := range full[i] {
+				if got[j] != full[i][j] {
+					t.Fatalf("K=%d pe %d elem %d: chunked %g != full %g", chunks, pe, j, got[j], full[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestGEMMChunkedPhasesBitExact(t *testing.T) {
+	full := func() [][]float32 {
+		e := sim.NewEngine()
+		w, pes, gemms := gemmSetup(e, 8, 12, 6, 4, 4, 4) // 2 row tiles per block
+		op, err := NewGEMMAllToAll(w, pes, gemms, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		runOp(e, op.RunBaseline)
+		var out [][]float32
+		for _, pe := range pes {
+			out = append(out, append([]float32(nil), op.Recv.On(pe).Data()...))
+		}
+		return out
+	}()
+	for _, chunks := range []int{2, 3} { // 3 exceeds the 2 row tiles: some chunks are empty
+		e := sim.NewEngine()
+		w, pes, gemms := gemmSetup(e, 8, 12, 6, 4, 4, 4)
+		op, err := NewGEMMAllToAll(w, pes, gemms, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		runOp(e, func(p *sim.Proc) Report {
+			for c := 0; c < chunks; c++ {
+				op.RunComputeChunk(p, c, chunks)
+				op.RunExchangeChunk(p, c, chunks)
+			}
+			return Report{}
+		})
+		for i, pe := range pes {
+			got := op.Recv.On(pe).Data()
+			for j := range full[i] {
+				if got[j] != full[i][j] {
+					t.Fatalf("K=%d pe %d elem %d: chunked %g != full %g", chunks, pe, j, got[j], full[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestMaxChunksGranularity(t *testing.T) {
+	e := sim.NewEngine()
+	_, w, pes, gemvs := gemvSetup(e, 96, 32, 8)
+	gv, err := NewGEMVAllReduce(w, pes, gemvs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gv.MaxChunks() != 12 {
+		t.Errorf("GEMV MaxChunks = %d, want 12 tiles", gv.MaxChunks())
+	}
+	w2, pes2, gemms := gemmSetup(sim.NewEngine(), 8, 12, 6, 4, 4, 4)
+	gm, err := NewGEMMAllToAll(w2, pes2, gemms, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gm.MaxChunks() != 2 {
+		t.Errorf("GEMM MaxChunks = %d, want 2 row tiles per block", gm.MaxChunks())
+	}
+}

@@ -188,3 +188,44 @@ func min(a, b int) int {
 	}
 	return b
 }
+
+// chunkRange returns the balanced split [lo,hi) of units work items
+// into n chunks at index c (empty when n exceeds units) — the shared
+// chunk arithmetic of every pair operator's phase entry points.
+func chunkRange(c, n, units int) (lo, hi int) {
+	return c * units / n, (c + 1) * units / n
+}
+
+// emptyChunkReport returns the zero-work report of an empty chunk over
+// k PEs.
+func emptyChunkReport(now sim.Time, k int) Report {
+	rep := Report{Start: now, End: now, PEEnd: make([]sim.Time, k)}
+	for s := range rep.PEEnd {
+		rep.PEEnd[s] = now
+	}
+	return rep
+}
+
+// ChunkDispatchOverhead is the per-rank cost of dispatching a non-head
+// chunk of a chunk-scheduled collective chain: the chain's persistent
+// kernel polls the chunk-ready flag and proceeds — no rendezvous, no
+// fresh launch.
+const ChunkDispatchOverhead = 1 * sim.Microsecond
+
+// chunkComm builds the communicator of chunk c of a chunked collective
+// chain. The first chunk pays the full library cost (kernel launch +
+// rendezvous); later chunks ride the persistent chain that launch
+// established and pay only a flag-poll dispatch — the way GC3-style
+// chunk-scheduled collectives and CoCoNet's emitted communication plans
+// work, one program per chain rather than n independent library calls.
+// Without this, chunked pipelining would re-pay the launch + rendezvous
+// floor n times and could never beat the bulk-synchronous baseline it
+// exists to overlap.
+func chunkComm(pl *platform.Platform, pes []int, c int) *collectives.Comm {
+	comm := collectives.New(pl, pes)
+	if c > 0 {
+		comm.SetProtocolOverhead(0)
+		comm.SetLaunchOverhead(ChunkDispatchOverhead)
+	}
+	return comm
+}

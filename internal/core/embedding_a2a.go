@@ -428,13 +428,36 @@ func (op *EmbeddingAllToAll) recvBuf() *shmem.Symm {
 	return op.recv
 }
 
+// MaxChunks returns the finest pipelining granularity the operator
+// supports: one table per chunk (tables are the contiguous unit of the
+// bucketized send layout).
+func (op *EmbeddingAllToAll) MaxChunks() int { return op.T }
+
+// chunkTables returns the table range [t0,t1) of chunk c of n.
+func (op *EmbeddingAllToAll) chunkTables(c, n int) (t0, t1 int) {
+	return chunkRange(c, n, op.T)
+}
+
 // RunPooling executes only the compute half of the bulk-synchronous
 // path: per-table embedding kernels on every rank concurrently, writing
 // the bucketized send buffer. This is the eager-mode body of a graph
 // EmbeddingBag node.
 func (op *EmbeddingAllToAll) RunPooling(p *sim.Proc) Report {
+	return op.RunPoolingChunk(p, 0, 1)
+}
+
+// RunPoolingChunk executes chunk c of n of the compute half: the pooling
+// kernels of this chunk's table range only. The n chunks together pool
+// every table exactly once into the same bucketized staging, so chunked
+// execution stays bit-exact with eager. This is the body of a
+// partitioned (pipelined) graph EmbeddingBag sub-node.
+func (op *EmbeddingAllToAll) RunPoolingChunk(p *sim.Proc, c, n int) Report {
 	pl := op.World.Platform()
 	e := pl.E
+	t0, t1 := op.chunkTables(c, n)
+	if t1 <= t0 {
+		return emptyChunkReport(e.Now(), op.k)
+	}
 	rep := Report{Start: e.Now(), PEEnd: make([]sim.Time, op.k)}
 	cnt := op.T * op.L * op.D
 	rowsPerWG := op.RowsPerWG
@@ -449,7 +472,7 @@ func (op *EmbeddingAllToAll) RunPooling(p *sim.Proc) Report {
 		dev := pl.Device(pe)
 		e.Go(fmt.Sprintf("base.emb/rank%d", s), func(rp *sim.Proc) {
 			sendBuf := op.send.On(pe)
-			for t := 0; t < op.T; t++ {
+			for t := t0; t < t1; t++ {
 				t := t
 				bag := op.Sets[s].Bags[t]
 				grid := (op.GlobalBatch + rowsPerWG - 1) / rowsPerWG
@@ -483,14 +506,28 @@ func (op *EmbeddingAllToAll) RunPooling(p *sim.Proc) Report {
 // rearrangement the fused operator's point-to-point layout avoids).
 // This is the eager-mode body of a graph AllToAll node.
 func (op *EmbeddingAllToAll) RunExchange(p *sim.Proc) Report {
+	return op.RunExchangeChunk(p, 0, 1)
+}
+
+// RunExchangeChunk executes chunk c of n of the communication half: the
+// sub-block All-to-All moving only this chunk's table range of every
+// destination block, plus the shuffle kernels for those tables. Chunk
+// table ranges are disjoint and cover all tables, so the n chunked
+// exchanges move and interleave exactly what the single full exchange
+// would.
+func (op *EmbeddingAllToAll) RunExchangeChunk(p *sim.Proc, c, n int) Report {
 	pl := op.World.Platform()
 	e := pl.E
+	t0, t1 := op.chunkTables(c, n)
+	if t1 <= t0 {
+		return emptyChunkReport(e.Now(), op.k)
+	}
 	rep := Report{Start: e.Now(), PEEnd: make([]sim.Time, op.k)}
 	cnt := op.T * op.L * op.D
 	recv := op.recvBuf()
 
-	comm := collectives.New(pl, op.PEs)
-	comm.AllToAll(p, op.send, recv, cnt, op.Config.Collective)
+	comm := chunkComm(pl, op.PEs, c)
+	comm.AllToAllSub(p, op.send, recv, cnt, t0*op.L*op.D, (t1-t0)*op.L*op.D, op.Config.Collective)
 
 	wgAll := sim.NewWaitGroup(e)
 	wgAll.Add(op.k)
@@ -501,9 +538,10 @@ func (op *EmbeddingAllToAll) RunExchange(p *sim.Proc) Report {
 		e.Go(fmt.Sprintf("base.shuffle/rank%d", s), func(rp *sim.Proc) {
 			out := op.Out.On(pe)
 			rbuf := recv.On(pe)
-			grid := op.k * op.T
+			tables := t1 - t0
+			grid := op.k * tables
 			dev.LaunchGrid(rp, "shuffle", grid, 0, func(wg *gpu.WG, l int) {
-				src, t := l/op.T, l%op.T
+				src, t := l/tables, t0+l%tables
 				blockBytes := float64(op.L*op.D) * 4
 				wg.Read(blockBytes)
 				wg.Write(blockBytes)

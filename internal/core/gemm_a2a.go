@@ -3,7 +3,7 @@ package core
 import (
 	"fmt"
 
-	"fusedcc/internal/collectives"
+	"fusedcc/internal/gpu"
 	"fusedcc/internal/kernels"
 	"fusedcc/internal/shmem"
 	"fusedcc/internal/sim"
@@ -189,13 +189,38 @@ func (op *GEMMAllToAll) sendBuf() *shmem.Symm {
 	return op.send
 }
 
+// MaxChunks returns the finest pipelining granularity the operator
+// supports: one output-tile row band per destination block per chunk.
+func (op *GEMMAllToAll) MaxChunks() int { return op.tokens / op.Gemms[0].TileM }
+
+// chunkRows returns the token-row band [r0,r1) — within every
+// destination block — of chunk c of n, aligned to the output tiling.
+func (op *GEMMAllToAll) chunkRows(c, n int) (r0, r1 int) {
+	tlo, thi := chunkRange(c, n, op.tokens/op.Gemms[0].TileM)
+	return tlo * op.Gemms[0].TileM, thi * op.Gemms[0].TileM
+}
+
 // RunCompute executes only the compute half of the bulk-synchronous
 // path: the stock tiled GEMM kernel per rank, writing the full local
 // output into the send staging buffer. This is the eager-mode body of a
 // graph MatMul node.
 func (op *GEMMAllToAll) RunCompute(p *sim.Proc) Report {
+	return op.RunComputeChunk(p, 0, 1)
+}
+
+// RunComputeChunk executes chunk c of n of the compute half: the GEMM
+// tiles whose output rows fall in this chunk's row band of every
+// destination block. The n chunks together compute every tile exactly
+// once into the same staging, so chunked execution stays bit-exact with
+// eager. This is the body of a partitioned (pipelined) graph MatMul
+// sub-node.
+func (op *GEMMAllToAll) RunComputeChunk(p *sim.Proc, c, n int) Report {
 	pl := op.World.Platform()
 	e := pl.E
+	r0, r1 := op.chunkRows(c, n)
+	if r1 <= r0 {
+		return emptyChunkReport(e.Now(), op.k)
+	}
 	rep := Report{Start: e.Now(), PEEnd: make([]sim.Time, op.k)}
 	send := op.sendBuf()
 
@@ -206,10 +231,19 @@ func (op *GEMMAllToAll) RunCompute(p *sim.Proc) Report {
 		pe := op.PEs[s]
 		e.Go(fmt.Sprintf("base.gemm/rank%d", s), func(rp *sim.Proc) {
 			g := op.Gemms[s]
-			saved := g.C
-			g.C = send.On(pe)
-			g.Run(rp, pl.Device(pe), 0)
-			g.C = saved
+			// Tiles never straddle a destination block (TileM divides
+			// tokens), so block-local row membership selects whole tiles.
+			var tiles []int
+			for t := 0; t < g.Tiles(); t++ {
+				mlo, _, _, _ := g.TileRect(t)
+				if lr := mlo % op.tokens; lr >= r0 && lr < r1 {
+					tiles = append(tiles, t)
+				}
+			}
+			out := send.On(pe)
+			pl.Device(pe).LaunchGrid(rp, "gemm", len(tiles), 0, func(wg *gpu.WG, l int) {
+				g.ComputeTile(wg, tiles[l], out)
+			})
 			rep.PEEnd[s] = rp.Now()
 			wgAll.Done()
 		})
@@ -224,12 +258,25 @@ func (op *GEMMAllToAll) RunCompute(p *sim.Proc) Report {
 // blocks staged by RunCompute. This is the eager-mode body of a graph
 // AllToAll node.
 func (op *GEMMAllToAll) RunExchange(p *sim.Proc) Report {
+	return op.RunExchangeChunk(p, 0, 1)
+}
+
+// RunExchangeChunk executes chunk c of n of the collective half: the
+// sub-block All-to-All moving exactly the row band RunComputeChunk(c, n)
+// staged, out of every destination block. Disjoint bands cover the
+// blocks, so the n chunked exchanges move precisely what the single
+// full combine would.
+func (op *GEMMAllToAll) RunExchangeChunk(p *sim.Proc, c, n int) Report {
 	pl := op.World.Platform()
 	e := pl.E
+	r0, r1 := op.chunkRows(c, n)
+	if r1 <= r0 {
+		return emptyChunkReport(e.Now(), op.k)
+	}
 	rep := Report{Start: e.Now(), PEEnd: make([]sim.Time, op.k)}
 	g0 := op.Gemms[0]
-	comm := collectives.New(pl, op.PEs)
-	comm.AllToAll(p, op.sendBuf(), op.Recv, op.tokens*g0.N, op.Config.Collective)
+	comm := chunkComm(pl, op.PEs, c)
+	comm.AllToAllSub(p, op.sendBuf(), op.Recv, op.tokens*g0.N, r0*g0.N, (r1-r0)*g0.N, op.Config.Collective)
 	rep.End = e.Now()
 	for s := range rep.PEEnd {
 		rep.PEEnd[s] = rep.End

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 
-	"fusedcc/internal/collectives"
 	"fusedcc/internal/gpu"
 	"fusedcc/internal/kernels"
 	"fusedcc/internal/shmem"
@@ -224,13 +223,48 @@ func (op *GEMVAllReduce) runRank(rp *sim.Proc, s, phys int, storeDone, bcastDone
 	})
 }
 
+// MaxChunks returns the finest pipelining granularity the operator
+// supports: one output tile per chunk.
+func (op *GEMVAllReduce) MaxChunks() int { return op.tiles }
+
+// chunkTiles returns the contiguous output-tile range [lo,hi) of chunk c
+// of n (balanced split; empty when n exceeds the tile count).
+func (op *GEMVAllReduce) chunkTiles(c, n int) (lo, hi int) {
+	return chunkRange(c, n, op.tiles)
+}
+
+// chunkElems returns the output element range covered by chunk c of n.
+func (op *GEMVAllReduce) chunkElems(c, n int) (lo, hi int) {
+	tlo, thi := op.chunkTiles(c, n)
+	if thi <= tlo {
+		return 0, 0
+	}
+	g := op.Gemvs[0]
+	lo, _ = g.TileRange(tlo)
+	_, hi = g.TileRange(thi - 1)
+	return lo, hi
+}
+
 // RunCompute executes only the compute half of the bulk-synchronous
 // path: a conventional GEMV kernel per rank writing its partial output
 // into Out (each rank's Out instance holds that rank's un-reduced y).
 // This is the eager-mode body of a graph GEMV node.
 func (op *GEMVAllReduce) RunCompute(p *sim.Proc) Report {
+	return op.RunComputeChunk(p, 0, 1)
+}
+
+// RunComputeChunk executes chunk c of n of the compute half: the GEMV
+// kernels restricted to this chunk's contiguous output-tile range. The n
+// chunks together perform exactly RunCompute's work, so chunked
+// execution stays bit-exact with eager. This is the body of a
+// partitioned (pipelined) graph GEMV sub-node.
+func (op *GEMVAllReduce) RunComputeChunk(p *sim.Proc, c, n int) Report {
 	pl := op.World.Platform()
 	e := pl.E
+	tlo, thi := op.chunkTiles(c, n)
+	if thi <= tlo {
+		return emptyChunkReport(e.Now(), op.k)
+	}
 	rep := Report{Start: e.Now(), PEEnd: make([]sim.Time, op.k)}
 	wgAll := sim.NewWaitGroup(e)
 	wgAll.Add(op.k)
@@ -241,9 +275,10 @@ func (op *GEMVAllReduce) RunCompute(p *sim.Proc) Report {
 			g := op.Gemvs[s]
 			dev := pl.Device(pe)
 			out := op.Out.On(pe)
-			dev.LaunchGrid(rp, "gemv", g.Tiles(), 0, func(wg *gpu.WG, t int) {
-				lo, _ := g.TileRange(t)
-				g.ComputeTile(wg, t, out, lo)
+			dev.LaunchGrid(rp, "gemv", thi-tlo, 0, func(wg *gpu.WG, t int) {
+				tile := tlo + t
+				lo, _ := g.TileRange(tile)
+				g.ComputeTile(wg, tile, out, lo)
 			})
 			rep.PEEnd[s] = rp.Now()
 			wgAll.Done()
@@ -258,11 +293,23 @@ func (op *GEMVAllReduce) RunCompute(p *sim.Proc) Report {
 // path: the RCCL-style AllReduce over the partial outputs staged in Out.
 // This is the eager-mode body of a graph AllReduce node.
 func (op *GEMVAllReduce) RunAllReduce(p *sim.Proc) Report {
+	return op.RunAllReduceChunk(p, 0, 1)
+}
+
+// RunAllReduceChunk executes chunk c of n of the collective half: the
+// library AllReduce over exactly the output rows RunComputeChunk(c, n)
+// staged. Disjoint chunk ranges cover the output, so the n chunked
+// collectives reduce precisely what the single full AllReduce would.
+func (op *GEMVAllReduce) RunAllReduceChunk(p *sim.Proc, c, n int) Report {
 	pl := op.World.Platform()
 	e := pl.E
+	lo, hi := op.chunkElems(c, n)
+	if hi <= lo {
+		return emptyChunkReport(e.Now(), op.k)
+	}
 	rep := Report{Start: e.Now(), PEEnd: make([]sim.Time, op.k)}
-	comm := collectives.New(pl, op.PEs)
-	comm.AllReduce(p, op.Out, 0, op.m, op.Config.Collective)
+	comm := chunkComm(pl, op.PEs, c)
+	comm.AllReduce(p, op.Out, lo, hi-lo, op.Config.Collective)
 	rep.End = e.Now()
 	for s := range rep.PEEnd {
 		rep.PEEnd[s] = rep.End

@@ -41,7 +41,22 @@ type Config struct {
 	TopMLP       []int
 	SliceRows    int // fused-operator communication granularity
 	RowsPerWG    int // simulation coarsening for large runs (default 1)
-	Seed         int64
+	// Groups is the number of independent embedding groups (0 or 1 =
+	// the single-group model). Each group owns TablesPerGPU tables per
+	// rank, its own All-to-All exchange, and its own interaction
+	// operator — the multi-table multi-interaction DLRM whose
+	// independent exchange branches give the pipelined and dataflow
+	// schedulers real inter-branch overlap to exploit.
+	Groups int
+	Seed   int64
+}
+
+// groups normalizes the group count.
+func (c Config) groups() int {
+	if c.Groups <= 1 {
+		return 1
+	}
+	return c.Groups
 }
 
 // DefaultConfig returns a small but representative model.
@@ -65,10 +80,16 @@ type Model struct {
 	PEs   []int
 	Cfg   Config
 
+	// Sets, EmbOp, and GradOp are the first embedding group (the whole
+	// model when Groups <= 1).
 	Sets  []*kernels.EmbeddingSet
 	EmbOp *core.EmbeddingAllToAll
 	// GradOp is the backward gradient exchange (training only).
 	GradOp *core.EmbeddingGradExchange
+	// Ops and GradOps hold every group's pair operators; Ops[0] ==
+	// EmbOp.
+	Ops     []*core.EmbeddingAllToAll
+	GradOps []*core.EmbeddingGradExchange
 
 	opCfg core.Config
 	grads *shmem.Symm // data-parallel MLP gradient payload (lazy)
@@ -78,41 +99,47 @@ type Model struct {
 }
 
 // New builds tables and synthetic categorical inputs on every PE,
-// prepares the embedding + All-to-All pair, and assembles the forward
-// and training graphs.
+// prepares the per-group embedding + All-to-All pairs, and assembles
+// the forward and training graphs.
 func New(w *shmem.World, pes []int, cfg Config, opCfg core.Config) (*Model, error) {
 	if cfg.TablesPerGPU <= 0 || cfg.EmbeddingDim <= 0 || cfg.GlobalBatch <= 0 {
 		return nil, fmt.Errorf("dlrm: invalid config %+v", cfg)
 	}
 	pl := w.Platform()
 	m := &Model{World: w, PEs: pes, Cfg: cfg}
-	for s, pe := range pes {
-		rng := workload.Rand(cfg.Seed + int64(s))
-		dev := pl.Device(pe)
-		var bags []*kernels.EmbeddingBag
-		for t := 0; t < cfg.TablesPerGPU; t++ {
-			tab := kernels.NewEmbeddingTable(dev, cfg.TableRows, cfg.EmbeddingDim)
-			workload.FillRandom(rng, tab.Weights)
-			bag := &kernels.EmbeddingBag{
-				Table: tab, Batch: cfg.GlobalBatch, AvgPooling: float64(cfg.AvgPooling),
+	for grp := 0; grp < cfg.groups(); grp++ {
+		var sets []*kernels.EmbeddingSet
+		for s, pe := range pes {
+			rng := workload.Rand(cfg.Seed + int64(1000*grp+s))
+			dev := pl.Device(pe)
+			var bags []*kernels.EmbeddingBag
+			for t := 0; t < cfg.TablesPerGPU; t++ {
+				tab := kernels.NewEmbeddingTable(dev, cfg.TableRows, cfg.EmbeddingDim)
+				workload.FillRandom(rng, tab.Weights)
+				bag := &kernels.EmbeddingBag{
+					Table: tab, Batch: cfg.GlobalBatch, AvgPooling: float64(cfg.AvgPooling),
+				}
+				if dev.Config().Functional {
+					csr := workload.Lookups(rng, cfg.GlobalBatch, cfg.TableRows, cfg.AvgPooling)
+					bag.Offsets, bag.Indices = csr.Offsets, csr.Indices
+				}
+				bags = append(bags, bag)
 			}
-			if dev.Config().Functional {
-				csr := workload.Lookups(rng, cfg.GlobalBatch, cfg.TableRows, cfg.AvgPooling)
-				bag.Offsets, bag.Indices = csr.Offsets, csr.Indices
-			}
-			bags = append(bags, bag)
+			sets = append(sets, &kernels.EmbeddingSet{Bags: bags})
 		}
-		m.Sets = append(m.Sets, &kernels.EmbeddingSet{Bags: bags})
+		op, err := core.NewEmbeddingAllToAll(w, pes, sets, cfg.GlobalBatch, cfg.SliceRows, opCfg)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.RowsPerWG > 1 {
+			op.RowsPerWG = cfg.RowsPerWG
+		}
+		m.Ops = append(m.Ops, op)
+		m.GradOps = append(m.GradOps, core.NewEmbeddingGradExchange(op))
+		if grp == 0 {
+			m.Sets, m.EmbOp, m.GradOp = sets, op, m.GradOps[0]
+		}
 	}
-	op, err := core.NewEmbeddingAllToAll(w, pes, m.Sets, cfg.GlobalBatch, cfg.SliceRows, opCfg)
-	if err != nil {
-		return nil, err
-	}
-	if cfg.RowsPerWG > 1 {
-		op.RowsPerWG = cfg.RowsPerWG
-	}
-	m.EmbOp = op
-	m.GradOp = core.NewEmbeddingGradExchange(op)
 	m.opCfg = opCfg
 
 	m.fwd = graph.New(w, pes, opCfg)
@@ -122,34 +149,63 @@ func New(w *shmem.World, pes []int, cfg Config, opCfg core.Config) (*Model, erro
 	return m, nil
 }
 
+// groupSuffix names a group's nodes ("" for the single-group model, so
+// single-group graphs keep their historical node names).
+func (m *Model) groupSuffix(grp int) string {
+	if m.Cfg.groups() == 1 {
+		return ""
+	}
+	return fmt.Sprintf("[g%d]", grp)
+}
+
 // addForward appends the forward-pass nodes to g and returns the final
-// (interaction + top MLP) value.
+// (interaction + top MLP) value. With several embedding groups, each
+// group contributes an independent EmbeddingBag → AllToAll branch
+// feeding its own interaction operator; the top MLP joins them — the
+// multi-interaction shape whose parallel exchanges the dataflow and
+// pipelined schedulers overlap.
 func (m *Model) addForward(g *graph.Graph) (graph.Value, error) {
 	pl := m.World.Platform()
 	// Bottom MLP: the only computation independent of the embedding
-	// exchange (§II-A); dataflow scheduling overlaps the two branches.
+	// exchanges (§II-A); dataflow scheduling overlaps the branches.
 	bot := g.PerRank("bottom_mlp", func(p *sim.Proc, rank, pe int) {
 		mlp := &kernels.MLP{Widths: m.Cfg.BottomMLP, Batch: m.LocalBatch()}
 		mlp.Forward(p, pl.Device(pe))
 	})
-	pooled := g.EmbeddingBag("emb_pool", m.EmbOp)
-	exch, err := g.AllToAll("emb_a2a", pooled)
-	if err != nil {
-		return graph.Value{}, err
+	single := m.Cfg.groups() == 1
+	var interactions []graph.Value
+	for grp, op := range m.Ops {
+		sfx := m.groupSuffix(grp)
+		pooled := g.EmbeddingBag("emb_pool"+sfx, op)
+		exch, err := g.AllToAll("emb_a2a"+sfx, pooled)
+		if err != nil {
+			return graph.Value{}, err
+		}
+		if single {
+			// Historical single-group shape: interaction and top MLP in
+			// one node.
+			return g.PerRank("interaction+top_mlp", func(p *sim.Proc, rank, pe int) {
+				dev := pl.Device(pe)
+				m.interaction(p, dev)
+				mlp := &kernels.MLP{Widths: m.Cfg.TopMLP, Batch: m.LocalBatch()}
+				mlp.Forward(p, dev)
+			}, exch, bot), nil
+		}
+		interactions = append(interactions, g.PerRank("interaction"+sfx, func(p *sim.Proc, rank, pe int) {
+			m.interaction(p, pl.Device(pe))
+		}, exch, bot))
 	}
-	top := g.PerRank("interaction+top_mlp", func(p *sim.Proc, rank, pe int) {
-		dev := pl.Device(pe)
-		m.interaction(p, dev)
+	top := g.PerRank("top_mlp", func(p *sim.Proc, rank, pe int) {
 		mlp := &kernels.MLP{Widths: m.Cfg.TopMLP, Batch: m.LocalBatch()}
-		mlp.Forward(p, dev)
-	}, exch, bot)
+		mlp.Forward(p, pl.Device(pe))
+	}, interactions...)
 	return top, nil
 }
 
 // addBackward appends the training-only nodes: backward MLP +
-// interaction kernels, then the embedding-gradient exchange concurrent
-// with the data-parallel MLP gradient AllReduce (the production overlap
-// of the paper's Fig 15 setup).
+// interaction kernels, then every group's embedding-gradient exchange
+// concurrent with the data-parallel MLP gradient AllReduce (the
+// production overlap of the paper's Fig 15 setup).
 func (m *Model) addBackward(g *graph.Graph, top graph.Value) {
 	pl := m.World.Platform()
 	bwd := g.PerRank("backward_mlps", func(p *sim.Proc, rank, pe int) {
@@ -158,12 +214,16 @@ func (m *Model) addBackward(g *graph.Graph, top graph.Value) {
 		topMLP := &kernels.MLP{Widths: m.Cfg.TopMLP, Batch: m.LocalBatch()}
 		topMLP.Forward(p, dev)
 		topMLP.Forward(p, dev)
-		m.interaction(p, dev)
+		for range m.Ops {
+			m.interaction(p, dev)
+		}
 		bot := &kernels.MLP{Widths: m.Cfg.BottomMLP, Batch: m.LocalBatch()}
 		bot.Forward(p, dev)
 		bot.Forward(p, dev)
 	}, top)
-	g.GradExchange("emb_grad_exchange", m.GradOp, bwd)
+	for grp, gx := range m.GradOps {
+		g.GradExchange("emb_grad_exchange"+m.groupSuffix(grp), gx, bwd)
+	}
 	// Ring, matching the NCCL/RCCL schedule production data-parallel
 	// training uses (and the pre-graph implementation).
 	g.AllReduceSymmAlgo("mlp_grad_allreduce", m.grads, 0, m.MLPParams(), collectives.Ring, bwd)
@@ -213,6 +273,22 @@ func (m *Model) execute(p *sim.Proc, g *graph.Graph, fused bool) core.Report {
 // batch shard.
 func (m *Model) Forward(p *sim.Proc, fused bool) core.Report {
 	return m.execute(p, m.fwd, fused)
+}
+
+// Step runs one inference pass in any execution mode (Eager, Compiled,
+// or Pipelined).
+func (m *Model) Step(p *sim.Proc, mode graph.Mode) core.Report {
+	return m.exec.Execute(p, m.fwd, mode).Summary(len(m.PEs))
+}
+
+// Executor returns the model's executor, for tuning pipeline depth
+// (Chunks) or forcing stream-aware scheduling.
+func (m *Model) Executor() *graph.Executor { return &m.exec }
+
+// StepReport runs one inference pass and returns the full per-node
+// graph report (per-stream occupancy included in stream-aware modes).
+func (m *Model) StepReport(p *sim.Proc, mode graph.Mode) *graph.Report {
+	return m.exec.Execute(p, m.fwd, mode)
 }
 
 // MLPParams returns the dense-parameter count per replica, the payload

@@ -3,6 +3,8 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"fusedcc/internal/graph"
 )
 
 // All experiment tests run in Quick mode; the full sweeps are exercised
@@ -220,5 +222,57 @@ func TestHybridShapeValidatesShape(t *testing.T) {
 	}
 	if len(res.Rows) == 0 {
 		t.Fatal("no rows for 2x2")
+	}
+}
+
+// TestPipelineQuickShape is the acceptance gate of the pipelined
+// execution mode: the sweep must cover multi-layer stacks of all three
+// case studies, report per-stream occupancy, and — for each case study
+// — contain at least one multi-layer configuration with K>=2 chunks
+// where the pipelined makespan does not exceed eager.
+func TestPipelineQuickShape(t *testing.T) {
+	res := Pipeline(quick)
+	if len(res.Rows) == 0 || len(res.Notes) != len(res.Rows) {
+		t.Fatalf("rows=%d notes=%d", len(res.Rows), len(res.Notes))
+	}
+	wins := map[string]bool{}
+	for _, r := range res.Rows {
+		name := strings.Fields(r.Label)[0]
+		if r.Fused <= r.Baseline {
+			wins[name] = true
+		}
+	}
+	for _, name := range []string{"decoder", "dlrm", "moe"} {
+		if !wins[name] {
+			t.Errorf("%s: no configuration with eager >= pipelined makespan", name)
+		}
+	}
+	for _, n := range res.Notes {
+		if !strings.Contains(n, "occupancy") || !strings.Contains(n, "overlap eff") {
+			t.Errorf("note missing stream statistics: %q", n)
+		}
+	}
+}
+
+// TestPipelinePointModes verifies the single-configuration runner pairs
+// eager against the requested mode and validates its inputs.
+func TestPipelinePointModes(t *testing.T) {
+	res, err := PipelinePoint(1, 4, 2, 2, graph.Eager, quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want one per case study", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.Fused != r.Baseline {
+			t.Errorf("%s: eager-vs-eager row must be identical (%v vs %v)", r.Label, r.Fused, r.Baseline)
+		}
+	}
+	if _, err := PipelinePoint(0, 4, 2, 2, graph.Pipelined, quick); err == nil {
+		t.Error("invalid shape must error")
+	}
+	if _, err := PipelinePoint(1, 4, 0, 2, graph.Pipelined, quick); err == nil {
+		t.Error("zero layers must error")
 	}
 }

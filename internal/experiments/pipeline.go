@@ -1,0 +1,190 @@
+// Pipeline experiments: the fusion-vs-pipelining ablation the paper's
+// baseline family motivates. Multi-layer stacks of all three case
+// studies run in the three execution modes — Eager (bulk-synchronous),
+// Pipelined (chunked pairs overlapping on per-GPU compute/comm streams,
+// the CoCoNet/GC3-style software pipeline), and Compiled (fused
+// persistent kernels) — sweeping {shape x layers x chunk count}, with
+// per-stream occupancy and overlap-efficiency numbers from the
+// stream-aware scheduler.
+package experiments
+
+import (
+	"fmt"
+
+	"fusedcc/internal/core"
+	"fusedcc/internal/dlrm"
+	"fusedcc/internal/graph"
+	"fusedcc/internal/moe"
+	"fusedcc/internal/platform"
+	"fusedcc/internal/shmem"
+	"fusedcc/internal/sim"
+	"fusedcc/internal/transformer"
+)
+
+// stackRunner is the slice of a case-study stack the sweep needs: run
+// one pass in a mode and hand back the full graph report.
+type stackRunner interface {
+	StepReport(p *sim.Proc, mode graph.Mode) *graph.Report
+	Executor() *graph.Executor
+}
+
+// stackCase names one case-study stack constructor. layers means
+// decoder layers, MoE layers, and DLRM embedding groups respectively —
+// the case study's natural repetition axis.
+type stackCase struct {
+	name  string
+	build func(w *shmem.World, pes []int, layers int) (stackRunner, error)
+}
+
+// pipelineCases builds the three multi-layer stacks at experiment sizes
+// (timing mode; DLRM coarsened).
+func pipelineCases(quick bool) []stackCase {
+	// Tile grains sit in the throughput-bound regime on purpose: a chunk
+	// must still hold enough concurrent WGs to saturate the device, or
+	// chunking would serialize work the full kernel ran in parallel and
+	// software pipelining could never pay off.
+	decoderCfg := transformer.DecoderConfig{Hidden: 8192, FFN: 32768, TileM: 2, Seed: 1}
+	dlrmCfg := dlrm.Config{
+		TablesPerGPU: 16, TableRows: 1 << 14, EmbeddingDim: 256,
+		GlobalBatch: 1024, AvgPooling: 32,
+		BottomMLP: []int{256, 512, 256}, TopMLP: []int{512, 512, 256, 1},
+		SliceRows: 32, RowsPerWG: 32, Seed: 1,
+	}
+	moeCfg := moe.Config{TokensPerGPU: 512, ModelDim: 1024, FFNDim: 4096, TopK: 2, TileM: 16, TileN: 32, Seed: 1}
+	if quick {
+		decoderCfg.Hidden, decoderCfg.FFN = 4096, 16384
+		dlrmCfg.TablesPerGPU, dlrmCfg.GlobalBatch = 8, 512
+		moeCfg.TokensPerGPU, moeCfg.FFNDim = 256, 2048
+	}
+	return []stackCase{
+		{"decoder", func(w *shmem.World, pes []int, layers int) (stackRunner, error) {
+			cfg := decoderCfg
+			cfg.Layers = layers
+			return transformer.NewDecoder(w, pes, cfg, core.DefaultConfig())
+		}},
+		{"dlrm", func(w *shmem.World, pes []int, layers int) (stackRunner, error) {
+			cfg := dlrmCfg
+			cfg.Groups = layers
+			return dlrm.New(w, pes, cfg, core.DefaultConfig())
+		}},
+		{"moe", func(w *shmem.World, pes []int, layers int) (stackRunner, error) {
+			return moe.NewStack(w, pes, moeCfg, layers, core.DefaultConfig())
+		}},
+	}
+}
+
+// stackRun is one stack execution: makespan plus the stream statistics
+// of stream-aware modes.
+type stackRun struct {
+	dur        sim.Duration
+	comp, comm float64 // mean stream occupancy
+	overlap    float64 // overlap efficiency
+}
+
+// runStack builds the case's stack on a fresh world and runs one pass.
+// Every mode runs stream-aware so makespans compare scheduling policies
+// on the same two-queue device model. Construction errors surface to
+// the caller: PipelinePoint is reachable with user-supplied shapes
+// through fusionbench, where an indivisible shape is a usage error, not
+// a programming one.
+func runStack(sc stackCase, nodes, gpus, layers, chunks int, mode graph.Mode) (stackRun, error) {
+	pl, w := clusterWorld(nodes, gpus)
+	r, err := sc.build(w, allPEs(pl), layers)
+	if err != nil {
+		return stackRun{}, fmt.Errorf("%s on %dx%d: %w", sc.name, nodes, gpus, err)
+	}
+	x := r.Executor()
+	x.Chunks = chunks
+	x.Streams = true
+	var rep *graph.Report
+	pl.E.Go("pipeline", func(p *sim.Proc) { rep = r.StepReport(p, mode) })
+	pl.E.Run()
+	out := stackRun{dur: rep.Duration(), overlap: rep.OverlapEfficiency()}
+	out.comp, out.comm = rep.StreamOccupancy()
+	return out, nil
+}
+
+// PipelinePoint runs one {shape, layers, chunks} configuration of every
+// case-study stack in eager, pipelined, and fused form. Rows pair eager
+// (baseline) against the requested mode; notes carry all three
+// makespans and the pipelined run's per-stream occupancy.
+func PipelinePoint(nodes, gpus, layers, chunks int, mode graph.Mode, opt Options) (*Result, error) {
+	if err := validShape(nodes, gpus); err != nil {
+		return nil, err
+	}
+	if layers < 1 || chunks < 1 {
+		return nil, fmt.Errorf("experiments: need layers >= 1 and chunks >= 1, got %d and %d", layers, chunks)
+	}
+	label := fmt.Sprintf("%dx%d L%d K%d", nodes, gpus, layers, chunks)
+	res := &Result{
+		ID:    "Pipeline" + label,
+		Title: fmt.Sprintf("execution modes on multi-layer stacks (%s, %v vs eager)", label, mode),
+	}
+	for _, sc := range pipelineCases(opt.Quick) {
+		eager, err := runStack(sc, nodes, gpus, layers, chunks, graph.Eager)
+		if err != nil {
+			return nil, err
+		}
+		pipelined, err := runStack(sc, nodes, gpus, layers, chunks, graph.Pipelined)
+		if err != nil {
+			return nil, err
+		}
+		fused, err := runStack(sc, nodes, gpus, layers, chunks, graph.Compiled)
+		if err != nil {
+			return nil, err
+		}
+		sel := eager
+		switch mode {
+		case graph.Pipelined:
+			sel = pipelined
+		case graph.Compiled:
+			sel = fused
+		}
+		res.Rows = append(res.Rows, Row{
+			Label:    fmt.Sprintf("%s %s", sc.name, label),
+			Baseline: eager.dur,
+			Fused:    sel.dur,
+		})
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"%s %s: eager %v, pipelined %v (-%.1f%%), fused %v (-%.1f%%); pipelined streams: compute %.0f%%, comm %.0f%% occupancy, overlap eff %.0f%%",
+			sc.name, label, eager.dur,
+			pipelined.dur, 100*(1-float64(pipelined.dur)/float64(eager.dur)),
+			fused.dur, 100*(1-float64(fused.dur)/float64(eager.dur)),
+			100*pipelined.comp, 100*pipelined.comm, 100*pipelined.overlap))
+	}
+	return res, nil
+}
+
+// Pipeline is the full fusion-vs-pipelining sweep: {mode x chunk count
+// x layers x shape} over the three case-study stacks. Rows pair eager
+// against pipelined (the headline comparison); notes carry the fused
+// makespans and stream statistics per configuration.
+func Pipeline(opt Options) *Result {
+	shapes := [][2]int{{1, 8}, {2, 4}, {8, 1}}
+	layerss := []int{2, 4}
+	chunkss := []int{2, 4}
+	if opt.Quick {
+		shapes = [][2]int{{1, 8}, {8, 1}}
+		layerss = []int{2}
+		chunkss = []int{2}
+	}
+	res := &Result{ID: "Pipeline", Title: "eager vs pipelined vs fused on multi-layer stacks (beyond the paper)"}
+	for _, sh := range shapes {
+		for _, layers := range layerss {
+			for _, chunks := range chunkss {
+				one, err := PipelinePoint(sh[0], sh[1], layers, chunks, graph.Pipelined, opt)
+				if err != nil {
+					panic(err) // sweep shapes are fixed and valid
+				}
+				res.Rows = append(res.Rows, one.Rows...)
+				res.Notes = append(res.Notes, one.Notes...)
+			}
+		}
+	}
+	return res
+}
+
+// validShape mirrors platform validation for user-supplied shapes.
+func validShape(nodes, gpus int) error {
+	return platform.Cluster(nodes, gpus).Validate()
+}

@@ -19,6 +19,13 @@ type Device struct {
 	kernelsLaunched int
 	activeWGs       int
 	activeGathers   int // in-flight random-gather transfers
+
+	// Standing per-kind command queues (see Stream) and the compute/comm
+	// overlap accounting fed by their busy transitions.
+	streams      [numStreamKinds]*Stream
+	streamBusy   [numStreamKinds]bool
+	overlapSince sim.Time
+	overlapTotal sim.Duration
 }
 
 // NewDevice creates a device with the given id bound to engine e.

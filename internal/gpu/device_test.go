@@ -390,3 +390,73 @@ func TestLanesCountTowardGatherKnee(t *testing.T) {
 		t.Errorf("8-lane gather (%.0fns) not penalized vs 1-lane (%.0fns)", t8, t1)
 	}
 }
+
+func TestDeviceStreamKindsAndOverlap(t *testing.T) {
+	e := sim.NewEngine()
+	d := NewDevice(e, 0, small())
+	comp, comm := d.Stream(StreamCompute), d.Stream(StreamComm)
+	if comp == nil || comm == nil || comp == comm {
+		t.Fatal("per-kind streams must be distinct standing queues")
+	}
+	if d.Stream(StreamCompute) != comp {
+		t.Fatal("Stream must return the same standing queue per kind")
+	}
+	// Compute busy [0,100); comm busy [50,150): overlap is 50.
+	e.Go("comp", func(p *sim.Proc) {
+		comp.Run(p, func(p *sim.Proc) { p.Sleep(100) })
+	})
+	e.Go("comm", func(p *sim.Proc) {
+		p.Sleep(50)
+		comm.Run(p, func(p *sim.Proc) { p.Sleep(100) })
+	})
+	e.Run()
+	if got := d.StreamBusy(StreamCompute); got != 100 {
+		t.Errorf("compute busy %v, want 100", got)
+	}
+	if got := d.StreamBusy(StreamComm); got != 100 {
+		t.Errorf("comm busy %v, want 100", got)
+	}
+	if got := d.StreamOverlap(); got != 50 {
+		t.Errorf("overlap %v, want 50", got)
+	}
+}
+
+func TestStreamAcquireSerializesAcrossProcs(t *testing.T) {
+	e := sim.NewEngine()
+	d := NewDevice(e, 0, small())
+	s := d.Stream(StreamCompute)
+	var ends []sim.Time
+	for i := 0; i < 3; i++ {
+		e.Go("n", func(p *sim.Proc) {
+			s.Acquire(p)
+			p.Sleep(10)
+			ends = append(ends, p.Now())
+			s.Release()
+		})
+	}
+	e.Run()
+	for i, at := range ends {
+		if want := sim.Time(10 * (i + 1)); at != want {
+			t.Errorf("holder %d done at %v, want %v", i, at, want)
+		}
+	}
+}
+
+// TestStreamSyncSeesFreshEnqueues is the regression test for the
+// Enqueue-then-Sync-in-one-turn contract: Sync must block on items
+// whose process has not reached the stream yet.
+func TestStreamSyncSeesFreshEnqueues(t *testing.T) {
+	e := sim.NewEngine()
+	d := NewDevice(e, 0, small())
+	s := d.NewStream("s")
+	var syncAt sim.Time
+	e.Go("host", func(p *sim.Proc) {
+		s.Enqueue(func(p *sim.Proc) { p.Sleep(100) })
+		s.Sync(p) // same turn, no yield
+		syncAt = p.Now()
+	})
+	e.Run()
+	if syncAt != 100 {
+		t.Errorf("Sync returned at %v, want 100 (after the enqueued item)", syncAt)
+	}
+}

@@ -6,33 +6,140 @@ import (
 	"fusedcc/internal/sim"
 )
 
-// Stream is an in-order host command queue for a device, the analogue of
-// a HIP/CUDA stream. Work items enqueued on one stream run sequentially;
-// separate streams run concurrently and contend for device resources.
-// The bulk-synchronous baselines use a single stream; the kernel-split
-// ablation (DESIGN.md §5) uses two to overlap communication of one shard
-// with computation of the next.
-type Stream struct {
-	dev   *Device
-	name  string
-	queue []func(p *sim.Proc)
-	busy  bool
-	idle  *sim.Cond
-}
+// StreamKind names a device's standing command queues. The stream-aware
+// graph scheduler maps node kinds onto them: kernels (conventional,
+// persistent, or fused) issue on the compute stream, host-launched
+// library collectives on the comm stream — the two-queue model
+// production frameworks use to overlap communication with computation.
+type StreamKind int
 
-// NewStream creates a stream on the device.
-func (d *Device) NewStream(name string) *Stream {
-	return &Stream{dev: d, name: name, idle: sim.NewCond(d.e)}
-}
+const (
+	// StreamCompute carries kernel dispatches.
+	StreamCompute StreamKind = iota
+	// StreamComm carries library-collective launches and DMA batches.
+	StreamComm
+	numStreamKinds
+)
 
-// Enqueue appends fn to the stream. fn runs on a dedicated process in
-// FIFO order with respect to earlier items on this stream.
-func (s *Stream) Enqueue(fn func(p *sim.Proc)) {
-	s.queue = append(s.queue, fn)
-	if !s.busy {
-		s.busy = true
-		s.dev.e.Go(fmt.Sprintf("stream/%s", s.name), s.drain)
+func (k StreamKind) String() string {
+	if k == StreamComm {
+		return "comm"
 	}
+	return "compute"
+}
+
+// Stream is an in-order host command queue for a device, the analogue of
+// a HIP/CUDA stream. Work items on one stream run sequentially; separate
+// streams run concurrently and contend for device resources (WG slots,
+// HBM, links). Backed by a sim.Server, a stream records its busy time,
+// which the graph executor turns into per-stream occupancy statistics.
+type Stream struct {
+	dev  *Device
+	name string
+	srv  *sim.Server
+
+	// pending counts items enqueued but not yet completed, tracked
+	// synchronously at Enqueue time so Sync sees work whose process has
+	// not reached the server yet.
+	pending int
+	drained *sim.Cond
+}
+
+// NewStream creates an anonymous stream on the device (not tracked by
+// the per-kind accessors and excluded from overlap accounting).
+func (d *Device) NewStream(name string) *Stream {
+	return &Stream{
+		dev: d, name: name,
+		srv:     sim.NewServer(d.e, fmt.Sprintf("gpu%d.%s", d.id, name)),
+		drained: sim.NewCond(d.e),
+	}
+}
+
+// Stream returns the device's standing stream of the given kind,
+// creating it on first use. Per-kind streams participate in the device's
+// compute/comm overlap accounting.
+func (d *Device) Stream(kind StreamKind) *Stream {
+	if kind < 0 || kind >= numStreamKinds {
+		panic(fmt.Sprintf("gpu: invalid stream kind %d", int(kind)))
+	}
+	if d.streams[kind] == nil {
+		s := d.NewStream(kind.String())
+		k := kind
+		s.srv.OnBusy(func(busy bool) { d.streamTransition(k, busy) })
+		d.streams[kind] = s
+	}
+	return d.streams[kind]
+}
+
+// streamTransition maintains the device's both-streams-busy accumulator
+// across per-kind stream busy/idle edges.
+func (d *Device) streamTransition(kind StreamKind, busy bool) {
+	wasBoth := d.bothBusy()
+	d.streamBusy[kind] = busy
+	isBoth := d.bothBusy()
+	switch {
+	case !wasBoth && isBoth:
+		d.overlapSince = d.e.Now()
+	case wasBoth && !isBoth:
+		d.overlapTotal += d.e.Now().Sub(d.overlapSince)
+	}
+}
+
+func (d *Device) bothBusy() bool {
+	return d.streamBusy[StreamCompute] && d.streamBusy[StreamComm]
+}
+
+// StreamBusy reports the cumulative busy time of the device's standing
+// stream of the given kind (zero if it was never used).
+func (d *Device) StreamBusy(kind StreamKind) sim.Duration {
+	if d.streams[kind] == nil {
+		return 0
+	}
+	return d.streams[kind].BusyTime()
+}
+
+// StreamOverlap reports the cumulative time the device's compute and
+// comm streams were busy simultaneously — the overlap the pipelined
+// schedule exists to create.
+func (d *Device) StreamOverlap() sim.Duration {
+	if d.bothBusy() {
+		return d.overlapTotal + d.e.Now().Sub(d.overlapSince)
+	}
+	return d.overlapTotal
+}
+
+// Name returns the stream's diagnostic name.
+func (s *Stream) Name() string { return s.name }
+
+// BusyTime reports the cumulative time the stream held work.
+func (s *Stream) BusyTime() sim.Duration { return s.srv.BusyTime() }
+
+// Acquire blocks p until the stream is free, then holds it. Paired with
+// Release, this is how the graph scheduler serializes whole nodes on a
+// stream while the node's own kernels run on their rank processes.
+func (s *Stream) Acquire(p *sim.Proc) { s.srv.Acquire(p) }
+
+// Release frees the stream for the next queued item.
+func (s *Stream) Release() { s.srv.Release() }
+
+// Run executes fn as one in-order stream item, blocking the caller.
+func (s *Stream) Run(p *sim.Proc, fn func(p *sim.Proc)) {
+	s.srv.Acquire(p)
+	fn(p)
+	s.srv.Release()
+}
+
+// Enqueue appends fn to the stream and returns immediately. fn runs on a
+// dedicated process in FIFO order with respect to earlier items.
+func (s *Stream) Enqueue(fn func(p *sim.Proc)) {
+	s.pending++
+	s.dev.e.Go(fmt.Sprintf("stream/%s", s.name), func(p *sim.Proc) {
+		s.Run(p, fn)
+		s.pending--
+		if s.pending == 0 {
+			s.drained.Broadcast()
+		}
+	})
 }
 
 // LaunchKernel enqueues a kernel dispatch on the stream.
@@ -40,17 +147,10 @@ func (s *Stream) LaunchKernel(k Kernel) {
 	s.Enqueue(func(p *sim.Proc) { s.dev.Launch(p, k) })
 }
 
-// Sync blocks the calling process until the stream drains.
+// Sync blocks the calling process until the stream drains: every item
+// enqueued so far has completed (including ones whose process has not
+// started yet) and no direct Acquire holder or waiter remains.
 func (s *Stream) Sync(p *sim.Proc) {
-	s.idle.Wait(p, func() bool { return !s.busy && len(s.queue) == 0 })
-}
-
-func (s *Stream) drain(p *sim.Proc) {
-	for len(s.queue) > 0 {
-		fn := s.queue[0]
-		s.queue = s.queue[1:]
-		fn(p)
-	}
-	s.busy = false
-	s.idle.Broadcast()
+	s.drained.Wait(p, func() bool { return s.pending == 0 })
+	s.srv.WaitIdle(p)
 }

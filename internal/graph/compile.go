@@ -106,34 +106,10 @@ func Compile(g *Graph, opt CompileOptions) (*Graph, *CompileReport) {
 	// match maps a fusable collective node to its producing compute
 	// node; replaced maps original nodes to their substitutes in the
 	// output graph (filled during the copy).
-	match := map[*Node]*Node{}
+	match := pairMatches(g, opt.enabled)
 	computeMatched := map[*Node]bool{}
 	replaced := map[*Node]*Node{}
-
-	for _, c := range g.nodes {
-		if c.op.Kind() != KindCollective {
-			continue
-		}
-		pair := pairOf(c.op)
-		if pair == nil {
-			continue
-		}
-		pt, ok := patternFor(c.op)
-		if !ok || !opt.enabled(pt) {
-			continue
-		}
-		// The producing compute node: the input bound to the same pair.
-		var producer *Node
-		for _, in := range c.in {
-			if in.op.Kind() == KindCompute && pairOf(in.op) == pair {
-				producer = in
-				break
-			}
-		}
-		if producer == nil || g.consumers(producer) != 1 {
-			continue
-		}
-		match[c] = producer
+	for _, producer := range match {
 		computeMatched[producer] = true
 	}
 
@@ -174,6 +150,43 @@ func Compile(g *Graph, opt CompileOptions) (*Graph, *CompileReport) {
 		}
 	}
 	return out, rep
+}
+
+// pairMatches returns, for every fusable collective node whose pattern
+// passes the filter, its producing compute node. A pair matches only
+// when the collective directly consumes the compute node's value, both
+// are bound to the same backing operator, and the compute node has no
+// other consumer (rewriting it would hide the staged intermediate
+// another node reads). Shared by the fusion and partition passes, so
+// "what fuses" and "what pipelines" cannot drift apart.
+func pairMatches(g *Graph, enabled func(Pattern) bool) map[*Node]*Node {
+	match := map[*Node]*Node{}
+	for _, c := range g.nodes {
+		if c.op.Kind() != KindCollective {
+			continue
+		}
+		pair := pairOf(c.op)
+		if pair == nil {
+			continue
+		}
+		pt, ok := patternFor(c.op)
+		if !ok || !enabled(pt) {
+			continue
+		}
+		// The producing compute node: the input bound to the same pair.
+		var producer *Node
+		for _, in := range c.in {
+			if in.op.Kind() == KindCompute && pairOf(in.op) == pair {
+				producer = in
+				break
+			}
+		}
+		if producer == nil || g.consumers(producer) != 1 {
+			continue
+		}
+		match[c] = producer
+	}
+	return match
 }
 
 // patternFor classifies a fusable collective op.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"fusedcc/internal/core"
+	"fusedcc/internal/gpu"
 	"fusedcc/internal/sim"
 )
 
@@ -18,11 +19,19 @@ const (
 	// Compiled runs the graph through the fusion pass first, so matched
 	// compute→collective pairs execute as fused persistent kernels.
 	Compiled
+	// Pipelined runs the graph through the partition pass first, so
+	// matched pairs execute as K chunked sub-node chains whose
+	// collectives overlap later chunks' compute on the per-GPU streams —
+	// the software-pipelining alternative to fusion (CoCoNet/GC3 style).
+	Pipelined
 )
 
 func (m Mode) String() string {
-	if m == Compiled {
+	switch m {
+	case Compiled:
 		return "compiled"
+	case Pipelined:
+		return "pipelined"
 	}
 	return "eager"
 }
@@ -44,6 +53,19 @@ type NodeReport struct {
 // Duration returns the node's simulated execution time.
 func (nr NodeReport) Duration() sim.Duration { return nr.End.Sub(nr.Start) }
 
+// StreamReport is the per-GPU stream-occupancy line of a stream-aware
+// execution: how long each standing stream held work during the run and
+// how much of that time the two streams overlapped.
+type StreamReport struct {
+	PE int
+	// ComputeBusy and CommBusy are the per-stream busy times within the
+	// run window.
+	ComputeBusy, CommBusy sim.Duration
+	// Overlap is the time both streams were busy simultaneously — the
+	// communication the schedule actually hid.
+	Overlap sim.Duration
+}
+
 // Report captures one graph execution.
 type Report struct {
 	Mode Mode
@@ -51,8 +73,12 @@ type Report struct {
 	Start, End sim.Time
 	// Nodes holds one entry per executed node, in graph order.
 	Nodes []NodeReport
-	// Compile is the fusion-pass report (nil in Eager mode).
+	// Compile is the fusion-pass report (nil unless Compiled mode).
 	Compile *CompileReport
+	// Partition is the chunking-pass report (nil unless Pipelined mode).
+	Partition *PartitionReport
+	// Streams holds per-GPU stream occupancy (stream-aware runs only).
+	Streams []StreamReport
 }
 
 // Duration returns the graph makespan.
@@ -86,6 +112,46 @@ func (r *Report) RemoteBytes() float64 {
 	return b
 }
 
+// StreamOccupancy returns the mean per-GPU busy fraction of the compute
+// and comm streams over the makespan window (zeros when the run was not
+// stream-aware or took no time).
+func (r *Report) StreamOccupancy() (compute, comm float64) {
+	if len(r.Streams) == 0 || r.End == r.Start {
+		return 0, 0
+	}
+	span := float64(r.Duration())
+	for _, s := range r.Streams {
+		compute += float64(s.ComputeBusy) / span
+		comm += float64(s.CommBusy) / span
+	}
+	n := float64(len(r.Streams))
+	return compute / n, comm / n
+}
+
+// OverlapEfficiency returns the mean fraction of the shorter stream's
+// busy time that overlapped the other stream — 1.0 means communication
+// was entirely hidden behind compute (or vice versa), 0 means the
+// streams ran strictly back to back. GPUs with an idle stream are
+// skipped; returns 0 when no GPU had both streams busy.
+func (r *Report) OverlapEfficiency() float64 {
+	sum, n := 0.0, 0
+	for _, s := range r.Streams {
+		shorter := s.ComputeBusy
+		if s.CommBusy < shorter {
+			shorter = s.CommBusy
+		}
+		if shorter <= 0 {
+			continue
+		}
+		sum += float64(s.Overlap) / float64(shorter)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
 // Summary condenses the graph report into the operator Report shape
 // the case studies and experiments consume: the makespan window plus
 // total GPU-initiated traffic, with every PE credited the final time.
@@ -111,60 +177,146 @@ func (r *Report) String() string {
 		}
 		s += "\n"
 	}
+	if len(r.Streams) > 0 {
+		comp, comm := r.StreamOccupancy()
+		s += fmt.Sprintf("  streams: compute %.0f%%, comm %.0f%% occupancy, overlap efficiency %.0f%%\n",
+			100*comp, 100*comm, 100*r.OverlapEfficiency())
+	}
 	return s
 }
 
+// DefaultChunks is the pipeline depth Pipelined mode uses when the
+// executor's Chunks field is zero.
+const DefaultChunks = 4
+
 // Executor runs graphs with dataflow scheduling: every node starts the
-// moment all its dependencies have finished, so independent subgraphs
-// (a DLRM bottom MLP and its embedding exchange, say) overlap without
-// hand-written concurrency.
+// moment all its dependencies have finished. In stream-aware runs
+// (Pipelined mode, or any mode with Streams set) each ready node must
+// additionally acquire its stream — compute/fused nodes the compute
+// stream, collective nodes the comm stream, on every participating GPU
+// — so concurrent nodes serialize realistically on-device instead of
+// enjoying infinite parallelism, and the report gains per-stream
+// occupancy statistics.
 type Executor struct {
 	// Options tunes the fusion pass used in Compiled mode.
 	Options CompileOptions
+	// Chunks is the pipeline depth of Pipelined mode (0 = DefaultChunks).
+	Chunks int
+	// Streams forces stream-aware scheduling in every mode. Pipelined
+	// runs are always stream-aware.
+	Streams bool
 
-	// compiled caches the fusion-pass output per source graph so
-	// repeated Compiled executions (decode loops, training iterations)
-	// do not recompile a static graph. Invalidated when the source
-	// graph grows.
-	compiled map[*Graph]compiledEntry
+	// compiled and partitioned cache the rewrite-pass outputs per source
+	// graph so repeated executions (decode loops, training iterations)
+	// do not re-run the pass on a static graph. Entries key on the
+	// graph's mutation generation, so any edit — adding nodes or
+	// dependency edges, even without changing the node count —
+	// invalidates them.
+	compiled    map[*Graph]compiledEntry
+	partitioned map[*Graph]partitionedEntry
 }
 
 type compiledEntry struct {
-	g     *Graph
-	rep   *CompileReport
-	nodes int    // len(source.nodes) at compile time
-	opts  string // fingerprint of the options used
+	g    *Graph
+	rep  *CompileReport
+	gen  int    // source graph generation at compile time
+	opts string // fingerprint of the options used
+}
+
+type partitionedEntry struct {
+	g      *Graph
+	rep    *PartitionReport
+	gen    int // source graph generation at partition time
+	chunks int
 }
 
 // compile returns the cached fused form of g, compiling on first use
-// (or after g gained nodes, or after Options changed).
+// (or after g was mutated, or after Options changed).
 func (x *Executor) compile(g *Graph) (*Graph, *CompileReport) {
 	opts := fmt.Sprint(x.Options.Disable)
-	if ent, ok := x.compiled[g]; ok && ent.nodes == len(g.nodes) && ent.opts == opts {
+	if ent, ok := x.compiled[g]; ok && ent.gen == g.gen && ent.opts == opts {
 		return ent.g, ent.rep
 	}
 	cg, crep := Compile(g, x.Options)
 	if x.compiled == nil {
 		x.compiled = map[*Graph]compiledEntry{}
 	}
-	x.compiled[g] = compiledEntry{g: cg, rep: crep, nodes: len(g.nodes), opts: opts}
+	x.compiled[g] = compiledEntry{g: cg, rep: crep, gen: g.gen, opts: opts}
 	return cg, crep
+}
+
+// chunks resolves the pipeline depth.
+func (x *Executor) chunks() int {
+	if x.Chunks > 0 {
+		return x.Chunks
+	}
+	return DefaultChunks
+}
+
+// partition returns the cached chunked form of g, partitioning on first
+// use (or after g was mutated, or after Chunks changed).
+func (x *Executor) partition(g *Graph) (*Graph, *PartitionReport) {
+	k := x.chunks()
+	if ent, ok := x.partitioned[g]; ok && ent.gen == g.gen && ent.chunks == k {
+		return ent.g, ent.rep
+	}
+	pg, prep := Partition(g, k)
+	if x.partitioned == nil {
+		x.partitioned = map[*Graph]partitionedEntry{}
+	}
+	x.partitioned[g] = partitionedEntry{g: pg, rep: prep, gen: g.gen, chunks: k}
+	return pg, prep
+}
+
+// streamKindOf maps a node kind to the device stream it occupies:
+// kernels (conventional and fused persistent) issue on the compute
+// stream, host-launched library collectives on the comm stream.
+func streamKindOf(k NodeKind) gpu.StreamKind {
+	if k == KindCollective {
+		return gpu.StreamComm
+	}
+	return gpu.StreamCompute
+}
+
+// streamSnapshot records per-device cumulative stream counters so the
+// run window's deltas become the report.
+type streamSnapshot struct {
+	compute, comm, overlap sim.Duration
 }
 
 // Execute runs g in the given mode on the coordinating process and
 // blocks until every node has finished. In Compiled mode the graph is
-// first rewritten by Compile (cached across calls); the input graph is
-// never modified. An empty graph is a valid no-op.
+// first rewritten by Compile, in Pipelined mode by Partition (both
+// cached across calls); the input graph is never modified. An empty
+// graph is a valid no-op.
 func (x *Executor) Execute(p *sim.Proc, g *Graph, mode Mode) *Report {
 	rg := g
 	rep := &Report{Mode: mode}
-	if mode == Compiled {
+	switch mode {
+	case Compiled:
 		rg, rep.Compile = x.compile(g)
+	case Pipelined:
+		rg, rep.Partition = x.partition(g)
 	}
+	streamAware := x.Streams || mode == Pipelined
 
-	e := g.world.Platform().E
+	pl := g.world.Platform()
+	e := pl.E
 	rep.Start = e.Now()
 	rep.Nodes = make([]NodeReport, len(rg.nodes))
+
+	var before map[int]streamSnapshot
+	if streamAware {
+		before = make(map[int]streamSnapshot, len(rg.pes))
+		for _, pe := range rg.pes {
+			dev := pl.Device(pe)
+			before[pe] = streamSnapshot{
+				compute: dev.StreamBusy(gpu.StreamCompute),
+				comm:    dev.StreamBusy(gpu.StreamComm),
+				overlap: dev.StreamOverlap(),
+			}
+		}
+	}
 
 	done := make([]*sim.Flag, len(rg.nodes))
 	for i := range done {
@@ -178,7 +330,24 @@ func (x *Executor) Execute(p *sim.Proc, g *Graph, mode Mode) *Report {
 			for _, in := range n.in {
 				done[in.id].WaitGE(np, 1)
 			}
-			r := n.op.Run(np)
+			var r core.Report
+			if streamAware {
+				// Acquire the node's stream on every participating GPU in
+				// ascending PE order (ordered acquisition: no deadlock),
+				// run, release. Holding the whole set serializes the node
+				// against same-stream nodes on-device while the other
+				// stream keeps flowing — the two-queue overlap model.
+				kind := streamKindOf(n.op.Kind())
+				for _, pe := range rg.pes {
+					pl.Device(pe).Stream(kind).Acquire(np)
+				}
+				r = n.op.Run(np)
+				for _, pe := range rg.pes {
+					pl.Device(pe).Stream(kind).Release()
+				}
+			} else {
+				r = n.op.Run(np)
+			}
 			rep.Nodes[i] = NodeReport{
 				Name: n.name, Op: n.op.OpName(), Kind: n.op.Kind(),
 				Start: r.Start, End: r.End,
@@ -190,11 +359,25 @@ func (x *Executor) Execute(p *sim.Proc, g *Graph, mode Mode) *Report {
 	}
 	all.Wait(p)
 	rep.End = e.Now()
+
+	if streamAware {
+		for _, pe := range rg.pes {
+			dev := pl.Device(pe)
+			b := before[pe]
+			rep.Streams = append(rep.Streams, StreamReport{
+				PE:          pe,
+				ComputeBusy: dev.StreamBusy(gpu.StreamCompute) - b.compute,
+				CommBusy:    dev.StreamBusy(gpu.StreamComm) - b.comm,
+				Overlap:     dev.StreamOverlap() - b.overlap,
+			})
+		}
+	}
 	return rep
 }
 
 // Run executes g in the given mode with a default Executor — the
-// one-line entry point for callers with no compile options to set.
+// one-line entry point for callers with no compile or chunking options
+// to set.
 func Run(p *sim.Proc, g *Graph, mode Mode) *Report {
 	var x Executor
 	return x.Execute(p, g, mode)

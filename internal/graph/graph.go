@@ -131,6 +131,10 @@ type Graph struct {
 	pes   []int
 	cfg   core.Config
 	nodes []*Node
+	// gen counts mutations (node additions, dependency edits). Executor
+	// caches key on it, so any edit — including ones that keep the node
+	// count unchanged — invalidates stale compiled or partitioned forms.
+	gen int
 }
 
 // New creates an empty graph over the world's PEs with the given
@@ -162,11 +166,61 @@ func (g *Graph) Node(name string) *Node {
 	return nil
 }
 
+// Gen returns the graph's mutation generation: it increases on every
+// node addition or dependency edit, and executor caches key on it.
+func (g *Graph) Gen() int { return g.gen }
+
+// AddDep appends extra dependencies to an existing node — control edges
+// for sequencing decided after construction (making a stage wait for a
+// side branch, pinning a collective behind a barrier). Cross-graph
+// values are rejected like in the builders. The edit bumps the mutation
+// generation, so cached compiled or partitioned forms are rebuilt.
+func (g *Graph) AddDep(n *Node, deps ...Value) {
+	if n == nil || n.g != g {
+		panic("graph: AddDep on a node from a different graph")
+	}
+	g.gen++
+	for _, d := range deps {
+		if d.producer == nil {
+			continue
+		}
+		if d.producer.g != g {
+			panic(fmt.Sprintf("graph: node %q depends on value of %q from a different graph", n.name, d.producer.name))
+		}
+		if d.producer.id >= n.id {
+			panic(fmt.Sprintf("graph: AddDep would make %q depend on later node %q", n.name, d.producer.name))
+		}
+		n.in = append(n.in, d.producer)
+	}
+}
+
+// Stack chains layers: build(l, prev) appends layer l's nodes to the
+// graph and returns the layer's output value; prev is the zero Value for
+// layer 0 and the previous layer's output afterwards. It returns the
+// last layer's output — the one-line way multi-layer model stacks
+// (transformer decoders, stacked MoE) become single graphs that the
+// executor can pipeline across layers.
+func Stack(g *Graph, layers int, build func(layer int, prev Value) (Value, error)) (Value, error) {
+	if layers <= 0 {
+		return Value{}, fmt.Errorf("graph: Stack of %d layers", layers)
+	}
+	var prev Value
+	for l := 0; l < layers; l++ {
+		v, err := build(l, prev)
+		if err != nil {
+			return Value{}, fmt.Errorf("graph: layer %d: %w", l, err)
+		}
+		prev = v
+	}
+	return prev, nil
+}
+
 // add appends a node built from op and the producers of deps. A
 // dependency value produced by a different graph is a programming
 // error: the executor could never schedule it, so it is rejected
 // immediately with a clear panic rather than corrupting a later run.
 func (g *Graph) add(name string, op Op, deps ...Value) *Node {
+	g.gen++
 	n := &Node{id: len(g.nodes), name: name, op: op, g: g}
 	for _, d := range deps {
 		if d.producer == nil {

@@ -129,6 +129,67 @@ func (o *symmCollectiveOp) Run(p *sim.Proc) core.Report {
 	return rep
 }
 
+// ---- chunked ops (substituted by the partition pass) ----
+//
+// A chunk op runs chunk c of n of one phase of a pair operator through
+// the operator's chunked phase entry points, so a partitioned graph
+// performs exactly the eager graph's work — split into K pieces whose
+// collectives overlap later pieces' compute on the device streams.
+
+type gemvChunkOp struct {
+	op   *core.GEMVAllReduce
+	c, n int
+}
+
+func (o *gemvChunkOp) OpName() string              { return fmt.Sprintf("gemv[%d/%d]", o.c, o.n) }
+func (o *gemvChunkOp) Kind() NodeKind              { return KindCompute }
+func (o *gemvChunkOp) Run(p *sim.Proc) core.Report { return o.op.RunComputeChunk(p, o.c, o.n) }
+
+type allReduceChunkOp struct {
+	op   *core.GEMVAllReduce
+	c, n int
+}
+
+func (o *allReduceChunkOp) OpName() string              { return fmt.Sprintf("all_reduce[%d/%d]", o.c, o.n) }
+func (o *allReduceChunkOp) Kind() NodeKind              { return KindCollective }
+func (o *allReduceChunkOp) Run(p *sim.Proc) core.Report { return o.op.RunAllReduceChunk(p, o.c, o.n) }
+
+type embBagChunkOp struct {
+	op   *core.EmbeddingAllToAll
+	c, n int
+}
+
+func (o *embBagChunkOp) OpName() string              { return fmt.Sprintf("embedding_bag[%d/%d]", o.c, o.n) }
+func (o *embBagChunkOp) Kind() NodeKind              { return KindCompute }
+func (o *embBagChunkOp) Run(p *sim.Proc) core.Report { return o.op.RunPoolingChunk(p, o.c, o.n) }
+
+type embAllToAllChunkOp struct {
+	op   *core.EmbeddingAllToAll
+	c, n int
+}
+
+func (o *embAllToAllChunkOp) OpName() string              { return fmt.Sprintf("all_to_all[%d/%d]", o.c, o.n) }
+func (o *embAllToAllChunkOp) Kind() NodeKind              { return KindCollective }
+func (o *embAllToAllChunkOp) Run(p *sim.Proc) core.Report { return o.op.RunExchangeChunk(p, o.c, o.n) }
+
+type matmulChunkOp struct {
+	op   *core.GEMMAllToAll
+	c, n int
+}
+
+func (o *matmulChunkOp) OpName() string              { return fmt.Sprintf("matmul[%d/%d]", o.c, o.n) }
+func (o *matmulChunkOp) Kind() NodeKind              { return KindCompute }
+func (o *matmulChunkOp) Run(p *sim.Proc) core.Report { return o.op.RunComputeChunk(p, o.c, o.n) }
+
+type gemmAllToAllChunkOp struct {
+	op   *core.GEMMAllToAll
+	c, n int
+}
+
+func (o *gemmAllToAllChunkOp) OpName() string              { return fmt.Sprintf("all_to_all[%d/%d]", o.c, o.n) }
+func (o *gemmAllToAllChunkOp) Kind() NodeKind              { return KindCollective }
+func (o *gemmAllToAllChunkOp) Run(p *sim.Proc) core.Report { return o.op.RunExchangeChunk(p, o.c, o.n) }
+
 // ---- fused ops (substituted by the compiler) ----
 
 type fusedGEMVAllReduceOp struct{ op *core.GEMVAllReduce }

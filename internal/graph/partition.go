@@ -1,0 +1,173 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+
+	"fusedcc/internal/core"
+)
+
+// The partition pass is the software-pipelining counterpart of the
+// fusion pass — the CoCoNet/GC3-style chunked schedule the paper's
+// fused operators compete against. Where Compile collapses a
+// compute→collective pair into one persistent kernel, Partition splits
+// the pair into K chunked sub-node chains so chunk k's collective
+// overlaps chunk k+1's compute: the classic way to hide communication
+// without fusing, and the third execution mode (Pipelined) of the
+// executor.
+
+// Split records one partitioned pair.
+type Split struct {
+	Pattern Pattern
+	// Compute and Collective name the replaced pair nodes.
+	Compute, Collective string
+	// Chunks is the effective chunk count (the requested count clamped
+	// to the operator's granularity).
+	Chunks int
+}
+
+// PartitionReport summarizes a partition pass.
+type PartitionReport struct {
+	// Chunks is the requested chunk count.
+	Chunks int
+	Splits []Split
+	// Unsplit counts collective nodes left whole (generic collectives,
+	// gradient exchanges, pairs too small to chunk).
+	Unsplit int
+}
+
+func (r *PartitionReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "partition (K=%d): %d pair(s) chunked, %d collective(s) left whole\n", r.Chunks, len(r.Splits), r.Unsplit)
+	for _, sp := range r.Splits {
+		fmt.Fprintf(&b, "  %s: (%s, %s) -> %d chunk chains\n", sp.Pattern, sp.Compute, sp.Collective, sp.Chunks)
+	}
+	return b.String()
+}
+
+// chunkOps builds the chunk-c-of-n compute and collective ops for a
+// pair operator.
+func chunkOps(pair any, c, n int) (compute, collective Op) {
+	switch op := pair.(type) {
+	case *core.GEMVAllReduce:
+		return &gemvChunkOp{op: op, c: c, n: n}, &allReduceChunkOp{op: op, c: c, n: n}
+	case *core.EmbeddingAllToAll:
+		return &embBagChunkOp{op: op, c: c, n: n}, &embAllToAllChunkOp{op: op, c: c, n: n}
+	case *core.GEMMAllToAll:
+		return &matmulChunkOp{op: op, c: c, n: n}, &gemmAllToAllChunkOp{op: op, c: c, n: n}
+	}
+	panic("graph: chunkOps on non-chunkable pair") // unreachable: pairMatches gated
+}
+
+// maxChunksOf returns the pair operator's finest chunk granularity.
+func maxChunksOf(pair any) int {
+	switch op := pair.(type) {
+	case *core.GEMVAllReduce:
+		return op.MaxChunks()
+	case *core.EmbeddingAllToAll:
+		return op.MaxChunks()
+	case *core.GEMMAllToAll:
+		return op.MaxChunks()
+	}
+	return 1
+}
+
+// Partition runs the chunking pass: every fusible compute→collective
+// pair (the same single-consumer adjacency the fusion pass matches) is
+// replaced by K interleaved chunk chains
+//
+//	compute#0 → collective#0, compute#1 → collective#1, ...
+//
+// with dependency edges compute#c → compute#c+1 and collective#c →
+// collective#c+1 modeling the per-stream program order, so chunk c's
+// collective overlaps chunk c+1's compute under both plain dataflow and
+// stream-aware scheduling. Chunk counts clamp to each operator's
+// granularity (tiles, tables, row bands); pairs that cannot split into
+// at least two chunks are copied unchanged. The chunked sub-nodes reuse
+// the operators' phase entry points over disjoint work ranges, so a
+// partitioned run is bit-exact with eager. Unmatched nodes are copied
+// unchanged; downstream consumers of a pair's value depend on the final
+// collective chunk. The input graph is not modified; both graphs share
+// the same backing operators and buffers.
+func Partition(g *Graph, chunks int) (*Graph, *PartitionReport) {
+	if chunks < 1 {
+		chunks = 1
+	}
+	rep := &PartitionReport{Chunks: chunks}
+	out := New(g.world, g.pes, g.cfg)
+
+	match := pairMatches(g, func(Pattern) bool { return true })
+	computeMatched := map[*Node]bool{}
+	for c, producer := range match {
+		if k := effectiveChunks(c, chunks); k >= 2 {
+			computeMatched[producer] = true
+		} else {
+			delete(match, c) // too small to pipeline: copy the pair whole
+		}
+	}
+	replaced := map[*Node]*Node{}
+
+	emit := func(n *Node) *Node {
+		n.id, n.g = len(out.nodes), out
+		out.nodes = append(out.nodes, n)
+		out.gen++
+		return n
+	}
+
+	for _, n := range g.nodes {
+		if computeMatched[n] {
+			continue // compute half: emitted at its collective's position
+		}
+		if producer, matched := match[n]; matched {
+			pair := pairOf(n.op)
+			k := effectiveChunks(n, chunks)
+			pt, _ := patternFor(n.op)
+			// Interleave the chunk chains in pipeline order. The compute
+			// chain inherits the compute node's dependencies; the
+			// collective chain inherits the collective's remaining
+			// dependencies plus its own chunk's compute node.
+			compDeps := mapInputs(producer.in, replaced)
+			collDeps := mapInputs(exclude(n.in, producer), replaced)
+			var prevComp, prevColl *Node
+			for c := 0; c < k; c++ {
+				compOp, collOp := chunkOps(pair, c, k)
+				comp := &Node{name: fmt.Sprintf("%s#%d", producer.name, c), op: compOp}
+				comp.in = append(comp.in, compDeps...)
+				if prevComp != nil {
+					comp.in = append(comp.in, prevComp)
+				}
+				emit(comp)
+				coll := &Node{name: fmt.Sprintf("%s#%d", n.name, c), op: collOp}
+				coll.in = append(coll.in, comp)
+				coll.in = append(coll.in, collDeps...)
+				if prevColl != nil {
+					coll.in = append(coll.in, prevColl)
+				}
+				emit(coll)
+				prevComp, prevColl = comp, coll
+			}
+			// Downstream consumers wait for the last chunk of each chain.
+			replaced[producer] = prevComp
+			replaced[n] = prevColl
+			rep.Splits = append(rep.Splits, Split{Pattern: pt, Compute: producer.name, Collective: n.name, Chunks: k})
+			continue
+		}
+		cp := &Node{name: n.name, op: n.op}
+		cp.in = mapInputs(n.in, replaced)
+		emit(cp)
+		replaced[n] = cp
+		if n.op.Kind() == KindCollective {
+			rep.Unsplit++
+		}
+	}
+	return out, rep
+}
+
+// effectiveChunks clamps the requested chunk count to the granularity
+// of the collective node's backing pair operator.
+func effectiveChunks(c *Node, chunks int) int {
+	if max := maxChunksOf(pairOf(c.op)); chunks > max {
+		return max
+	}
+	return chunks
+}

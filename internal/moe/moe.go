@@ -64,9 +64,10 @@ type Layer struct {
 	exec graph.Executor
 }
 
-// New validates the shape, builds weights and routing state, and
-// assembles the layer's computation graph.
-func New(w *shmem.World, pes []int, cfg Config, opCfg core.Config) (*Layer, error) {
+// newLayer validates the shape and builds one layer's weights, routing
+// state, and pair operator — without graph nodes, so single layers and
+// stacks share one construction path.
+func newLayer(w *shmem.World, pes []int, cfg Config, opCfg core.Config, seed int64) (*Layer, error) {
 	k := len(pes)
 	if k == 0 {
 		return nil, fmt.Errorf("moe: no PEs")
@@ -84,7 +85,7 @@ func New(w *shmem.World, pes []int, cfg Config, opCfg core.Config) (*Layer, erro
 	l.tokensIn = w.Malloc(rows * cfg.ModelDim)
 	gemm2 := make([]*kernels.GEMM, k)
 	for s, pe := range pes {
-		rng := workload.Rand(cfg.Seed + int64(s))
+		rng := workload.Rand(seed + int64(s))
 		dev := pl.Device(pe)
 		g1 := &kernels.GEMM{M: rows, N: cfg.FFNDim, K: cfg.ModelDim,
 			TileM: cfg.TileM, TileN: cfg.TileN,
@@ -102,27 +103,106 @@ func New(w *shmem.World, pes []int, cfg Config, opCfg core.Config) (*Layer, erro
 		return nil, err
 	}
 	l.Op = op
+	return l, nil
+}
 
-	g := graph.New(w, pes, opCfg)
-	gate := g.PerRank("gate", func(p *sim.Proc, rank, pe int) {
+// addTo appends the layer's nodes — gate, dispatch All-to-All, first
+// expert GEMM + activation, and the MatMul → combine All-to-All pair —
+// to g and returns the combine-output value.
+func (l *Layer) addTo(g *graph.Graph, prefix string, deps ...graph.Value) (graph.Value, error) {
+	pl := l.World.Platform()
+	cfg := l.Cfg
+	k := len(l.PEs)
+	rows := l.expertRows
+	gate := g.PerRank(prefix+"gate", func(p *sim.Proc, rank, pe int) {
 		// Gating router: tiny GEMM (tokens x experts) staging the
 		// routed tokens for dispatch.
 		dev := pl.Device(pe)
 		gt := &kernels.GEMM{M: cfg.TokensPerGPU, N: k, K: cfg.ModelDim, TileM: 32, TileN: k}
 		gt.Run(p, dev, 0)
-	})
-	disp := g.AllToAllSymm("dispatch", l.tokensOut, l.tokensIn, rows/k*cfg.ModelDim, gate)
-	ffn1 := g.PerRank("expert_ffn1+act", func(p *sim.Proc, rank, pe int) {
+	}, deps...)
+	disp := g.AllToAllSymm(prefix+"dispatch", l.tokensOut, l.tokensIn, rows/k*cfg.ModelDim, gate)
+	ffn1 := g.PerRank(prefix+"expert_ffn1+act", func(p *sim.Proc, rank, pe int) {
 		dev := pl.Device(pe)
 		l.gemm1[rank].Run(p, dev, 0)
 		kernels.ReLU(p, dev, l.gemm1[rank].C, 0, rows*cfg.FFNDim)
 	}, disp)
-	mm := g.MatMul("expert_ffn2", op, ffn1)
-	if _, err := g.AllToAll("combine", mm); err != nil {
+	mm := g.MatMul(prefix+"expert_ffn2", l.Op, ffn1)
+	return g.AllToAll(prefix+"combine", mm)
+}
+
+// New validates the shape, builds weights and routing state, and
+// assembles the layer's computation graph.
+func New(w *shmem.World, pes []int, cfg Config, opCfg core.Config) (*Layer, error) {
+	l, err := newLayer(w, pes, cfg, opCfg, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	g := graph.New(w, pes, opCfg)
+	if _, err := l.addTo(g, ""); err != nil {
 		return nil, err
 	}
 	l.g = g
 	return l, nil
+}
+
+// Stack is L chained expert-parallel MoE layers built as ONE
+// computation graph: layer l's gate consumes layer l-1's combine
+// output, so a whole block of alternating dense/MoE depth runs under a
+// single executor — and the pipelined mode overlaps one layer's
+// chunked combine with its remaining expert GEMM tiles while the next
+// layer's dispatch rides the comm stream.
+type Stack struct {
+	World *shmem.World
+	PEs   []int
+	Cfg   Config
+
+	// Layers holds the per-layer operators (Layers[l].Op.Recv is layer
+	// l's combine output).
+	Layers []*Layer
+
+	g    *graph.Graph
+	exec graph.Executor
+}
+
+// NewStack builds a stack of layers MoE layers as a single graph.
+func NewStack(w *shmem.World, pes []int, cfg Config, layers int, opCfg core.Config) (*Stack, error) {
+	if layers <= 0 {
+		return nil, fmt.Errorf("moe: stack needs layers >= 1, got %d", layers)
+	}
+	st := &Stack{World: w, PEs: pes, Cfg: cfg}
+	for i := 0; i < layers; i++ {
+		l, err := newLayer(w, pes, cfg, opCfg, cfg.Seed+int64(1000*i))
+		if err != nil {
+			return nil, err
+		}
+		st.Layers = append(st.Layers, l)
+	}
+	g := graph.New(w, pes, opCfg)
+	if _, err := graph.Stack(g, layers, func(i int, prev graph.Value) (graph.Value, error) {
+		return st.Layers[i].addTo(g, fmt.Sprintf("l%d.", i), prev)
+	}); err != nil {
+		return nil, err
+	}
+	st.g = g
+	return st, nil
+}
+
+// Graph returns the stack's computation graph.
+func (st *Stack) Graph() *graph.Graph { return st.g }
+
+// Executor returns the stack's executor, for tuning pipeline depth
+// (Chunks) or forcing stream-aware scheduling.
+func (st *Stack) Executor() *graph.Executor { return &st.exec }
+
+// Step runs one pass over the whole stack in the given execution mode.
+func (st *Stack) Step(p *sim.Proc, mode graph.Mode) core.Report {
+	return st.exec.Execute(p, st.g, mode).Summary(len(st.PEs))
+}
+
+// StepReport runs one pass and returns the full per-node graph report.
+func (st *Stack) StepReport(p *sim.Proc, mode graph.Mode) *graph.Report {
+	return st.exec.Execute(p, st.g, mode)
 }
 
 // Graph returns the layer's computation graph (eager form; Compile
@@ -143,8 +223,17 @@ func (l *Layer) Forward(p *sim.Proc, fused bool) core.Report {
 	if fused {
 		mode = graph.Compiled
 	}
+	return l.Step(p, mode)
+}
+
+// Step runs one layer pass in any execution mode (Eager, Compiled, or
+// Pipelined).
+func (l *Layer) Step(p *sim.Proc, mode graph.Mode) core.Report {
 	return l.exec.Execute(p, l.g, mode).Summary(len(l.PEs))
 }
+
+// Executor returns the layer's executor, for tuning pipeline depth.
+func (l *Layer) Executor() *graph.Executor { return &l.exec }
 
 func min(a, b int) int {
 	if a < b {

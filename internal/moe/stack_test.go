@@ -1,0 +1,95 @@
+package moe
+
+import (
+	"testing"
+
+	"fusedcc/internal/core"
+	"fusedcc/internal/graph"
+	"fusedcc/internal/sim"
+)
+
+// TestStackBitExactAcrossModes runs a 2-layer MoE stack in all three
+// execution modes and verifies every layer's combine output is
+// bit-identical.
+func TestStackBitExactAcrossModes(t *testing.T) {
+	const layers = 2
+	e := sim.NewEngine()
+	pl, w := testWorld(e, true)
+	st, err := NewStack(w, pes(pl), smallCfg(), layers, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [][]float32
+	e.Go("modes", func(p *sim.Proc) {
+		st.Step(p, graph.Eager)
+		for _, l := range st.Layers {
+			want = append(want, append([]float32(nil), l.Op.Recv.On(0).Data()...))
+		}
+		st.Executor().Chunks = 2
+		for _, mode := range []graph.Mode{graph.Compiled, graph.Pipelined} {
+			st.Step(p, mode)
+			for li, l := range st.Layers {
+				got := l.Op.Recv.On(0).Data()
+				for i := range want[li] {
+					if got[i] != want[li][i] {
+						t.Fatalf("%v layer %d elem %d: %g != eager %g", mode, li, i, got[i], want[li][i])
+					}
+				}
+			}
+		}
+	})
+	e.Run()
+}
+
+// TestStackLayersChainThroughCombine verifies layer l's gate waits for
+// layer l-1's combine — the stack is one graph, not L separate runs.
+func TestStackLayersChainThroughCombine(t *testing.T) {
+	e := sim.NewEngine()
+	pl, w := testWorld(e, false)
+	st, err := NewStack(w, pes(pl), smallCfg(), 2, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep *graph.Report
+	e.Go("step", func(p *sim.Proc) { rep = st.StepReport(p, graph.Eager) })
+	e.Run()
+	if len(rep.Nodes) != 10 { // 5 nodes per layer
+		t.Fatalf("stack graph has %d nodes, want 10", len(rep.Nodes))
+	}
+	if rep.Node("l1.gate").Start < rep.Node("l0.combine").End {
+		t.Error("layer 1 gate ran before layer 0 combine finished")
+	}
+}
+
+func TestStackPipelinedSplitsEveryLayer(t *testing.T) {
+	e := sim.NewEngine()
+	pl, w := testWorld(e, false)
+	st, err := NewStack(w, pes(pl), smallCfg(), 3, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Executor().Chunks = 2
+	var rep *graph.Report
+	e.Go("step", func(p *sim.Proc) { rep = st.StepReport(p, graph.Pipelined) })
+	e.Run()
+	if len(rep.Partition.Splits) != 3 {
+		t.Fatalf("splits = %+v, want the pair of every layer", rep.Partition.Splits)
+	}
+	// Dispatch All-to-Alls are generic collectives: left whole.
+	if rep.Partition.Unsplit != 3 {
+		t.Errorf("unsplit = %d, want the 3 dispatch collectives", rep.Partition.Unsplit)
+	}
+}
+
+func TestStackRejectsBadShapes(t *testing.T) {
+	e := sim.NewEngine()
+	pl, w := testWorld(e, false)
+	if _, err := NewStack(w, pes(pl), smallCfg(), 0, core.DefaultConfig()); err == nil {
+		t.Error("zero-layer stack must error")
+	}
+	bad := smallCfg()
+	bad.TopK = 99
+	if _, err := NewStack(w, pes(pl), bad, 2, core.DefaultConfig()); err == nil {
+		t.Error("invalid layer config must propagate")
+	}
+}

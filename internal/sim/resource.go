@@ -209,6 +209,95 @@ func (r *Resource) tick() {
 	r.reallocate()
 }
 
+// Server is an exclusive FIFO service queue with busy-time accounting —
+// the contention model for in-order command processors (GPU streams,
+// DMA queues): one holder at a time, waiters admitted in arrival order.
+// Unlike Resource, which divides bandwidth among concurrent flows, a
+// Server serializes its work items outright; the busy-time statistics
+// feed per-stream occupancy and overlap reports.
+type Server struct {
+	e    *Engine
+	name string
+	sem  *Semaphore
+
+	held      bool
+	waiters   int // acquirers queued or holding
+	idle      *Cond
+	busySince Time
+	busyTotal Duration
+	// onBusy, when non-nil, observes busy/idle transitions (the hook
+	// overlap accounting attaches to).
+	onBusy func(busy bool)
+}
+
+// NewServer returns an idle server bound to e.
+func NewServer(e *Engine, name string) *Server {
+	return &Server{e: e, name: name, sem: NewSemaphore(e, 1), idle: NewCond(e)}
+}
+
+// Name returns the server's diagnostic name.
+func (s *Server) Name() string { return s.name }
+
+// OnBusy registers fn to observe busy/idle transitions. fn runs at the
+// instant of the transition, before the acquiring (or next queued)
+// process resumes.
+func (s *Server) OnBusy(fn func(busy bool)) { s.onBusy = fn }
+
+// Held reports whether the server is currently occupied.
+func (s *Server) Held() bool { return s.held }
+
+// Acquire takes exclusive hold of the server, blocking in FIFO order
+// behind earlier acquirers.
+func (s *Server) Acquire(p *Proc) {
+	s.waiters++
+	s.sem.Acquire(p, 1)
+	s.held = true
+	s.busySince = s.e.now
+	if s.onBusy != nil {
+		s.onBusy(true)
+	}
+}
+
+// Release ends the current hold and admits the next waiter.
+func (s *Server) Release() {
+	if !s.held {
+		panic("sim: release of idle server " + s.name)
+	}
+	s.busyTotal += s.e.now.Sub(s.busySince)
+	s.held = false
+	s.waiters--
+	if s.onBusy != nil {
+		s.onBusy(false)
+	}
+	s.sem.Release(1)
+	if s.waiters == 0 {
+		s.idle.Broadcast()
+	}
+}
+
+// WaitIdle blocks p until the server has no holder and no queued
+// acquirers — the stream-sync primitive.
+func (s *Server) WaitIdle(p *Proc) {
+	s.idle.Wait(p, func() bool { return s.waiters == 0 })
+}
+
+// BusyTime reports the cumulative held time, including the in-progress
+// hold.
+func (s *Server) BusyTime() Duration {
+	if s.held {
+		return s.busyTotal + s.e.now.Sub(s.busySince)
+	}
+	return s.busyTotal
+}
+
+// Utilization reports busy time as a fraction of elapsed simulation time.
+func (s *Server) Utilization() float64 {
+	if s.e.now == 0 {
+		return 0
+	}
+	return float64(s.BusyTime()) / float64(s.e.now)
+}
+
 // waterfill assigns rates: capped flows below the fair share get their
 // cap; the surplus is redistributed among the rest.
 func (r *Resource) waterfill() {

@@ -219,3 +219,91 @@ func absT(d Time) Time {
 	}
 	return d
 }
+
+func TestServerSerializesFIFO(t *testing.T) {
+	e := NewEngine()
+	s := NewServer(e, "stream")
+	var order []int
+	var ends []Time
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Go("w", func(p *Proc) {
+			s.Acquire(p)
+			order = append(order, i)
+			p.Sleep(Duration(100))
+			ends = append(ends, p.Now())
+			s.Release()
+		})
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("admission order %v, want FIFO", order)
+		}
+	}
+	for i, at := range ends {
+		if want := Time(100 * (i + 1)); at != want {
+			t.Errorf("holder %d released at %v, want %v (serialized)", i, at, want)
+		}
+	}
+	if s.BusyTime() != 300 {
+		t.Errorf("busy time %v, want 300", s.BusyTime())
+	}
+}
+
+func TestServerBusyTimeExcludesIdleGaps(t *testing.T) {
+	e := NewEngine()
+	s := NewServer(e, "stream")
+	e.Go("w", func(p *Proc) {
+		s.Acquire(p)
+		p.Sleep(100)
+		s.Release()
+		p.Sleep(400) // idle gap
+		s.Acquire(p)
+		p.Sleep(100)
+		s.Release()
+	})
+	e.Run()
+	if s.BusyTime() != 200 {
+		t.Errorf("busy time %v, want 200", s.BusyTime())
+	}
+	if u := s.Utilization(); u < 0.33 || u > 0.34 {
+		t.Errorf("utilization %f, want ~1/3", u)
+	}
+}
+
+func TestServerWaitIdleAndTransitions(t *testing.T) {
+	e := NewEngine()
+	s := NewServer(e, "stream")
+	var transitions []bool
+	s.OnBusy(func(b bool) { transitions = append(transitions, b) })
+	for i := 0; i < 2; i++ {
+		e.Go("w", func(p *Proc) {
+			s.Acquire(p)
+			p.Sleep(50)
+			s.Release()
+		})
+	}
+	var idleAt Time
+	e.Go("sync", func(p *Proc) {
+		p.Yield() // let the workers queue first
+		s.WaitIdle(p)
+		idleAt = p.Now()
+	})
+	e.Run()
+	if idleAt != 100 {
+		t.Errorf("WaitIdle returned at %v, want 100", idleAt)
+	}
+	want := []bool{true, false, true, false}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transitions %v, want %v", transitions, want)
+		}
+	}
+	if s.Held() {
+		t.Error("server still held after run")
+	}
+}

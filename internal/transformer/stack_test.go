@@ -1,0 +1,111 @@
+package transformer
+
+import (
+	"testing"
+
+	"fusedcc/internal/core"
+	"fusedcc/internal/graph"
+	"fusedcc/internal/sim"
+)
+
+func smallDecoderCfg(layers int) DecoderConfig {
+	return DecoderConfig{Layers: layers, Hidden: 64, FFN: 128, TileM: 8, Seed: 3}
+}
+
+// TestDecoderStackBitExactAcrossModes runs the same N-layer decoder in
+// all three execution modes and verifies every layer's reduced FFN
+// output is bit-identical — fusion and chunked pipelining are schedule
+// transformations, never numeric ones.
+func TestDecoderStackBitExactAcrossModes(t *testing.T) {
+	const layers = 3
+	e := sim.NewEngine()
+	pl, w := testWorld(e, true)
+	d, err := NewDecoder(w, pes(pl), smallDecoderCfg(layers), core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Blocks) != layers {
+		t.Fatalf("decoder has %d blocks, want %d", len(d.Blocks), layers)
+	}
+	var want [][]float32
+	e.Go("modes", func(p *sim.Proc) {
+		d.Step(p, graph.Eager)
+		for _, b := range d.Blocks {
+			want = append(want, append([]float32(nil), b.Out.On(0).Data()...))
+		}
+		d.Executor().Chunks = 2
+		for _, mode := range []graph.Mode{graph.Compiled, graph.Pipelined} {
+			d.Step(p, mode)
+			for l, b := range d.Blocks {
+				got := b.Out.On(0).Data()
+				for i := range want[l] {
+					if got[i] != want[l][i] {
+						t.Fatalf("%v layer %d elem %d: %g != eager %g", mode, l, i, got[i], want[l][i])
+					}
+				}
+			}
+		}
+	})
+	e.Run()
+}
+
+// TestDecoderLayersChainInOrder verifies the stack is one graph whose
+// layers serialize through the inter-layer dependency.
+func TestDecoderLayersChainInOrder(t *testing.T) {
+	e := sim.NewEngine()
+	pl, w := testWorld(e, false)
+	d, err := NewDecoder(w, pes(pl), smallDecoderCfg(2), core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep *graph.Report
+	e.Go("step", func(p *sim.Proc) { rep = d.StepReport(p, graph.Eager) })
+	e.Run()
+	// Per layer: attn, attn_allreduce, ffn1+act, ffn2, allreduce.
+	if len(rep.Nodes) != 10 {
+		t.Fatalf("decoder graph has %d nodes, want 10", len(rep.Nodes))
+	}
+	l0End := rep.Node("l0.allreduce").End
+	l1Start := rep.Node("l1.attn").Start
+	if l1Start < l0End {
+		t.Errorf("layer 1 started %v before layer 0 finished %v", l1Start, l0End)
+	}
+}
+
+// TestDecoderPipelinedReportsStreams verifies a pipelined decoder step
+// produces chunked pair nodes and per-stream occupancy.
+func TestDecoderPipelinedReportsStreams(t *testing.T) {
+	e := sim.NewEngine()
+	pl, w := testWorld(e, false)
+	d, err := NewDecoder(w, pes(pl), smallDecoderCfg(2), core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Executor().Chunks = 2
+	var rep *graph.Report
+	e.Go("step", func(p *sim.Proc) { rep = d.StepReport(p, graph.Pipelined) })
+	e.Run()
+	if len(rep.Partition.Splits) != 2 {
+		t.Fatalf("splits = %+v, want one per layer", rep.Partition.Splits)
+	}
+	if rep.Node("l0.ffn2#0") == nil || rep.Node("l1.allreduce#1") == nil {
+		t.Fatal("chunked pair nodes missing from report")
+	}
+	if len(rep.Streams) != len(d.PEs) {
+		t.Fatalf("stream reports = %d, want %d", len(rep.Streams), len(d.PEs))
+	}
+	if comp, comm := rep.StreamOccupancy(); comp <= 0 || comm <= 0 {
+		t.Errorf("occupancy compute=%.2f comm=%.2f", comp, comm)
+	}
+}
+
+func TestDecoderRejectsBadConfig(t *testing.T) {
+	e := sim.NewEngine()
+	pl, w := testWorld(e, false)
+	if _, err := NewDecoder(w, pes(pl), DecoderConfig{Layers: 0, Hidden: 64, FFN: 128, TileM: 8}, core.DefaultConfig()); err == nil {
+		t.Error("zero layers must error")
+	}
+	if _, err := NewDecoder(w, pes(pl), DecoderConfig{Layers: 2, Hidden: 64, FFN: 130, TileM: 8}, core.DefaultConfig()); err == nil {
+		t.Error("indivisible FFN must error")
+	}
+}
