@@ -12,6 +12,9 @@
 //	fusionbench -pipeline       # eager vs pipelined vs fused mode sweep
 //	fusionbench -mode pipelined -chunks 4 -layers 4 -shape 2x4
 //	                            # one execution-mode configuration
+//	fusionbench -mode auto -json BENCH_auto.json
+//	                            # cost-model mode-selection validation
+//	                            # sweep (chosen modes, regret, mispredicts)
 //	fusionbench -json out.json  # also emit machine-readable makespans
 //	fusionbench -quick ...      # shrunken sweeps (CI-sized)
 package main
@@ -52,8 +55,10 @@ func parseMode(s string) (fusedcc.ExecMode, error) {
 		return fusedcc.Compiled, nil
 	case "pipelined":
 		return fusedcc.Pipelined, nil
+	case "auto":
+		return fusedcc.Auto, nil
 	}
-	return 0, fmt.Errorf("bad -mode %q: want eager, pipelined, or fused", s)
+	return 0, fmt.Errorf("bad -mode %q: want eager, pipelined, fused, or auto", s)
 }
 
 // jsonRow and jsonResult are the BENCH_pipeline.json schema: one entry
@@ -108,7 +113,7 @@ func main() {
 		ablations = flag.Bool("ablations", false, "run the design-choice ablations")
 		shape     = flag.String("shape", "", "nodes x GPUs shape (e.g. 4x4): hybrid comparison, or the shape of -mode")
 		pipeline  = flag.Bool("pipeline", false, "run the eager vs pipelined vs fused execution-mode sweep")
-		mode      = flag.String("mode", "", "run one execution-mode configuration: eager, pipelined, or fused")
+		mode      = flag.String("mode", "", "run one execution-mode configuration: eager, pipelined, fused, or auto (auto without -shape runs the full selection-validation sweep)")
 		chunks    = flag.Int("chunks", fusedcc.DefaultChunks, "pipeline depth K for -mode pipelined")
 		layers    = flag.Int("layers", 2, "stack depth L for -mode (decoder layers / MoE layers / DLRM groups)")
 		jsonPath  = flag.String("json", "", "also write the results as machine-readable JSON (e.g. BENCH_pipeline.json)")
@@ -135,6 +140,19 @@ func main() {
 		m, err := parseMode(*mode)
 		if err != nil {
 			fail(err)
+		}
+		if m == fusedcc.Auto && *shape == "" {
+			// Bare -mode auto runs the full mode-selection validation
+			// sweep (per-config chosen modes, predicted vs measured
+			// makespans, regret vs best-static) — the BENCH_auto.json
+			// producer. Add -shape to run one configuration instead.
+			res, err := fusedcc.RunExperiment("auto", *quick)
+			if err != nil {
+				fail(err)
+			}
+			emit(res)
+			finish()
+			return
 		}
 		nodes, gpus := 1, 8
 		if *shape != "" {

@@ -1,12 +1,14 @@
-// Pipelined-stack example: one multi-layer model, three execution
+// Pipelined-stack example: one multi-layer model, four execution
 // models. A 3-layer transformer decoder (attention stand-in + tensor-
 // parallel FFN per layer) is built as a single computation graph and
 // run Eager (bulk-synchronous), Pipelined (the partition pass splits
 // each GEMV → AllReduce pair into chunk chains whose collectives
-// overlap later chunks' compute on per-GPU streams), and Compiled (the
-// fusion pass substitutes the fused persistent kernels) — the
-// fusion-vs-pipelining comparison at the heart of the paper's related
-// work.
+// overlap later chunks' compute on per-GPU streams), Compiled (the
+// fusion pass substitutes the fused persistent kernels), and Auto (the
+// select pass prices all three forms per pair with the analytic cost
+// model and picks the predicted fastest) — the fusion-vs-pipelining
+// comparison at the heart of the paper's related work, plus the
+// CoCoNet/GC3-style automation of the choice.
 package main
 
 import (
@@ -32,8 +34,8 @@ func main() {
 	x.Chunks = 2
 	x.Streams = true // stream-aware scheduling in every mode
 
-	fmt.Println("3-layer decoder on a 4-GPU scale-up node, one graph, three execution modes:")
-	for _, mode := range []fusedcc.ExecMode{fusedcc.Eager, fusedcc.Pipelined, fusedcc.Compiled} {
+	fmt.Println("3-layer decoder on a 4-GPU scale-up node, one graph, four execution modes:")
+	for _, mode := range []fusedcc.ExecMode{fusedcc.Eager, fusedcc.Pipelined, fusedcc.Compiled, fusedcc.Auto} {
 		var rep *fusedcc.GraphReport
 		sys.Run(func(p *fusedcc.Proc) { rep = x.Execute(p, dec.Graph(), mode) })
 		fmt.Printf("\n  %-9s makespan %v", mode, rep.Duration())
@@ -47,6 +49,8 @@ func main() {
 			fmt.Printf("    %s", rep.Partition)
 		case fusedcc.Compiled:
 			fmt.Printf("    %s", rep.Compile)
+		case fusedcc.Auto:
+			fmt.Printf("    %s", rep.Select)
 		}
 	}
 }

@@ -119,6 +119,11 @@ type (
 	PartitionReport = graph.PartitionReport
 	// PartitionSplit records one chunked pair of a partition pass.
 	PartitionSplit = graph.Split
+	// SelectReport lists the per-pair mode decisions of a select pass
+	// (Auto mode), with the predicted cost of every eligible form.
+	SelectReport = graph.SelectReport
+	// SelectDecision records one pair's cost-model decision.
+	SelectDecision = graph.Decision
 	// FusionPattern identifies one compute→collective rewrite.
 	FusionPattern = graph.Pattern
 
@@ -143,6 +148,11 @@ const (
 	// overlap later chunks' compute on per-GPU streams — the
 	// CoCoNet/GC3-style software-pipelining alternative to fusion.
 	Pipelined = graph.Pipelined
+	// Auto applies the cost-model select pass before running: each
+	// fusible pair executes in whichever form the analytic device/link
+	// cost model predicts fastest — fused, pipelined at a per-pair
+	// saturation-clamped chunk depth, or eager — mixed within one graph.
+	Auto = graph.Auto
 )
 
 // DefaultChunks is the pipeline depth Pipelined mode uses when the
@@ -171,6 +181,17 @@ func Compile(g *Graph, opt CompileOptions) (*Graph, *CompileReport) {
 // bit-exact with eager.
 func Partition(g *Graph, chunks int) (*Graph, *PartitionReport) {
 	return graph.Partition(g, chunks)
+}
+
+// Select runs the cost-model-driven rewrite behind Auto mode: each
+// fusible compute→collective pair is priced in its three execution
+// forms (eager, fused, pipelined at candidate chunk depths up to the
+// pair's WG-slot saturation point) with the analytic device/link cost
+// model, and rewritten to the predicted-fastest form. The report lists
+// every decision with the predicted costs. Mixed-mode execution is
+// bit-exact with eager.
+func Select(g *Graph) (*Graph, *SelectReport) {
+	return graph.Select(g)
 }
 
 // Stack chains layers onto a graph: build(l, prev) appends layer l's
@@ -399,6 +420,7 @@ var experimentTable = []experiment{
 	{id: "fig15", run: experiments.Fig15},
 	{id: "fig16", aliases: []string{"hybrid"}, run: experiments.Fig16},
 	{id: "pipeline", run: experiments.Pipeline},
+	{id: "auto", run: experiments.Auto},
 	{id: "ablation:zerocopy", run: experiments.AblationZeroCopy},
 	{id: "ablation:slicesize", run: experiments.AblationSliceSize},
 	{id: "ablation:occupancy", run: experiments.AblationOccupancyPenalty},

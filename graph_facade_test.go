@@ -122,6 +122,53 @@ func TestGraphPipelinedViaFacade(t *testing.T) {
 	}
 }
 
+// TestGraphAutoViaFacade drives the Auto execution mode and the
+// standalone Select pass through the public API: the cost-model
+// decision report must be populated and the mixed-mode run bit-exact
+// with eager.
+func TestGraphAutoViaFacade(t *testing.T) {
+	sys, err := NewScaleUp(4, Options{Functional: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := sys.NewGraph(DefaultOperatorConfig())
+	mv, err := g.GEMVFromSpec("mv", GEMVSpec{M: 64, K: 16, TileM: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := g.AllReduce("ar", mv)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sys.RunGraph(g, Eager)
+	want := append([]float32(nil), out.Symm().On(0).Data()...)
+
+	rep := sys.RunGraph(g, Auto)
+	if rep.Select == nil || len(rep.Select.Decisions) != 1 {
+		t.Fatalf("select report = %+v", rep.Select)
+	}
+	d := rep.Select.Decisions[0]
+	if d.Pattern != PatternGEMVAllReduce || d.EagerCost <= 0 || d.FusedCost <= 0 {
+		t.Errorf("decision = %+v", d)
+	}
+	got := out.Symm().On(0).Data()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("elem %d: auto %g != eager %g", i, got[i], want[i])
+		}
+	}
+	if len(rep.Streams) == 0 {
+		t.Error("auto run reported no stream statistics")
+	}
+
+	// The standalone Select pass is exported too.
+	_, srep := Select(g)
+	if len(srep.Decisions) != 1 {
+		t.Errorf("Select: %d decisions", len(srep.Decisions))
+	}
+}
+
 // TestStackViaFacade builds a tiny layered graph with the facade Stack
 // helper and the stack constructors.
 func TestStackViaFacade(t *testing.T) {
@@ -187,7 +234,7 @@ func TestExperimentRegistryAliases(t *testing.T) {
 	for _, id := range Experiments() {
 		found := false
 		for _, want := range []string{"table1", "table2", "fig8", "fig9", "fig10", "fig11", "fig12",
-			"fig13", "fig14", "fig15", "fig16", "pipeline", "ablation:zerocopy", "ablation:slicesize",
+			"fig13", "fig14", "fig15", "fig16", "pipeline", "auto", "ablation:zerocopy", "ablation:slicesize",
 			"ablation:occupancy", "ablation:kernelsplit"} {
 			if id == want {
 				found = true
@@ -197,7 +244,7 @@ func TestExperimentRegistryAliases(t *testing.T) {
 			t.Errorf("unexpected experiment id %q", id)
 		}
 	}
-	if len(Experiments()) != 16 {
-		t.Errorf("experiment catalogue has %d entries, want 16", len(Experiments()))
+	if len(Experiments()) != 17 {
+		t.Errorf("experiment catalogue has %d entries, want 17", len(Experiments()))
 	}
 }

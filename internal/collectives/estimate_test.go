@@ -1,0 +1,97 @@
+package collectives
+
+import (
+	"fmt"
+	"testing"
+
+	"fusedcc/internal/platform"
+	"fusedcc/internal/shmem"
+	"fusedcc/internal/sim"
+)
+
+// The estimates feed the Auto mode's per-pair decisions, so they must
+// track the simulated collectives within a small factor across shapes,
+// algorithms, and payload sizes — tight enough that ranking execution
+// modes by estimate usually agrees with ranking them by simulation.
+func TestEstimatesTrackSimulatedCollectives(t *testing.T) {
+	shapes := []struct{ nodes, gpus int }{{1, 8}, {8, 1}, {2, 4}}
+	sizes := []int{1 << 10, 1 << 16, 1 << 20}
+	algos := []Algo{Flat, Ring, Hierarchical, Auto}
+	const lo, hi = 0.7, 1.5
+
+	for _, sh := range shapes {
+		for _, n := range sizes {
+			for _, algo := range algos {
+				name := fmt.Sprintf("%dx%d/n%d/%v", sh.nodes, sh.gpus, n, algo)
+
+				run := func(fn func(c *Comm, p *sim.Proc, data *shmem.Symm)) (sim.Duration, *Comm) {
+					e := sim.NewEngine()
+					pl, err := platform.New(e, platform.Cluster(sh.nodes, sh.gpus))
+					if err != nil {
+						t.Fatal(err)
+					}
+					w := shmem.NewWorld(pl, shmem.DefaultConfig())
+					pes := make([]int, pl.NDevices())
+					for i := range pes {
+						pes[i] = i
+					}
+					c := New(pl, pes)
+					data := w.Malloc(n * len(pes))
+					var start, end sim.Time
+					e.Go("bench", func(p *sim.Proc) {
+						start = e.Now()
+						fn(c, p, data)
+						end = e.Now()
+					})
+					e.Run()
+					return end.Sub(start), c
+				}
+
+				check := func(kind string, actual, est sim.Duration) {
+					if actual <= 0 {
+						t.Fatalf("%s %s: zero simulated time", name, kind)
+					}
+					ratio := float64(est) / float64(actual)
+					if ratio < lo || ratio > hi {
+						t.Errorf("%s %s: estimate %v vs simulated %v (ratio %.2f outside [%.1f,%.1f])",
+							name, kind, est, actual, ratio, lo, hi)
+					}
+				}
+
+				arActual, arComm := run(func(c *Comm, p *sim.Proc, data *shmem.Symm) {
+					c.AllReduce(p, data, 0, n, algo)
+				})
+				check("allreduce", arActual, arComm.EstimateAllReduce(n, algo))
+
+				a2aActual, a2aComm := run(func(c *Comm, p *sim.Proc, data *shmem.Symm) {
+					recv := shmem.NewWorld(c.pl, shmem.DefaultConfig()).Malloc(n * len(c.pes))
+					c.AllToAll(p, data, recv, n, algo)
+				})
+				check("alltoall", a2aActual, a2aComm.EstimateAllToAll(n, algo))
+			}
+		}
+	}
+}
+
+// Chunk-scheduled chains override the launch and protocol overheads; the
+// estimate must honor the overrides so later chunks price at the flag-
+// poll dispatch cost, not a fresh library call.
+func TestEstimateHonorsChunkOverrides(t *testing.T) {
+	e := sim.NewEngine()
+	pl, err := platform.New(e, platform.Cluster(1, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(pl, []int{0, 1, 2, 3})
+	full := c.EstimateAllReduce(1<<12, Flat)
+	c.SetProtocolOverhead(0)
+	c.SetLaunchOverhead(1 * sim.Microsecond)
+	chained := c.EstimateAllReduce(1<<12, Flat)
+	wantDelta := DefaultProtocolOverhead + pl.Device(0).Config().KernelLaunchOverhead - 1*sim.Microsecond
+	if full-chained != wantDelta {
+		t.Errorf("override delta = %v, want %v", full-chained, wantDelta)
+	}
+	if c.EstimateLaunch() != 1*sim.Microsecond {
+		t.Errorf("EstimateLaunch = %v, want 1us", c.EstimateLaunch())
+	}
+}

@@ -153,6 +153,151 @@ func TestGEMMChunkedPhasesBitExact(t *testing.T) {
 	}
 }
 
+// TestGEMMRaggedTailChunkedBitExact is the regression test for the
+// ragged-tail chunking bug: with tokens % TileM != 0 the last row band
+// of every destination block is shorter than TileM, and the old
+// floor-division MaxChunks/chunkRows silently dropped it. Chunked,
+// fused, and eager execution must all produce identical results on such
+// a shape.
+func TestGEMMRaggedTailChunkedBitExact(t *testing.T) {
+	const tokens, n, kdim, tm, tn, ranks = 7, 12, 6, 3, 4, 4 // 7 % 3 != 0
+	build := func(e *sim.Engine) (*GEMMAllToAll, []int) {
+		w, pes, gemms := gemmSetup(e, tokens, n, kdim, tm, tn, ranks)
+		op, err := NewGEMMAllToAll(w, pes, gemms, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return op, pes
+	}
+	full := func() [][]float32 {
+		e := sim.NewEngine()
+		op, pes := build(e)
+		runOp(e, op.RunBaseline)
+		var out [][]float32
+		for _, pe := range pes {
+			out = append(out, append([]float32(nil), op.Recv.On(pe).Data()...))
+		}
+		return out
+	}()
+	// Every chunked row band must cover each block's rows exactly once,
+	// ragged tail included.
+	{
+		e := sim.NewEngine()
+		op, _ := build(e)
+		if op.MaxChunks() != 3 { // ceil(7/3)
+			t.Fatalf("MaxChunks = %d, want 3", op.MaxChunks())
+		}
+		covered := 0
+		for c := 0; c < op.MaxChunks(); c++ {
+			r0, r1 := op.chunkRows(c, op.MaxChunks())
+			if r0 != covered {
+				t.Fatalf("chunk %d starts at row %d, want %d (gap or overlap)", c, r0, covered)
+			}
+			covered = r1
+		}
+		if covered != tokens {
+			t.Fatalf("chunks cover %d rows, want %d (ragged tail dropped)", covered, tokens)
+		}
+	}
+	for _, chunks := range []int{2, 3} {
+		e := sim.NewEngine()
+		op, pes := build(e)
+		runOp(e, func(p *sim.Proc) Report {
+			for c := 0; c < chunks; c++ {
+				op.RunComputeChunk(p, c, chunks)
+				op.RunExchangeChunk(p, c, chunks)
+			}
+			return Report{}
+		})
+		for i, pe := range pes {
+			got := op.Recv.On(pe).Data()
+			for j := range full[i] {
+				if got[j] != full[i][j] {
+					t.Fatalf("K=%d pe %d elem %d: chunked %g != full %g", chunks, pe, j, got[j], full[i][j])
+				}
+			}
+		}
+	}
+	// The fused path re-tiles per block too, so it stays bit-exact on the
+	// same ragged shape.
+	e := sim.NewEngine()
+	op, pes := build(e)
+	runOp(e, op.RunFused)
+	for i, pe := range pes {
+		got := op.Recv.On(pe).Data()
+		for j := range full[i] {
+			if got[j] != full[i][j] {
+				t.Fatalf("fused pe %d elem %d: %g != baseline %g", pe, j, got[j], full[i][j])
+			}
+		}
+	}
+}
+
+// TestMaxChunksFloorsAtOne covers the degenerate-granularity guard:
+// every pair operator's MaxChunks must floor at 1, including the GEMM
+// with fewer tokens per rank than TileM (the shape that used to clamp
+// the effective chunk count to zero).
+func TestMaxChunksFloorsAtOne(t *testing.T) {
+	cases := []struct {
+		name string
+		got  func(t *testing.T) int
+	}{
+		{"gemm tokens<TileM", func(t *testing.T) int {
+			e := sim.NewEngine()
+			w, pes, gemms := gemmSetup(e, 2, 8, 4, 4, 4, 4) // 2 tokens, TileM 4
+			op, err := NewGEMMAllToAll(w, pes, gemms, DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return op.MaxChunks()
+		}},
+		{"gemv single tile", func(t *testing.T) int {
+			e := sim.NewEngine()
+			_, w, pes, gemvs := gemvSetup(e, 8, 16, 8) // 1 output tile
+			op, err := NewGEMVAllReduce(w, pes, gemvs, DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return op.MaxChunks()
+		}},
+		{"embedding single table", func(t *testing.T) int {
+			e := sim.NewEngine()
+			pl, w := newWorld(e, 1, 2)
+			pes := pesOf(pl)
+			sets := buildEmbedding(pl, pes, 1, 64, 8, 32, 4)
+			op, err := NewEmbeddingAllToAll(w, pes, sets, 32, 4, DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return op.MaxChunks()
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.got(t); got < 1 {
+				t.Fatalf("MaxChunks = %d, want >= 1", got)
+			}
+		})
+	}
+	// The degenerate GEMM must also execute: one chunk covering the
+	// whole (sub-TileM) block.
+	e := sim.NewEngine()
+	w, pes, gemms := gemmSetup(e, 2, 8, 4, 4, 4, 4)
+	op, err := NewGEMMAllToAll(w, pes, gemms, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r0, r1 := op.chunkRows(0, op.MaxChunks()); r0 != 0 || r1 != 2 {
+		t.Fatalf("degenerate chunk rows [%d,%d), want [0,2)", r0, r1)
+	}
+	runOp(e, func(p *sim.Proc) Report {
+		op.RunComputeChunk(p, 0, 1)
+		op.RunExchangeChunk(p, 0, 1)
+		return Report{}
+	})
+}
+
 func TestMaxChunksGranularity(t *testing.T) {
 	e := sim.NewEngine()
 	_, w, pes, gemvs := gemvSetup(e, 96, 32, 8)

@@ -522,9 +522,21 @@ func TestGEMMAllToAllFusedNotSlower(t *testing.T) {
 func TestGEMMAllToAllValidation(t *testing.T) {
 	e := sim.NewEngine()
 	w, pes, gemms := gemmSetup(e, 8, 12, 6, 4, 4, 4)
-	gemms[0].TileM = 3 // doesn't divide tokens
+	gemms[0].TileM = 3 // differs from the other ranks
 	if _, err := NewGEMMAllToAll(w, pes, gemms, DefaultConfig()); err == nil {
-		t.Fatal("want error for tile not dividing tokens")
+		t.Fatal("want error for per-rank tiling mismatch")
+	}
+	// A tiling that does not divide the tokens per rank is legal on every
+	// rank at once: the operator re-tiles each destination block with a
+	// ragged tail band.
+	e2 := sim.NewEngine()
+	w2, pes2, gemms2 := gemmSetup(e2, 8, 12, 6, 3, 4, 4)
+	op, err := NewGEMMAllToAll(w2, pes2, gemms2, DefaultConfig())
+	if err != nil {
+		t.Fatalf("ragged tiling rejected: %v", err)
+	}
+	if op.MaxChunks() != 3 { // ceil(8 tokens / TileM 3)
+		t.Errorf("ragged MaxChunks = %d, want 3", op.MaxChunks())
 	}
 }
 

@@ -430,8 +430,13 @@ func (op *EmbeddingAllToAll) recvBuf() *shmem.Symm {
 
 // MaxChunks returns the finest pipelining granularity the operator
 // supports: one table per chunk (tables are the contiguous unit of the
-// bucketized send layout).
-func (op *EmbeddingAllToAll) MaxChunks() int { return op.T }
+// bucketized send layout), never less than 1.
+func (op *EmbeddingAllToAll) MaxChunks() int {
+	if op.T < 1 {
+		return 1
+	}
+	return op.T
+}
 
 // chunkTables returns the table range [t0,t1) of chunk c of n.
 func (op *EmbeddingAllToAll) chunkTables(c, n int) (t0, t1 int) {

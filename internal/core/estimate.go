@@ -1,0 +1,493 @@
+package core
+
+import (
+	"fusedcc/internal/collectives"
+	"fusedcc/internal/gpu"
+	"fusedcc/internal/shmem"
+	"fusedcc/internal/sim"
+)
+
+// Analytic cost estimators for the pair operators — the per-operator
+// half of the Auto execution mode's quasi-static cost model. Each
+// operator prices its three execution forms from the device model
+// (gpu.Config: WG slots, per-WG stream caps, HBM and ALU capacity,
+// launch overhead), the link models (fabric stores, NIC channels), and
+// the collective cost model (collectives.Estimate*):
+//
+//   - EstimateComputeChunk / EstimateCollectiveChunk price the chunked
+//     phase entry points, including the chunk-chain dispatch discount
+//     for non-head collective chunks — a selection pass sums these
+//     through the pipeline recurrence to price pipeline@K.
+//   - EstimateFused prices the persistent fused kernel: the roofline
+//     compute time at fused occupancy overlapped against the drain of
+//     the fine-grained stores/puts, plus any serial reduction phases.
+//   - SaturationChunks is the WG-slot saturation point: the largest
+//     pipeline depth at which every chunk still fills the device's
+//     resident-workgroup slots, so chunking never serializes work the
+//     full kernel ran concurrently (the ROADMAP's per-pair K clamp).
+//
+// Like the collective estimates, these are first-order fluid models:
+// they ignore contention transients and scheduling jitter, and the auto
+// experiment reports the resulting mispredict rate against simulation.
+
+// kernelCost describes one grid launch for estimation: grid logical
+// items, each charging the given memory traffic, flops, and fixed busy
+// time.
+type kernelCost struct {
+	grid     int
+	wgsPerCU int // 0 = device max
+	lanes    int // lane coarsening (0 or 1 = none)
+	// Per-item costs. Gather bytes are the payload; the model divides
+	// by GatherEfficiency like the device does.
+	itemRead, itemGather, itemWrite float64
+	itemFlops                       float64
+	itemFixed                       sim.Duration
+}
+
+// time returns the estimated kernel body duration (launch overhead not
+// included): the larger of the per-WG-limited pipeline time and the
+// device-level HBM/ALU roofline.
+func (kc kernelCost) time(cfg gpu.Config) sim.Duration {
+	if kc.grid <= 0 {
+		return 0
+	}
+	lanes := kc.lanes
+	if lanes < 1 {
+		lanes = 1
+	}
+	perCU := kc.wgsPerCU
+	if perCU <= 0 || perCU > cfg.MaxWGSlotsPerCU {
+		perCU = cfg.MaxWGSlotsPerCU
+	}
+	phys := cfg.CUs * perCU / lanes
+	if phys < 1 {
+		phys = 1
+	}
+	if phys > kc.grid {
+		phys = kc.grid
+	}
+	rounds := (kc.grid + phys - 1) / phys
+
+	gather := kc.itemGather
+	if cfg.GatherEfficiency > 0 {
+		gather /= cfg.GatherEfficiency
+	}
+	streamBytes := kc.itemRead + kc.itemWrite + gather
+	cap := cfg.PerWGStreamBandwidth * float64(lanes)
+	perItem := sim.TransferTime(streamBytes, cap) +
+		sim.TransferTime(kc.itemFlops, cfg.FlopsPerCU*float64(lanes)) +
+		kc.itemFixed
+	tWG := sim.Duration(rounds) * perItem
+
+	total := float64(kc.grid)
+	tHBM := sim.TransferTime(total*streamBytes, cfg.HBMBandwidth)
+	tALU := sim.TransferTime(total*kc.itemFlops, float64(cfg.CUs)*cfg.FlopsPerCU)
+	tFix := sim.Duration(rounds) * kc.itemFixed
+	if t := tHBM + tFix; t > tWG {
+		tWG = t
+	}
+	if t := tALU + tFix; t > tWG {
+		tWG = t
+	}
+	return tWG
+}
+
+// chunkEstComm builds the communicator an estimate prices chunk c of a
+// chain with: head chunks pay the full library call, later chunks the
+// chunk-chain dispatch (mirroring chunkComm).
+func chunkEstComm(w *shmem.World, pes []int, c int) *collectives.Comm {
+	comm := collectives.New(w.Platform(), pes)
+	if c > 0 {
+		comm.SetProtocolOverhead(0)
+		comm.SetLaunchOverhead(ChunkDispatchOverhead)
+	}
+	return comm
+}
+
+// fusedDest is one peer's communication demand from one rank of a fused
+// kernel: msgs discrete messages (slices, tiles) totalling bytes.
+type fusedDest struct {
+	msgs  int
+	bytes float64
+}
+
+// fusedDrainTime prices the drain of rank s's fused-kernel
+// communication: native stores stream over the directed fabric links
+// (latency + serialization), channel puts pay the per-message transfer-
+// engine overhead and share the node's NIC with the sibling ranks'
+// symmetric traffic. The self destination is free (plain local stores,
+// already charged to the kernel).
+func fusedDrainTime(w *shmem.World, pes []int, s int, dests []fusedDest) sim.Duration {
+	pl := w.Platform()
+	sc := w.Config()
+	nChan, localRanks := 0, 0
+	for d := range pes {
+		if pl.SameNode(pes[s], pes[d]) {
+			localRanks++
+		} else {
+			nChan++
+		}
+	}
+	var t sim.Duration
+	cfg := pl.Config()
+	for d := range pes {
+		if d == s || dests[d].msgs == 0 {
+			continue
+		}
+		var dt sim.Duration
+		if pl.SameNode(pes[s], pes[d]) {
+			fc := pl.FabricOf(pes[s]).Config()
+			dt = fc.StoreLatency + sim.TransferTime(dests[d].bytes, fc.LinkBandwidth)
+		} else {
+			dt = cfg.NICLatency + sim.Duration(dests[d].msgs)*sc.ChannelOverhead +
+				sim.TransferTime(dests[d].bytes*float64(nChan*localRanks), cfg.NICBandwidth)
+		}
+		if dt > t {
+			t = dt
+		}
+	}
+	return t
+}
+
+// --- GEMV + AllReduce ---
+
+// maxK returns the largest per-rank reduced dimension (ranks may hold
+// different K shards; the slowest rank bounds the phase).
+func (op *GEMVAllReduce) maxK() int {
+	k := 0
+	for _, g := range op.Gemvs {
+		if g.K > k {
+			k = g.K
+		}
+	}
+	return k
+}
+
+// EstimateCompute predicts the full compute phase (RunCompute).
+func (op *GEMVAllReduce) EstimateCompute() sim.Duration { return op.EstimateComputeChunk(0, 1) }
+
+// EstimateComputeChunk predicts RunComputeChunk(c, n): the conventional
+// GEMV kernels over the chunk's tile range.
+func (op *GEMVAllReduce) EstimateComputeChunk(c, n int) sim.Duration {
+	tlo, thi := op.chunkTiles(c, n)
+	if thi <= tlo {
+		return 0
+	}
+	lo, hi := op.chunkElems(c, n)
+	cfg := op.World.Platform().Device(op.PEs[0]).Config()
+	rows := float64(hi-lo) / float64(thi-tlo)
+	kd := float64(op.maxK())
+	kc := kernelCost{
+		grid:      thi - tlo,
+		itemRead:  rows*kd*4 + kd*4/float64(op.tiles),
+		itemWrite: rows * 4,
+		itemFlops: 2 * rows * kd,
+	}
+	return cfg.KernelLaunchOverhead + kc.time(cfg)
+}
+
+// EstimateCollective predicts the full collective phase (RunAllReduce).
+func (op *GEMVAllReduce) EstimateCollective() sim.Duration { return op.EstimateCollectiveChunk(0, 1) }
+
+// EstimateCollectiveChunk predicts RunAllReduceChunk(c, n): the library
+// AllReduce over the chunk's element range, priced at the chain
+// dispatch cost for non-head chunks.
+func (op *GEMVAllReduce) EstimateCollectiveChunk(c, n int) sim.Duration {
+	lo, hi := op.chunkElems(c, n)
+	if hi <= lo {
+		return 0
+	}
+	return chunkEstComm(op.World, op.PEs, c).EstimateAllReduce(hi-lo, op.Config.Collective)
+}
+
+// EstimateFused predicts RunFused: the persistent kernel's compute
+// roofline at fused occupancy overlapped with the partial-tile store
+// drain, then the owner reduction and the reduced-tile broadcast.
+func (op *GEMVAllReduce) EstimateFused() sim.Duration {
+	pl := op.World.Platform()
+	cfg := pl.Device(op.PEs[0]).Config()
+	sc := op.World.Config()
+	occ := op.Config.fusedWGsPerCU(pl.Device(op.PEs[0]))
+	kd := float64(op.maxK())
+	rows := float64(op.m) / float64(op.tiles)
+
+	comp := kernelCost{
+		grid:      op.tiles,
+		wgsPerCU:  occ,
+		itemRead:  rows * kd * 4,
+		itemFlops: 2 * rows * kd,
+		itemFixed: op.Config.Bookkeeping + sc.PutAPIOverhead,
+	}
+	tComp := comp.time(cfg)
+
+	// Phase-1 drain: every rank streams each peer-owned tile straight to
+	// its owner (tiles/k tiles per destination).
+	per := (op.tiles + op.k - 1) / op.k
+	dests := make([]fusedDest, op.k)
+	for d := 0; d < op.k; d++ {
+		dests[d] = fusedDest{msgs: per, bytes: float64(per) * rows * 4}
+	}
+	tComm := fusedDrainTime(op.World, op.PEs, 0, dests)
+
+	// Owner reduction: read the k staged copies of each owned tile.
+	owned := float64(op.m) / float64(op.k)
+	red := kernelCost{
+		grid:      per,
+		wgsPerCU:  occ,
+		itemRead:  float64(op.k) * rows * 4,
+		itemFlops: float64(op.k-1) * rows,
+	}
+	tRed := red.time(cfg)
+
+	// Broadcast: each rank pushes its reduced shard to every peer.
+	for d := range dests {
+		dests[d] = fusedDest{msgs: per, bytes: owned * 4}
+	}
+	tBcast := fusedDrainTime(op.World, op.PEs, 0, dests)
+
+	t := tComp
+	if tComm > t {
+		t = tComm
+	}
+	return cfg.KernelLaunchOverhead + t + tRed + tBcast
+}
+
+// SaturationChunks returns the WG-slot saturation point: how many
+// chunks the tile grid splits into with every chunk still filling the
+// device's resident slots. Floored at 1, capped at MaxChunks.
+func (op *GEMVAllReduce) SaturationChunks() int {
+	cfg := op.World.Platform().Device(op.PEs[0]).Config()
+	return clampChunks(op.tiles/cfg.MaxWGSlots(), op.MaxChunks())
+}
+
+// --- Embedding + All-to-All ---
+
+// avgPooling returns the mean lookups per pooled row of rank 0's set.
+func (op *EmbeddingAllToAll) avgPooling() float64 {
+	sum, n := 0.0, 0
+	for _, bag := range op.Sets[0].Bags {
+		if bag.AvgPooling > 0 {
+			sum += bag.AvgPooling
+		} else if bag.Offsets != nil {
+			sum += float64(len(bag.Indices)) / float64(bag.Batch)
+		}
+		n++
+	}
+	if n == 0 || sum == 0 {
+		return 1
+	}
+	return sum / float64(n)
+}
+
+// rowsPerWGEst normalizes the coarsening factor.
+func (op *EmbeddingAllToAll) rowsPerWGEst() int {
+	if op.RowsPerWG < 1 {
+		return 1
+	}
+	return op.RowsPerWG
+}
+
+// EstimateCompute predicts the full pooling phase (RunPooling).
+func (op *EmbeddingAllToAll) EstimateCompute() sim.Duration { return op.EstimateComputeChunk(0, 1) }
+
+// EstimateComputeChunk predicts RunPoolingChunk(c, n): one pooling
+// kernel per table in the chunk's range, each paying its own launch.
+func (op *EmbeddingAllToAll) EstimateComputeChunk(c, n int) sim.Duration {
+	t0, t1 := op.chunkTables(c, n)
+	if t1 <= t0 {
+		return 0
+	}
+	cfg := op.World.Platform().Device(op.PEs[0]).Config()
+	rpw := op.rowsPerWGEst()
+	pool := op.avgPooling()
+	kc := kernelCost{
+		grid:       (op.GlobalBatch + rpw - 1) / rpw,
+		lanes:      rpw,
+		itemGather: pool * float64(rpw*op.D) * 4,
+		itemWrite:  float64(rpw*op.D) * 4,
+	}
+	perTable := cfg.KernelLaunchOverhead + kc.time(cfg)
+	return sim.Duration(t1-t0) * perTable
+}
+
+// EstimateCollective predicts the full exchange phase (RunExchange).
+func (op *EmbeddingAllToAll) EstimateCollective() sim.Duration {
+	return op.EstimateCollectiveChunk(0, 1)
+}
+
+// EstimateCollectiveChunk predicts RunExchangeChunk(c, n): the sub-block
+// All-to-All over the chunk's tables plus the shuffle kernels that
+// interleave the received blocks.
+func (op *EmbeddingAllToAll) EstimateCollectiveChunk(c, n int) sim.Duration {
+	t0, t1 := op.chunkTables(c, n)
+	if t1 <= t0 {
+		return 0
+	}
+	cnt := (t1 - t0) * op.L * op.D
+	t := chunkEstComm(op.World, op.PEs, c).EstimateAllToAll(cnt, op.Config.Collective)
+	cfg := op.World.Platform().Device(op.PEs[0]).Config()
+	blockBytes := float64(op.L*op.D) * 4
+	shuffle := kernelCost{
+		grid:      op.k * (t1 - t0),
+		itemRead:  blockBytes,
+		itemWrite: blockBytes,
+	}
+	return t + cfg.KernelLaunchOverhead + shuffle.time(cfg)
+}
+
+// EstimateFused predicts RunFused: the persistent pooling kernel
+// overlapped with slice puts and zero-copy stores.
+func (op *EmbeddingAllToAll) EstimateFused() sim.Duration {
+	pl := op.World.Platform()
+	cfg := pl.Device(op.PEs[0]).Config()
+	sc := op.World.Config()
+	rpw := op.rowsPerWGEst()
+	pool := op.avgPooling()
+	occ := op.Config.fusedWGsPerCU(pl.Device(op.PEs[0]))
+
+	items := op.numSlices() * (op.SliceRows / rpw)
+	comp := kernelCost{
+		grid:       items,
+		wgsPerCU:   occ,
+		lanes:      rpw,
+		itemGather: pool * float64(rpw*op.D) * 4,
+		itemFixed:  op.Config.Bookkeeping + sc.FlagAPIOverhead,
+	}
+	tComp := comp.time(cfg)
+
+	// Per destination: L/SliceRows slices per table, zero-copy within
+	// the node, one put per slice across nodes.
+	slicesPerDest := op.T * (op.L / op.SliceRows)
+	destBytes := float64(op.T*op.L*op.D) * 4
+	dests := make([]fusedDest, op.k)
+	for d := 0; d < op.k; d++ {
+		dests[d] = fusedDest{msgs: slicesPerDest, bytes: destBytes}
+	}
+	tComm := fusedDrainTime(op.World, op.PEs, 0, dests)
+
+	t := tComp
+	if tComm > t {
+		t = tComm
+	}
+	return cfg.KernelLaunchOverhead + t
+}
+
+// SaturationChunks: chunking over tables leaves each per-table kernel's
+// grid unchanged, so the WG-slot limit never binds — the full table
+// granularity is available and the pipeline recurrence prices the
+// added launches.
+func (op *EmbeddingAllToAll) SaturationChunks() int { return op.MaxChunks() }
+
+// --- GEMM + All-to-All ---
+
+// chunkTileStats sums the operator tiles of the chunk's row bands. All
+// bands of one row index are identical across the k blocks and across
+// column tiles (column raggedness only redistributes the N columns), so
+// the totals are closed-form per band — no per-tile iteration.
+func (op *GEMMAllToAll) chunkTileStats(c, n int) (tiles int, read, flops, write float64) {
+	blo, bhi := chunkRange(c, n, op.rowBands())
+	g := op.Gemms[0]
+	tn := g.TilesN()
+	kd, nn := float64(g.K), float64(g.N)
+	for band := blo; band < bhi; band++ {
+		hi := (band + 1) * g.TileM
+		if hi > op.tokens {
+			hi = op.tokens
+		}
+		tm := float64(hi - band*g.TileM)
+		// Per destination block: tn tiles of tm rows covering all N
+		// columns; A-rows are re-read once per column tile.
+		tiles += op.k * tn
+		read += float64(op.k) * (float64(tn)*tm + nn) * kd * 4
+		flops += float64(op.k) * 2 * tm * nn * kd
+		write += float64(op.k) * tm * nn * 4
+	}
+	return
+}
+
+// EstimateCompute predicts the full compute phase (RunCompute).
+func (op *GEMMAllToAll) EstimateCompute() sim.Duration { return op.EstimateComputeChunk(0, 1) }
+
+// EstimateComputeChunk predicts RunComputeChunk(c, n): the stock tiled
+// GEMM over the chunk's row bands of every destination block.
+func (op *GEMMAllToAll) EstimateComputeChunk(c, n int) sim.Duration {
+	tiles, read, flops, write := op.chunkTileStats(c, n)
+	if tiles == 0 {
+		return 0
+	}
+	cfg := op.World.Platform().Device(op.PEs[0]).Config()
+	kc := kernelCost{
+		grid:      tiles,
+		itemRead:  read / float64(tiles),
+		itemWrite: write / float64(tiles),
+		itemFlops: flops / float64(tiles),
+	}
+	return cfg.KernelLaunchOverhead + kc.time(cfg)
+}
+
+// EstimateCollective predicts the full combine phase (RunExchange).
+func (op *GEMMAllToAll) EstimateCollective() sim.Duration { return op.EstimateCollectiveChunk(0, 1) }
+
+// EstimateCollectiveChunk predicts RunExchangeChunk(c, n): the sub-block
+// combine All-to-All over the chunk's row band.
+func (op *GEMMAllToAll) EstimateCollectiveChunk(c, n int) sim.Duration {
+	r0, r1 := op.chunkRows(c, n)
+	if r1 <= r0 {
+		return 0
+	}
+	return chunkEstComm(op.World, op.PEs, c).EstimateAllToAll((r1-r0)*op.Gemms[0].N, op.Config.Collective)
+}
+
+// EstimateFused predicts RunFused: the Triton persistent kernel's tile
+// roofline at fused occupancy overlapped with the per-tile combine
+// puts.
+func (op *GEMMAllToAll) EstimateFused() sim.Duration {
+	pl := op.World.Platform()
+	cfg := pl.Device(op.PEs[0]).Config()
+	sc := op.World.Config()
+	occ := op.Config.fusedWGsPerCU(pl.Device(op.PEs[0]))
+	tiles, read, flops, write := op.chunkTileStats(0, 1)
+
+	comp := kernelCost{
+		grid:      tiles,
+		wgsPerCU:  occ,
+		itemRead:  read / float64(tiles),
+		itemWrite: write / float64(tiles), // register staging for the puts
+		itemFlops: flops / float64(tiles),
+		itemFixed: op.Config.Bookkeeping + sc.PutAPIOverhead,
+	}
+	tComp := comp.time(cfg)
+
+	g := op.Gemms[0]
+	perDestTiles := op.rowBands() * g.TilesN()
+	destBytes := float64(op.tokens*g.N) * 4
+	dests := make([]fusedDest, op.k)
+	for d := 0; d < op.k; d++ {
+		dests[d] = fusedDest{msgs: perDestTiles, bytes: destBytes}
+	}
+	tComm := fusedDrainTime(op.World, op.PEs, 0, dests)
+
+	t := tComp
+	if tComm > t {
+		t = tComm
+	}
+	return cfg.KernelLaunchOverhead + t
+}
+
+// SaturationChunks returns the WG-slot saturation point over the
+// operator tile grid.
+func (op *GEMMAllToAll) SaturationChunks() int {
+	cfg := op.World.Platform().Device(op.PEs[0]).Config()
+	return clampChunks(op.opTiles()/cfg.MaxWGSlots(), op.MaxChunks())
+}
+
+// clampChunks bounds a saturation estimate to [1, max].
+func clampChunks(k, max int) int {
+	if k < 1 {
+		return 1
+	}
+	if k > max {
+		return max
+	}
+	return k
+}

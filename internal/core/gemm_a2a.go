@@ -36,6 +36,10 @@ type GEMMAllToAll struct {
 }
 
 // NewGEMMAllToAll validates shapes and allocates the combine buffer.
+// TileM need not divide the per-rank token count: the operator tiles
+// each destination block independently, so a non-divisible shape gets a
+// ragged last row band per block (never a tile straddling two
+// destination ranks).
 func NewGEMMAllToAll(w *shmem.World, pes []int, gemms []*kernels.GEMM, cfg Config) (*GEMMAllToAll, error) {
 	op := &GEMMAllToAll{World: w, PEs: pes, Gemms: gemms, Config: cfg, k: len(pes)}
 	if op.k == 0 || len(gemms) != op.k {
@@ -54,15 +58,52 @@ func NewGEMMAllToAll(w *shmem.World, pes []int, gemms []*kernels.GEMM, cfg Confi
 		return nil, fmt.Errorf("core: GEMM M=%d not divisible by %d ranks", g0.M, op.k)
 	}
 	op.tokens = g0.M / op.k
-	if g0.TileM > op.tokens || op.tokens%g0.TileM != 0 {
-		return nil, fmt.Errorf("core: TileM=%d must divide tokens per rank %d", g0.TileM, op.tokens)
-	}
 	op.Recv = w.Malloc(g0.M * g0.N)
 	return op, nil
 }
 
-// rowOwner returns the rank that receives output row m.
-func (op *GEMMAllToAll) rowOwner(m int) int { return m / op.tokens }
+// rowBands returns the row-band count per destination block:
+// ceil(tokens/TileM), with a ragged last band when TileM does not divide
+// the tokens per rank. Never less than 1.
+func (op *GEMMAllToAll) rowBands() int {
+	nb := (op.tokens + op.Gemms[0].TileM - 1) / op.Gemms[0].TileM
+	if nb < 1 {
+		nb = 1
+	}
+	return nb
+}
+
+// opTiles returns the operator's communication-tile count: one tile per
+// {destination block, row band, column tile}. The operator owns this
+// tiling (rather than the kernel's global M tiling) so no tile ever
+// straddles two destination blocks, whatever TileM is.
+func (op *GEMMAllToAll) opTiles() int {
+	return op.k * op.rowBands() * op.Gemms[0].TilesN()
+}
+
+// tileRect returns operator tile t's destination rank and its global
+// output rectangle [mlo,mhi) x [nlo,nhi). Tiles enumerate destination-
+// major, then row band, then column tile — identical to the kernel's
+// row-major tile order whenever TileM divides the tokens per rank.
+func (op *GEMMAllToAll) tileRect(t int) (d, mlo, mhi, nlo, nhi int) {
+	g := op.Gemms[0]
+	tn := g.TilesN()
+	nb := op.rowBands()
+	row := t / tn
+	d = row / nb
+	band := row % nb
+	mlo = d*op.tokens + band*g.TileM
+	mhi = mlo + g.TileM
+	if blockEnd := (d + 1) * op.tokens; mhi > blockEnd {
+		mhi = blockEnd
+	}
+	nlo = (t % tn) * g.TileN
+	nhi = nlo + g.TileN
+	if nhi > g.N {
+		nhi = g.N
+	}
+	return
+}
 
 // RunFused executes the Triton-built fused kernel on every rank.
 func (op *GEMMAllToAll) RunFused(p *sim.Proc) Report {
@@ -70,13 +111,12 @@ func (op *GEMMAllToAll) RunFused(p *sim.Proc) Report {
 	pl := w.Platform()
 	e := pl.E
 	rep := Report{Start: e.Now(), PEEnd: make([]sim.Time, op.k)}
-	g0 := op.Gemms[0]
 
 	dev0 := pl.Device(op.PEs[0])
 	occ := op.Config.fusedWGsPerCU(dev0)
 	phys := dev0.Config().CUs * occ
-	if phys > g0.Tiles() {
-		phys = g0.Tiles()
+	if phys > op.opTiles() {
+		phys = op.opTiles()
 	}
 	// tileDone[src*phys + w] on dst: rank src's WG w delivered all its
 	// tiles destined for dst.
@@ -93,33 +133,32 @@ func (op *GEMMAllToAll) RunFused(p *sim.Proc) Report {
 
 			// Communication-aware program order: tiles bound for the
 			// costliest links (cross-node NIC, then fabric) run first.
-			order := make([]int, 0, g.Tiles())
+			order := make([]int, 0, op.opTiles())
 			if op.Config.Schedule == CommAware {
 				for _, d := range commAwareDestOrder(pl, op.PEs, s) {
-					for t := 0; t < g.Tiles(); t++ {
-						mlo, _, _, _ := g.TileRect(t)
-						if op.rowOwner(mlo) == d {
+					for t := 0; t < op.opTiles(); t++ {
+						if td, _, _, _, _ := op.tileRect(t); td == d {
 							order = append(order, t)
 						}
 					}
 				}
 			} else {
-				for t := 0; t < g.Tiles(); t++ {
+				for t := 0; t < op.opTiles(); t++ {
 					order = append(order, t)
 				}
 			}
 
 			remaining := make([][]int, phys)
 			kb := triton.NewBuilder(fmt.Sprintf("fused.gemm_a2a.%d", s), pl.Device(pe), w).
-				Grid(g.Tiles()).Occupancy(occ).Order(order)
+				Grid(op.opTiles()).Occupancy(occ).Order(order)
 			kb.Body(func(tc *triton.TileCtx) {
 				if remaining[tc.Phys] == nil {
 					// First program on this WG: count tiles per
 					// destination for flag raising.
 					counts := make([]int, op.k)
-					for i := tc.Phys; i < g.Tiles(); i += tc.NumPhys {
-						mlo, _, _, _ := g.TileRect(order[i])
-						counts[op.rowOwner(mlo)]++
+					for i := tc.Phys; i < op.opTiles(); i += tc.NumPhys {
+						td, _, _, _, _ := op.tileRect(order[i])
+						counts[td]++
 					}
 					remaining[tc.Phys] = counts
 					for d := 0; d < op.k; d++ {
@@ -128,17 +167,15 @@ func (op *GEMMAllToAll) RunFused(p *sim.Proc) Report {
 						}
 					}
 				}
-				t := tc.PID
-				mlo, mhi, nlo, nhi := g.TileRect(t)
+				d, mlo, mhi, nlo, nhi := op.tileRect(tc.PID)
 				tm, tn := mhi-mlo, nhi-nlo
-				d := op.rowOwner(mlo)
 				// tl.load A and B tiles, tl.dot.
 				tc.Load(float64(tm*g.K)*4 + float64(tn*g.K)*4)
 				tc.Dot(2 * float64(tm) * float64(tn) * float64(g.K))
 				var vals []float32
 				if functional {
 					vals = make([]float32, tm*tn)
-					g.TileValues(t, vals)
+					g.ValuesRect(mlo, mhi, nlo, nhi, vals)
 				}
 				// Communicate the tile straight to its origin rank:
 				// recv[s][mlo-d*tokens ...][nlo ...].
@@ -190,14 +227,24 @@ func (op *GEMMAllToAll) sendBuf() *shmem.Symm {
 }
 
 // MaxChunks returns the finest pipelining granularity the operator
-// supports: one output-tile row band per destination block per chunk.
-func (op *GEMMAllToAll) MaxChunks() int { return op.tokens / op.Gemms[0].TileM }
+// supports: one output-tile row band per destination block per chunk
+// (the ragged tail band counts), never less than 1.
+func (op *GEMMAllToAll) MaxChunks() int { return op.rowBands() }
 
 // chunkRows returns the token-row band [r0,r1) — within every
 // destination block — of chunk c of n, aligned to the output tiling.
+// The last band clamps to the tokens per rank, so ragged shapes cover
+// every row exactly once.
 func (op *GEMMAllToAll) chunkRows(c, n int) (r0, r1 int) {
-	tlo, thi := chunkRange(c, n, op.tokens/op.Gemms[0].TileM)
-	return tlo * op.Gemms[0].TileM, thi * op.Gemms[0].TileM
+	tlo, thi := chunkRange(c, n, op.rowBands())
+	r0, r1 = tlo*op.Gemms[0].TileM, thi*op.Gemms[0].TileM
+	if r0 > op.tokens {
+		r0 = op.tokens
+	}
+	if r1 > op.tokens {
+		r1 = op.tokens
+	}
+	return
 }
 
 // RunCompute executes only the compute half of the bulk-synchronous
@@ -231,18 +278,20 @@ func (op *GEMMAllToAll) RunComputeChunk(p *sim.Proc, c, n int) Report {
 		pe := op.PEs[s]
 		e.Go(fmt.Sprintf("base.gemm/rank%d", s), func(rp *sim.Proc) {
 			g := op.Gemms[s]
-			// Tiles never straddle a destination block (TileM divides
-			// tokens), so block-local row membership selects whole tiles.
+			// Operator tiles never straddle a destination block (each
+			// block is tiled independently, ragged tail clamped), so
+			// block-local row membership selects whole tiles.
 			var tiles []int
-			for t := 0; t < g.Tiles(); t++ {
-				mlo, _, _, _ := g.TileRect(t)
-				if lr := mlo % op.tokens; lr >= r0 && lr < r1 {
+			for t := 0; t < op.opTiles(); t++ {
+				d, mlo, _, _, _ := op.tileRect(t)
+				if lr := mlo - d*op.tokens; lr >= r0 && lr < r1 {
 					tiles = append(tiles, t)
 				}
 			}
 			out := send.On(pe)
 			pl.Device(pe).LaunchGrid(rp, "gemm", len(tiles), 0, func(wg *gpu.WG, l int) {
-				g.ComputeTile(wg, tiles[l], out)
+				_, mlo, mhi, nlo, nhi := op.tileRect(tiles[l])
+				g.ComputeRect(wg, mlo, mhi, nlo, nhi, out)
 			})
 			rep.PEEnd[s] = rp.Now()
 			wgAll.Done()

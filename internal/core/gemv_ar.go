@@ -224,8 +224,13 @@ func (op *GEMVAllReduce) runRank(rp *sim.Proc, s, phys int, storeDone, bcastDone
 }
 
 // MaxChunks returns the finest pipelining granularity the operator
-// supports: one output tile per chunk.
-func (op *GEMVAllReduce) MaxChunks() int { return op.tiles }
+// supports: one output tile per chunk, never less than 1.
+func (op *GEMVAllReduce) MaxChunks() int {
+	if op.tiles < 1 {
+		return 1
+	}
+	return op.tiles
+}
 
 // chunkTiles returns the contiguous output-tile range [lo,hi) of chunk c
 // of n (balanced split; empty when n exceeds the tile count).

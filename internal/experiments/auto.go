@@ -1,0 +1,88 @@
+// The auto experiment validates the Auto execution mode's cost-model
+// decisions against the pipeline sweep's empirical ground truth: for
+// every {stack, shape, layers} configuration it measures all static
+// modes (eager, fused, pipelined at each sweep chunk count), runs Auto,
+// and reports the chosen per-pair schedules, the regret against the
+// best static mode, and the overall mispredict rate — the acceptance
+// metric of the quasi-static scheduler.
+package experiments
+
+import (
+	"fmt"
+
+	"fusedcc/internal/graph"
+)
+
+// autoTolerance is the tie window: Auto "matches" the best static mode
+// when its makespan is within 5% of it (decisions inside the noise of
+// near-equal modes are not mispredicts).
+const autoTolerance = 0.05
+
+// Auto runs the mode-selection validation sweep (experiment id "auto").
+// Rows pair the best static makespan (baseline) against the Auto
+// makespan, so Normalized > 1.05 marks a mispredicted configuration.
+func Auto(opt Options) *Result {
+	shapes := [][2]int{{1, 8}, {2, 4}, {8, 1}}
+	layerss := []int{2, 4}
+	chunkss := []int{2, 4}
+	if opt.Quick {
+		shapes = [][2]int{{1, 8}, {8, 1}}
+		layerss = []int{2}
+		chunkss = []int{2}
+	}
+	res := &Result{
+		ID:    "Auto",
+		Title: "cost-model-driven mode selection vs best static mode (pipeline sweep ground truth)",
+	}
+	configs, correct := 0, 0
+	sumRegret := 0.0
+	for _, sc := range pipelineCases(opt.Quick) {
+		for _, sh := range shapes {
+			for _, layers := range layerss {
+				label := fmt.Sprintf("%s %dx%d L%d", sc.name, sh[0], sh[1], layers)
+				run := func(mode graph.Mode, chunks int) stackRun {
+					r, err := runStack(sc, sh[0], sh[1], layers, chunks, mode)
+					if err != nil {
+						panic(err) // sweep shapes are fixed and valid
+					}
+					return r
+				}
+				statics := []staticRun{
+					{"eager", run(graph.Eager, chunkss[0]).dur},
+					{"fused", run(graph.Compiled, chunkss[0]).dur},
+				}
+				for _, k := range chunkss {
+					statics = append(statics, staticRun{fmt.Sprintf("pipelined@%d", k), run(graph.Pipelined, k).dur})
+				}
+				best, bestName := bestStatic(statics)
+				auto := run(graph.Auto, chunkss[0])
+
+				regret := float64(auto.dur)/float64(best) - 1
+				configs++
+				sumRegret += regret
+				hit := regret <= autoTolerance
+				if hit {
+					correct++
+				}
+				res.Rows = append(res.Rows, Row{Label: label, Baseline: best, Fused: auto.dur})
+				verdict := "match"
+				if !hit {
+					verdict = "MISPREDICT"
+				}
+				res.Notes = append(res.Notes, fmt.Sprintf(
+					"%s: auto %v (predicted pair cost %v) vs best static %s %v, regret %+.1f%% [%s]; decisions: %s",
+					label, auto.dur, auto.predicted, bestName, best, 100*regret, verdict, auto.decisions))
+			}
+		}
+	}
+	rate := 0.0
+	meanRegret := 0.0
+	if configs > 0 {
+		rate = float64(configs-correct) / float64(configs)
+		meanRegret = sumRegret / float64(configs)
+	}
+	res.Notes = append(res.Notes, fmt.Sprintf(
+		"auto matched the best static mode (within %.0f%%) on %d/%d configs: mispredict rate %.1f%%, mean regret %+.1f%%",
+		100*autoTolerance, correct, configs, 100*rate, 100*meanRegret))
+	return res
+}

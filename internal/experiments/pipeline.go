@@ -10,6 +10,7 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 
 	"fusedcc/internal/core"
 	"fusedcc/internal/dlrm"
@@ -74,11 +75,64 @@ func pipelineCases(quick bool) []stackCase {
 }
 
 // stackRun is one stack execution: makespan plus the stream statistics
-// of stream-aware modes.
+// of stream-aware modes and, for Auto runs, the select-pass decisions.
 type stackRun struct {
 	dur        sim.Duration
 	comp, comm float64 // mean stream occupancy
 	overlap    float64 // overlap efficiency
+	// decisions compacts the Auto run's per-pair choices; predicted is
+	// the summed predicted cost of the chosen forms (empty/zero unless
+	// the run was Auto).
+	decisions string
+	predicted sim.Duration
+}
+
+// staticRun labels one measured static-mode makespan for the
+// best-static search shared by the auto experiment and PipelinePoint.
+type staticRun struct {
+	name string
+	dur  sim.Duration
+}
+
+// bestStatic returns the fastest of the measured static runs and its
+// label (first-listed wins ties).
+func bestStatic(runs []staticRun) (sim.Duration, string) {
+	best := runs[0]
+	for _, r := range runs[1:] {
+		if r.dur < best.dur {
+			best = r
+		}
+	}
+	return best.dur, best.name
+}
+
+// summarizeDecisions compacts a select report for a result note: the
+// per-pair choices when few, per-choice counts when many.
+func summarizeDecisions(sel *graph.SelectReport) string {
+	if sel == nil || len(sel.Decisions) == 0 {
+		return "no selectable pairs"
+	}
+	if len(sel.Decisions) <= 4 {
+		parts := make([]string, len(sel.Decisions))
+		for i, d := range sel.Decisions {
+			parts[i] = fmt.Sprintf("%s->%s", d.Compute, d.ChoiceString())
+		}
+		return strings.Join(parts, ", ")
+	}
+	counts := map[string]int{}
+	var order []string
+	for _, d := range sel.Decisions {
+		c := d.ChoiceString()
+		if counts[c] == 0 {
+			order = append(order, c)
+		}
+		counts[c]++
+	}
+	parts := make([]string, len(order))
+	for i, c := range order {
+		parts[i] = fmt.Sprintf("%dx %s", counts[c], c)
+	}
+	return strings.Join(parts, ", ")
 }
 
 // runStack builds the case's stack on a fresh world and runs one pass.
@@ -101,6 +155,10 @@ func runStack(sc stackCase, nodes, gpus, layers, chunks int, mode graph.Mode) (s
 	pl.E.Run()
 	out := stackRun{dur: rep.Duration(), overlap: rep.OverlapEfficiency()}
 	out.comp, out.comm = rep.StreamOccupancy()
+	if rep.Select != nil {
+		out.decisions = summarizeDecisions(rep.Select)
+		out.predicted = rep.Select.PredictedTotal()
+	}
 	return out, nil
 }
 
@@ -139,6 +197,12 @@ func PipelinePoint(nodes, gpus, layers, chunks int, mode graph.Mode, opt Options
 			sel = pipelined
 		case graph.Compiled:
 			sel = fused
+		case graph.Auto:
+			auto, err := runStack(sc, nodes, gpus, layers, chunks, graph.Auto)
+			if err != nil {
+				return nil, err
+			}
+			sel = auto
 		}
 		res.Rows = append(res.Rows, Row{
 			Label:    fmt.Sprintf("%s %s", sc.name, label),
@@ -151,6 +215,15 @@ func PipelinePoint(nodes, gpus, layers, chunks int, mode graph.Mode, opt Options
 			pipelined.dur, 100*(1-float64(pipelined.dur)/float64(eager.dur)),
 			fused.dur, 100*(1-float64(fused.dur)/float64(eager.dur)),
 			100*pipelined.comp, 100*pipelined.comm, 100*pipelined.overlap))
+		if mode == graph.Auto {
+			best, bestName := bestStatic([]staticRun{
+				{"eager", eager.dur}, {"pipelined", pipelined.dur}, {"fused", fused.dur},
+			})
+			res.Notes = append(res.Notes, fmt.Sprintf(
+				"%s %s auto: %v (predicted pair cost %v), decisions: %s; best static %s %v, regret %+.1f%%",
+				sc.name, label, sel.dur, sel.predicted, sel.decisions,
+				bestName, best, 100*(float64(sel.dur)/float64(best)-1)))
+		}
 	}
 	return res, nil
 }

@@ -1,0 +1,10 @@
+//go:build race
+
+package experiments
+
+// raceEnabled gates the full validation sweeps out of race-detector
+// runs: the sweeps are timing studies over many simulated stacks (the
+// race-instrumented engine runs them ~8x slower, blowing the per-
+// package test timeout), and the code paths they drive are race-covered
+// by the graph/core package tests and TestPipelinePointAutoMode.
+const raceEnabled = true

@@ -101,14 +101,13 @@ func (r *CompileReport) String() string {
 // intermediate another node reads).
 func Compile(g *Graph, opt CompileOptions) (*Graph, *CompileReport) {
 	rep := &CompileReport{}
-	out := New(g.world, g.pes, g.cfg)
+	em := newEmitter(g)
 
 	// match maps a fusable collective node to its producing compute
-	// node; replaced maps original nodes to their substitutes in the
-	// output graph (filled during the copy).
+	// node; the emitter tracks original→substitute mappings during the
+	// copy.
 	match := pairMatches(g, opt.enabled)
 	computeMatched := map[*Node]bool{}
-	replaced := map[*Node]*Node{}
 	for _, producer := range match {
 		computeMatched[producer] = true
 	}
@@ -118,38 +117,24 @@ func Compile(g *Graph, opt CompileOptions) (*Graph, *CompileReport) {
 			continue // compute half: emitted at its collective's position
 		}
 		if producer, matched := match[n]; matched {
-			// Substitute one fused node for the pair. It inherits the
-			// compute node's dependencies plus the collective's other
-			// dependencies, so dataflow scheduling starts it exactly
-			// where the compute node would have started.
-			fn, pt := fuseNodes(producer, n)
-			fn.in = mapInputs(append(append([]*Node{}, producer.in...), exclude(n.in, producer)...), replaced)
-			fn.id, fn.g = len(out.nodes), out
-			out.nodes = append(out.nodes, fn)
-			replaced[producer] = fn
-			replaced[n] = fn
+			fn, pt := em.fusePair(producer, n)
 			rep.Rewrites = append(rep.Rewrites, Rewrite{Pattern: pt, Compute: producer.name, Collective: n.name, Fused: fn.name})
 			continue
 		}
 		if gx, ok := n.op.(*gradExchangeOp); ok && !gx.fused && opt.enabled(PatternGradExchange) {
 			fn := &Node{name: n.name, op: &gradExchangeOp{op: gx.op, fused: true}}
-			fn.in = mapInputs(n.in, replaced)
-			fn.id, fn.g = len(out.nodes), out
-			out.nodes = append(out.nodes, fn)
-			replaced[n] = fn
+			fn.in = mapInputs(n.in, em.replaced)
+			em.emit(fn)
+			em.replaced[n] = fn
 			rep.Rewrites = append(rep.Rewrites, Rewrite{Pattern: PatternGradExchange, Collective: n.name, Fused: fn.name})
 			continue
 		}
-		cp := &Node{name: n.name, op: n.op}
-		cp.in = mapInputs(n.in, replaced)
-		cp.id, cp.g = len(out.nodes), out
-		out.nodes = append(out.nodes, cp)
-		replaced[n] = cp
+		em.copyNode(n)
 		if n.op.Kind() == KindCollective {
 			rep.Unfused++
 		}
 	}
-	return out, rep
+	return em.out, rep
 }
 
 // pairMatches returns, for every fusable collective node whose pattern

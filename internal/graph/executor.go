@@ -24,6 +24,12 @@ const (
 	// collectives overlap later chunks' compute on the per-GPU streams —
 	// the software-pipelining alternative to fusion (CoCoNet/GC3 style).
 	Pipelined
+	// Auto runs the graph through the select pass first: each fusible
+	// pair executes in whichever form the analytic cost model predicts
+	// fastest — fused, pipelined at a per-pair chunk depth, or eager —
+	// mixed freely within one graph (quasi-static scheduling in the
+	// CoCoNet/GC3 tradition).
+	Auto
 )
 
 func (m Mode) String() string {
@@ -32,6 +38,8 @@ func (m Mode) String() string {
 		return "compiled"
 	case Pipelined:
 		return "pipelined"
+	case Auto:
+		return "auto"
 	}
 	return "eager"
 }
@@ -71,12 +79,18 @@ type Report struct {
 	Mode Mode
 	// Start and End bound the whole graph (the makespan window).
 	Start, End sim.Time
+	// PEEnd is each PE's last node-completion time, indexed like the
+	// graph's PE list — the per-PE skew input the operator-level
+	// consumers (speedup tables, Fig 14) rely on.
+	PEEnd []sim.Time
 	// Nodes holds one entry per executed node, in graph order.
 	Nodes []NodeReport
 	// Compile is the fusion-pass report (nil unless Compiled mode).
 	Compile *CompileReport
 	// Partition is the chunking-pass report (nil unless Pipelined mode).
 	Partition *PartitionReport
+	// Select is the cost-model decision report (nil unless Auto mode).
+	Select *SelectReport
 	// Streams holds per-GPU stream occupancy (stream-aware runs only).
 	Streams []StreamReport
 }
@@ -154,7 +168,10 @@ func (r *Report) OverlapEfficiency() float64 {
 
 // Summary condenses the graph report into the operator Report shape
 // the case studies and experiments consume: the makespan window plus
-// total GPU-initiated traffic, with every PE credited the final time.
+// total GPU-initiated traffic. Each PE is credited its own last node
+// completion (preserving the per-PE skew the operator-level consumers
+// measure); a PE the execution recorded no end time for falls back to
+// the graph-final time.
 func (r *Report) Summary(peCount int) core.Report {
 	rep := core.Report{
 		Start: r.Start, End: r.End,
@@ -163,6 +180,9 @@ func (r *Report) Summary(peCount int) core.Report {
 	}
 	for i := range rep.PEEnd {
 		rep.PEEnd[i] = r.End
+		if i < len(r.PEEnd) && r.PEEnd[i] > 0 {
+			rep.PEEnd[i] = r.PEEnd[i]
+		}
 	}
 	return rep
 }
@@ -206,14 +226,15 @@ type Executor struct {
 	// runs are always stream-aware.
 	Streams bool
 
-	// compiled and partitioned cache the rewrite-pass outputs per source
-	// graph so repeated executions (decode loops, training iterations)
-	// do not re-run the pass on a static graph. Entries key on the
-	// graph's mutation generation, so any edit — adding nodes or
+	// compiled, partitioned, and selected cache the rewrite-pass outputs
+	// per source graph so repeated executions (decode loops, training
+	// iterations) do not re-run the pass on a static graph. Entries key
+	// on the graph's mutation generation, so any edit — adding nodes or
 	// dependency edges, even without changing the node count —
 	// invalidates them.
 	compiled    map[*Graph]compiledEntry
 	partitioned map[*Graph]partitionedEntry
+	selected    map[*Graph]selectedEntry
 }
 
 type compiledEntry struct {
@@ -228,6 +249,12 @@ type partitionedEntry struct {
 	rep    *PartitionReport
 	gen    int // source graph generation at partition time
 	chunks int
+}
+
+type selectedEntry struct {
+	g   *Graph
+	rep *SelectReport
+	gen int // source graph generation at selection time
 }
 
 // compile returns the cached fused form of g, compiling on first use
@@ -268,6 +295,20 @@ func (x *Executor) partition(g *Graph) (*Graph, *PartitionReport) {
 	return pg, prep
 }
 
+// sel returns the cached cost-model-selected form of g, running the
+// select pass on first use (or after g was mutated).
+func (x *Executor) sel(g *Graph) (*Graph, *SelectReport) {
+	if ent, ok := x.selected[g]; ok && ent.gen == g.gen {
+		return ent.g, ent.rep
+	}
+	sg, srep := Select(g)
+	if x.selected == nil {
+		x.selected = map[*Graph]selectedEntry{}
+	}
+	x.selected[g] = selectedEntry{g: sg, rep: srep, gen: g.gen}
+	return sg, srep
+}
+
 // streamKindOf maps a node kind to the device stream it occupies:
 // kernels (conventional and fused persistent) issue on the compute
 // stream, host-launched library collectives on the comm stream.
@@ -286,9 +327,9 @@ type streamSnapshot struct {
 
 // Execute runs g in the given mode on the coordinating process and
 // blocks until every node has finished. In Compiled mode the graph is
-// first rewritten by Compile, in Pipelined mode by Partition (both
-// cached across calls); the input graph is never modified. An empty
-// graph is a valid no-op.
+// first rewritten by Compile, in Pipelined mode by Partition, in Auto
+// mode by the cost-model Select pass (all cached across calls); the
+// input graph is never modified. An empty graph is a valid no-op.
 func (x *Executor) Execute(p *sim.Proc, g *Graph, mode Mode) *Report {
 	rg := g
 	rep := &Report{Mode: mode}
@@ -297,8 +338,12 @@ func (x *Executor) Execute(p *sim.Proc, g *Graph, mode Mode) *Report {
 		rg, rep.Compile = x.compile(g)
 	case Pipelined:
 		rg, rep.Partition = x.partition(g)
+	case Auto:
+		rg, rep.Select = x.sel(g)
 	}
-	streamAware := x.Streams || mode == Pipelined
+	// Auto graphs may mix chunk chains with fused and eager nodes; they
+	// need the two-queue device model just like Pipelined ones.
+	streamAware := x.Streams || mode == Pipelined || mode == Auto
 
 	pl := g.world.Platform()
 	e := pl.E
@@ -317,6 +362,11 @@ func (x *Executor) Execute(p *sim.Proc, g *Graph, mode Mode) *Report {
 			}
 		}
 	}
+
+	// Per-PE last-completion times, merged from every node's per-rank
+	// report (rank order matches the graph's PE list). The engine's
+	// cooperative scheduling serializes the node goroutines' updates.
+	rep.PEEnd = make([]sim.Time, len(rg.pes))
 
 	done := make([]*sim.Flag, len(rg.nodes))
 	for i := range done {
@@ -352,6 +402,11 @@ func (x *Executor) Execute(p *sim.Proc, g *Graph, mode Mode) *Report {
 				Name: n.name, Op: n.op.OpName(), Kind: n.op.Kind(),
 				Start: r.Start, End: r.End,
 				RemotePuts: r.RemotePuts, RemoteBytes: r.RemoteBytes,
+			}
+			for pe := 0; pe < len(rep.PEEnd) && pe < len(r.PEEnd); pe++ {
+				if r.PEEnd[pe] > rep.PEEnd[pe] {
+					rep.PEEnd[pe] = r.PEEnd[pe]
+				}
 			}
 			done[i].Set(1)
 			all.Done()

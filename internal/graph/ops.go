@@ -126,6 +126,11 @@ func (o *symmCollectiveOp) Run(p *sim.Proc) core.Report {
 		comm.AllReduce(p, o.data, o.off, o.elems, o.algo)
 	}
 	rep.End = pl.E.Now()
+	// A collective occupies every rank until it completes.
+	rep.PEEnd = make([]sim.Time, len(o.g.pes))
+	for i := range rep.PEEnd {
+		rep.PEEnd[i] = rep.End
+	}
 	return rep
 }
 

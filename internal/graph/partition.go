@@ -72,29 +72,102 @@ func maxChunksOf(pair any) int {
 	return 1
 }
 
-// Partition runs the chunking pass: every fusible compute→collective
-// pair (the same single-consumer adjacency the fusion pass matches) is
-// replaced by K interleaved chunk chains
+// emitter builds a rewrite pass's output graph, tracking the mapping
+// from source nodes to their substitutes so later nodes' dependencies
+// resolve. Shared by the partition and select passes.
+type emitter struct {
+	out      *Graph
+	replaced map[*Node]*Node
+}
+
+func newEmitter(g *Graph) *emitter {
+	return &emitter{out: New(g.world, g.pes, g.cfg), replaced: map[*Node]*Node{}}
+}
+
+// emit appends a freshly built node to the output graph.
+func (em *emitter) emit(n *Node) *Node {
+	n.id, n.g = len(em.out.nodes), em.out
+	em.out.nodes = append(em.out.nodes, n)
+	em.out.gen++
+	return n
+}
+
+// copyNode copies a source node unchanged (dependencies remapped).
+func (em *emitter) copyNode(n *Node) *Node {
+	cp := &Node{name: n.name, op: n.op}
+	cp.in = mapInputs(n.in, em.replaced)
+	em.emit(cp)
+	em.replaced[n] = cp
+	return cp
+}
+
+// fusePair replaces the (producer, collective) pair with one fused
+// node inheriting both nodes' dependencies — the substitution the
+// fusion pass applies, reusable per pair by the select pass.
+func (em *emitter) fusePair(producer, coll *Node) (*Node, Pattern) {
+	fn, pt := fuseNodes(producer, coll)
+	fn.in = mapInputs(append(append([]*Node{}, producer.in...), exclude(coll.in, producer)...), em.replaced)
+	em.emit(fn)
+	em.replaced[producer] = fn
+	em.replaced[coll] = fn
+	return fn, pt
+}
+
+// chunkChain replaces the (producer, collective) pair with k
+// interleaved chunk chains
 //
 //	compute#0 → collective#0, compute#1 → collective#1, ...
 //
 // with dependency edges compute#c → compute#c+1 and collective#c →
 // collective#c+1 modeling the per-stream program order, so chunk c's
-// collective overlaps chunk c+1's compute under both plain dataflow and
-// stream-aware scheduling. Chunk counts clamp to each operator's
-// granularity (tiles, tables, row bands); pairs that cannot split into
-// at least two chunks are copied unchanged. The chunked sub-nodes reuse
-// the operators' phase entry points over disjoint work ranges, so a
-// partitioned run is bit-exact with eager. Unmatched nodes are copied
-// unchanged; downstream consumers of a pair's value depend on the final
-// collective chunk. The input graph is not modified; both graphs share
-// the same backing operators and buffers.
+// collective overlaps chunk c+1's compute. The compute chain inherits
+// the compute node's dependencies; the collective chain inherits the
+// collective's remaining dependencies plus its own chunk's compute
+// node. Downstream consumers of the pair depend on the final chunks.
+func (em *emitter) chunkChain(producer, coll *Node, k int) {
+	pair := pairOf(coll.op)
+	compDeps := mapInputs(producer.in, em.replaced)
+	collDeps := mapInputs(exclude(coll.in, producer), em.replaced)
+	var prevComp, prevColl *Node
+	for c := 0; c < k; c++ {
+		compOp, collOp := chunkOps(pair, c, k)
+		comp := &Node{name: fmt.Sprintf("%s#%d", producer.name, c), op: compOp}
+		comp.in = append(comp.in, compDeps...)
+		if prevComp != nil {
+			comp.in = append(comp.in, prevComp)
+		}
+		em.emit(comp)
+		cl := &Node{name: fmt.Sprintf("%s#%d", coll.name, c), op: collOp}
+		cl.in = append(cl.in, comp)
+		cl.in = append(cl.in, collDeps...)
+		if prevColl != nil {
+			cl.in = append(cl.in, prevColl)
+		}
+		em.emit(cl)
+		prevComp, prevColl = comp, cl
+	}
+	em.replaced[producer] = prevComp
+	em.replaced[coll] = prevColl
+}
+
+// Partition runs the chunking pass: every fusible compute→collective
+// pair (the same single-consumer adjacency the fusion pass matches) is
+// replaced by K interleaved chunk chains (see emitter.chunkChain), so
+// chunk c's collective overlaps chunk c+1's compute under both plain
+// dataflow and stream-aware scheduling. Chunk counts clamp to each
+// operator's granularity (tiles, tables, row bands); pairs that cannot
+// split into at least two chunks are copied unchanged. The chunked
+// sub-nodes reuse the operators' phase entry points over disjoint work
+// ranges, so a partitioned run is bit-exact with eager. Unmatched nodes
+// are copied unchanged; downstream consumers of a pair's value depend
+// on the final collective chunk. The input graph is not modified; both
+// graphs share the same backing operators and buffers.
 func Partition(g *Graph, chunks int) (*Graph, *PartitionReport) {
 	if chunks < 1 {
 		chunks = 1
 	}
 	rep := &PartitionReport{Chunks: chunks}
-	out := New(g.world, g.pes, g.cfg)
+	em := newEmitter(g)
 
 	match := pairMatches(g, func(Pattern) bool { return true })
 	computeMatched := map[*Node]bool{}
@@ -105,62 +178,24 @@ func Partition(g *Graph, chunks int) (*Graph, *PartitionReport) {
 			delete(match, c) // too small to pipeline: copy the pair whole
 		}
 	}
-	replaced := map[*Node]*Node{}
-
-	emit := func(n *Node) *Node {
-		n.id, n.g = len(out.nodes), out
-		out.nodes = append(out.nodes, n)
-		out.gen++
-		return n
-	}
 
 	for _, n := range g.nodes {
 		if computeMatched[n] {
 			continue // compute half: emitted at its collective's position
 		}
 		if producer, matched := match[n]; matched {
-			pair := pairOf(n.op)
 			k := effectiveChunks(n, chunks)
 			pt, _ := patternFor(n.op)
-			// Interleave the chunk chains in pipeline order. The compute
-			// chain inherits the compute node's dependencies; the
-			// collective chain inherits the collective's remaining
-			// dependencies plus its own chunk's compute node.
-			compDeps := mapInputs(producer.in, replaced)
-			collDeps := mapInputs(exclude(n.in, producer), replaced)
-			var prevComp, prevColl *Node
-			for c := 0; c < k; c++ {
-				compOp, collOp := chunkOps(pair, c, k)
-				comp := &Node{name: fmt.Sprintf("%s#%d", producer.name, c), op: compOp}
-				comp.in = append(comp.in, compDeps...)
-				if prevComp != nil {
-					comp.in = append(comp.in, prevComp)
-				}
-				emit(comp)
-				coll := &Node{name: fmt.Sprintf("%s#%d", n.name, c), op: collOp}
-				coll.in = append(coll.in, comp)
-				coll.in = append(coll.in, collDeps...)
-				if prevColl != nil {
-					coll.in = append(coll.in, prevColl)
-				}
-				emit(coll)
-				prevComp, prevColl = comp, coll
-			}
-			// Downstream consumers wait for the last chunk of each chain.
-			replaced[producer] = prevComp
-			replaced[n] = prevColl
+			em.chunkChain(producer, n, k)
 			rep.Splits = append(rep.Splits, Split{Pattern: pt, Compute: producer.name, Collective: n.name, Chunks: k})
 			continue
 		}
-		cp := &Node{name: n.name, op: n.op}
-		cp.in = mapInputs(n.in, replaced)
-		emit(cp)
-		replaced[n] = cp
+		em.copyNode(n)
 		if n.op.Kind() == KindCollective {
 			rep.Unsplit++
 		}
 	}
-	return out, rep
+	return em.out, rep
 }
 
 // effectiveChunks clamps the requested chunk count to the granularity

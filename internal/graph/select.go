@@ -1,0 +1,207 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+
+	"fusedcc/internal/sim"
+)
+
+// The select pass is the quasi-static scheduler of the Auto execution
+// mode: where Compile fuses every matched pair and Partition chunks
+// every matched pair at one global depth, Select prices each pair's
+// three execution forms with the analytic cost model (the operators'
+// Estimate* methods over the device and link models) and rewrites each
+// pair to whichever form is predicted fastest — fused persistent
+// kernel, pipeline at a per-pair saturation-clamped chunk depth, or the
+// eager bulk-synchronous pair — all coexisting in one mixed-mode graph.
+// This is the CoCoNet/GC3-style automation step: the user stops picking
+// the mode and chunk count by hand.
+
+// pairEstimator is the per-operator cost surface Select consults. All
+// three core pair operators implement it.
+type pairEstimator interface {
+	EstimateComputeChunk(c, n int) sim.Duration
+	EstimateCollectiveChunk(c, n int) sim.Duration
+	EstimateFused() sim.Duration
+	MaxChunks() int
+	SaturationChunks() int
+}
+
+// Decision records one pair's mode choice and the predicted costs of
+// every eligible execution form — the per-pair line of a SelectReport.
+type Decision struct {
+	Pattern             Pattern
+	Compute, Collective string
+	// Choice is the selected execution form (Eager, Pipelined, or
+	// Compiled); Chunks is the chosen pipeline depth (1 unless
+	// Pipelined).
+	Choice Mode
+	Chunks int
+	// EagerCost, FusedCost, and PipelineCost are the predicted
+	// durations of the three forms (PipelineCost at the best candidate
+	// K; zero when the pair cannot pipeline at all).
+	EagerCost, FusedCost, PipelineCost sim.Duration
+}
+
+// ChoiceString renders the chosen form, with the chunk depth for
+// pipelined decisions ("pipelined@4").
+func (d Decision) ChoiceString() string {
+	if d.Choice == Pipelined {
+		return fmt.Sprintf("pipelined@%d", d.Chunks)
+	}
+	return d.Choice.String()
+}
+
+// Predicted returns the predicted duration of the chosen form.
+func (d Decision) Predicted() sim.Duration {
+	switch d.Choice {
+	case Compiled:
+		return d.FusedCost
+	case Pipelined:
+		return d.PipelineCost
+	}
+	return d.EagerCost
+}
+
+// SelectReport summarizes a select pass: the per-pair decisions with
+// predicted costs, plus the collectives no decision applied to.
+type SelectReport struct {
+	Decisions []Decision
+	// Unmatched counts collective nodes with no selectable pair
+	// (generic collectives, gradient exchanges): they stay eager.
+	Unmatched int
+}
+
+func (r *SelectReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "select: %d pair decision(s), %d collective(s) left eager\n", len(r.Decisions), r.Unmatched)
+	for _, d := range r.Decisions {
+		fmt.Fprintf(&b, "  %s: (%s, %s) -> %s  [eager %v, fused %v, pipelined %v]\n",
+			d.Pattern, d.Compute, d.Collective, d.ChoiceString(), d.EagerCost, d.FusedCost, d.PipelineCost)
+	}
+	return b.String()
+}
+
+// PredictedTotal sums the predicted durations of the chosen forms — a
+// lower bound on the pairs' contribution to the makespan (pairs may
+// overlap each other).
+func (r *SelectReport) PredictedTotal() sim.Duration {
+	var t sim.Duration
+	for _, d := range r.Decisions {
+		t += d.Predicted()
+	}
+	return t
+}
+
+// maxCandidateChunks bounds the per-pair K search; granularities beyond
+// this see vanishing returns while the pass cost grows linearly.
+const maxCandidateChunks = 32
+
+// pipelineCost prices pipeline@k with the two-stream pipeline
+// recurrence: compute chunks run back to back on the compute stream,
+// chunk c's collective starts once both its compute chunk and the
+// previous collective chunk are done. Non-head collective chunks are
+// priced at the chunk-chain dispatch cost by the operator's estimator.
+func pipelineCost(est pairEstimator, k int) sim.Duration {
+	var compEnd, collEnd sim.Duration
+	for c := 0; c < k; c++ {
+		compEnd += est.EstimateComputeChunk(c, k)
+		start := compEnd
+		if collEnd > start {
+			start = collEnd
+		}
+		collEnd = start + est.EstimateCollectiveChunk(c, k)
+	}
+	return collEnd
+}
+
+// decide prices one pair's eligible execution forms and picks the
+// cheapest: eager (compute then collective, serial), fused, or the best
+// pipeline depth K in [2, min(MaxChunks, SaturationChunks)] — the
+// saturation clamp keeps every chunk large enough to fill the device's
+// WG slots.
+func decide(est pairEstimator) Decision {
+	d := Decision{Choice: Eager, Chunks: 1}
+	d.EagerCost = est.EstimateComputeChunk(0, 1) + est.EstimateCollectiveChunk(0, 1)
+	d.FusedCost = est.EstimateFused()
+
+	maxK := est.SaturationChunks()
+	if mc := est.MaxChunks(); maxK > mc {
+		maxK = mc
+	}
+	if maxK > maxCandidateChunks {
+		maxK = maxCandidateChunks
+	}
+	bestK := 0
+	for k := 2; k <= maxK; k++ {
+		if cost := pipelineCost(est, k); bestK == 0 || cost < d.PipelineCost {
+			d.PipelineCost, bestK = cost, k
+		}
+	}
+
+	best := d.EagerCost
+	if d.FusedCost < best {
+		d.Choice, best = Compiled, d.FusedCost
+	}
+	if bestK > 0 && d.PipelineCost < best {
+		d.Choice, d.Chunks = Pipelined, bestK
+	}
+	return d
+}
+
+// Select runs the cost-model-driven rewrite: every fusible
+// compute→collective pair (the same single-consumer adjacency Compile
+// and Partition match) is replaced by its predicted-fastest execution
+// form — fused node, chunk chains at the pair's own K, or the eager
+// pair unchanged. Unmatched nodes are copied unchanged (gradient
+// exchanges stay eager: the estimator surface covers the three pair
+// operators). The input graph is not modified; both graphs share the
+// same backing operators and buffers, so mixed-mode execution stays
+// bit-exact with eager.
+func Select(g *Graph) (*Graph, *SelectReport) {
+	rep := &SelectReport{}
+	em := newEmitter(g)
+
+	match := pairMatches(g, func(Pattern) bool { return true })
+	decisions := map[*Node]Decision{}
+	computeMatched := map[*Node]bool{}
+	for coll, producer := range match {
+		est, ok := pairOf(coll.op).(pairEstimator)
+		if !ok {
+			delete(match, coll) // no cost surface: leave the pair eager
+			continue
+		}
+		d := decide(est)
+		d.Pattern, _ = patternFor(coll.op)
+		d.Compute, d.Collective = producer.name, coll.name
+		decisions[coll] = d
+		if d.Choice != Eager {
+			computeMatched[producer] = true
+		}
+	}
+
+	for _, n := range g.nodes {
+		if computeMatched[n] {
+			continue // compute half: emitted at its collective's position
+		}
+		if producer, matched := match[n]; matched {
+			d := decisions[n]
+			switch d.Choice {
+			case Compiled:
+				em.fusePair(producer, n)
+			case Pipelined:
+				em.chunkChain(producer, n, d.Chunks)
+			default:
+				em.copyNode(n) // producer was copied at its own position
+			}
+			rep.Decisions = append(rep.Decisions, d)
+			continue
+		}
+		em.copyNode(n)
+		if n.op.Kind() == KindCollective {
+			rep.Unmatched++
+		}
+	}
+	return em.out, rep
+}

@@ -57,7 +57,18 @@ func (g *GEMM) TileRect(t int) (mlo, mhi, nlo, nhi int) {
 // consumes, run 2*tm*tn*K flops, write the tile.
 func (g *GEMM) ComputeTile(w *gpu.WG, t int, out *gpu.Buffer) {
 	mlo, mhi, nlo, nhi := g.TileRect(t)
+	g.ComputeRect(w, mlo, mhi, nlo, nhi, out)
+}
+
+// ComputeRect produces the output rectangle [mlo,mhi) x [nlo,nhi) into
+// out (an M x N buffer) at its natural offsets — ComputeTile over an
+// arbitrary rectangle, for operators whose communication tiling does not
+// coincide with the kernel's (ragged destination-block bands).
+func (g *GEMM) ComputeRect(w *gpu.WG, mlo, mhi, nlo, nhi int, out *gpu.Buffer) {
 	tm, tn := mhi-mlo, nhi-nlo
+	if tm <= 0 || tn <= 0 {
+		return
+	}
 	w.Read(float64(tm*g.K)*4 + float64(tn*g.K)*4)
 	w.Compute(2 * float64(tm) * float64(tn) * float64(g.K))
 	w.Write(float64(tm*tn) * 4)
@@ -84,10 +95,17 @@ func (g *GEMM) ComputeTile(w *gpu.WG, t int, out *gpu.Buffer) {
 // for kernel authors (e.g. the Triton DSL) who charge costs through
 // their own load/dot primitives. No-op when operands are timing-only.
 func (g *GEMM) TileValues(t int, scratch []float32) {
+	mlo, mhi, nlo, nhi := g.TileRect(t)
+	g.ValuesRect(mlo, mhi, nlo, nhi, scratch)
+}
+
+// ValuesRect is TileValues over an arbitrary output rectangle
+// [mlo,mhi) x [nlo,nhi), written row-major into scratch (len >=
+// (mhi-mlo)*(nhi-nlo)).
+func (g *GEMM) ValuesRect(mlo, mhi, nlo, nhi int, scratch []float32) {
 	if scratch == nil || g.A == nil || g.B == nil || !g.A.Functional() || !g.B.Functional() {
 		return
 	}
-	mlo, mhi, nlo, nhi := g.TileRect(t)
 	a, b := g.A.Data(), g.B.Data()
 	tn := nhi - nlo
 	for m := mlo; m < mhi; m++ {

@@ -69,6 +69,10 @@ func NewWorld(pl *platform.Platform, cfg Config) *World {
 // Platform returns the underlying hardware.
 func (w *World) Platform() *platform.Platform { return w.pl }
 
+// Config returns the world's API overhead constants (for quasi-static
+// cost estimates that price puts and flag updates without issuing them).
+func (w *World) Config() Config { return w.cfg }
+
 // NPEs returns the PE count (== GPU count).
 func (w *World) NPEs() int { return w.pl.NDevices() }
 
