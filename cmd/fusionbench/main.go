@@ -15,7 +15,14 @@
 //	fusionbench -mode auto -json BENCH_auto.json
 //	                            # cost-model mode-selection validation
 //	                            # sweep (chosen modes, regret, mispredicts)
+//	fusionbench -mode wavefront -json BENCH_wavefront.json
+//	                            # inter-layer wavefront vs per-pair
+//	                            # pipelining sweep (joins, overlap, auto
+//	                            # cross-check)
 //	fusionbench -json out.json  # also emit machine-readable makespans
+//	fusionbench -pipeline -quick -compare BENCH_pipeline.json
+//	                            # CI perf gate: fail if any makespan
+//	                            # regresses past -tolerance vs baseline
 //	fusionbench -quick ...      # shrunken sweeps (CI-sized)
 package main
 
@@ -57,8 +64,10 @@ func parseMode(s string) (fusedcc.ExecMode, error) {
 		return fusedcc.Pipelined, nil
 	case "auto":
 		return fusedcc.Auto, nil
+	case "wavefront":
+		return fusedcc.Wavefront, nil
 	}
-	return 0, fmt.Errorf("bad -mode %q: want eager, pipelined, fused, or auto", s)
+	return 0, fmt.Errorf("bad -mode %q: want eager, pipelined, fused, wavefront, or auto", s)
 }
 
 // jsonRow and jsonResult are the BENCH_pipeline.json schema: one entry
@@ -100,6 +109,69 @@ func writeJSON(path string, results []*fusedcc.ExperimentResult) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
+// compareBaseline is the CI perf-regression gate: it checks the
+// collected results against a committed baseline JSON (the same schema
+// writeJSON emits). A row whose measured makespan (fused_ns, the
+// mode-under-test column) exceeds the baseline by more than tol
+// regresses and fails the run. Rows are matched by (experiment id,
+// label); rows absent from the baseline are new and ignored, so adding
+// configurations never breaks the gate.
+func compareBaseline(path string, tol float64, results []*fusedcc.ExperimentResult) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base []jsonResult
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	index := map[string]jsonRow{}
+	for _, br := range base {
+		for _, r := range br.Rows {
+			index[br.ID+"|"+r.Label] = r
+		}
+	}
+	var regressions []string
+	matched := map[string]bool{}
+	checked, fresh := 0, 0
+	for _, res := range results {
+		for _, r := range res.Rows {
+			key := res.ID + "|" + r.Label
+			b, ok := index[key]
+			if !ok {
+				fresh++
+				continue
+			}
+			matched[key] = true
+			checked++
+			if float64(r.Fused) > float64(b.FusedNs)*(1+tol) {
+				regressions = append(regressions, fmt.Sprintf(
+					"  %s | %s: %d ns vs baseline %d ns (%+.1f%%)",
+					res.ID, r.Label, int64(r.Fused), b.FusedNs,
+					100*(float64(r.Fused)/float64(b.FusedNs)-1)))
+			}
+		}
+	}
+	missing := 0
+	for key := range index {
+		if !matched[key] {
+			missing++
+		}
+	}
+	fmt.Printf("compare vs %s: %d row(s) checked at %.0f%% tolerance, %d new, %d baseline row(s) not produced\n",
+		path, checked, 100*tol, fresh, missing)
+	// Fail closed: a run that matches no baseline rows means the sweep
+	// labels or experiment ids drifted from the committed baseline —
+	// the gate would otherwise silently stop gating.
+	if checked == 0 {
+		return fmt.Errorf("no result rows matched baseline %s: regenerate the baseline or fix the sweep labels", path)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("perf regression against %s:\n%s", path, strings.Join(regressions, "\n"))
+	}
+	return nil
+}
+
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, err)
 	os.Exit(1)
@@ -117,6 +189,8 @@ func main() {
 		chunks    = flag.Int("chunks", fusedcc.DefaultChunks, "pipeline depth K for -mode pipelined")
 		layers    = flag.Int("layers", 2, "stack depth L for -mode (decoder layers / MoE layers / DLRM groups)")
 		jsonPath  = flag.String("json", "", "also write the results as machine-readable JSON (e.g. BENCH_pipeline.json)")
+		compare   = flag.String("compare", "", "compare results against a committed baseline JSON and fail on perf regression")
+		tolerance = flag.Float64("tolerance", 0.10, "relative slowdown tolerated by -compare before failing")
 		quick     = flag.Bool("quick", false, "shrink sweeps for a fast run")
 	)
 	flag.Parse()
@@ -133,6 +207,11 @@ func main() {
 			}
 			fmt.Printf("(wrote %s)\n", *jsonPath)
 		}
+		if *compare != "" {
+			if err := compareBaseline(*compare, *tolerance, results); err != nil {
+				fail(err)
+			}
+		}
 	}
 
 	switch {
@@ -147,6 +226,18 @@ func main() {
 			// makespans, regret vs best-static) — the BENCH_auto.json
 			// producer. Add -shape to run one configuration instead.
 			res, err := fusedcc.RunExperiment("auto", *quick)
+			if err != nil {
+				fail(err)
+			}
+			emit(res)
+			finish()
+			return
+		}
+		if m == fusedcc.Wavefront && *shape == "" {
+			// Bare -mode wavefront runs the full inter-layer wavefront
+			// validation sweep — the BENCH_wavefront.json producer. Add
+			// -shape to run one configuration instead.
+			res, err := fusedcc.RunExperiment("wavefront", *quick)
 			if err != nil {
 				fail(err)
 			}

@@ -115,17 +115,32 @@ type (
 	CompileOptions = graph.CompileOptions
 	// CompileReport lists the rewrites a fusion pass applied.
 	CompileReport = graph.CompileReport
-	// PartitionReport lists the pair splits a partition pass applied.
+	// PartitionReport lists the pair splits a partition pass applied
+	// (and, for wavefront passes, the rowwise splits and rewired joins).
 	PartitionReport = graph.PartitionReport
 	// PartitionSplit records one chunked pair of a partition pass.
 	PartitionSplit = graph.Split
+	// PartitionJoin records one layer-boundary join edge a wavefront
+	// pass rewired to chunk granularity.
+	PartitionJoin = graph.Join
 	// SelectReport lists the per-pair mode decisions of a select pass
-	// (Auto mode), with the predicted cost of every eligible form.
+	// (Auto mode), with the predicted cost of every eligible form, plus
+	// the wavefront chains it scheduled.
 	SelectReport = graph.SelectReport
 	// SelectDecision records one pair's cost-model decision.
 	SelectDecision = graph.Decision
+	// SelectWavefront records one chain the select pass scheduled as a
+	// cross-pair wavefront.
+	SelectWavefront = graph.WavefrontDecision
 	// FusionPattern identifies one compute→collective rewrite.
 	FusionPattern = graph.Pattern
+	// RowsSpec declares a rowwise per-rank compute node — the builder
+	// contract that lets wavefront partitioning flow chunk-granular
+	// dependencies through custom per-rank stages.
+	RowsSpec = graph.RowsSpec
+	// RangeKind names the dimension a chunk range tiles (rows, elems,
+	// tables).
+	RangeKind = core.RangeKind
 
 	// GEMVSpec describes a GEMV + AllReduce workload (named fields
 	// replacing the old positional constructor arguments).
@@ -151,8 +166,23 @@ const (
 	// Auto applies the cost-model select pass before running: each
 	// fusible pair executes in whichever form the analytic device/link
 	// cost model predicts fastest — fused, pipelined at a per-pair
-	// saturation-clamped chunk depth, or eager — mixed within one graph.
+	// saturation-clamped chunk depth, eager, or a cross-pair wavefront
+	// chain — mixed within one graph.
 	Auto = graph.Auto
+	// Wavefront applies the cross-pair partition pass before running:
+	// chunk ranges become first-class across layer boundaries, so a
+	// deep stack whose joins provably align (e.g. the token-banded MoE
+	// stack) executes as a wavefront — layer l+1's chunk c waits only
+	// for layer l's chunk c — instead of draining the pipeline at every
+	// layer boundary.
+	Wavefront = graph.Wavefront
+)
+
+// Chunk-range kinds (see RowsSpec.Kind).
+const (
+	RangeRows   = core.RangeRows
+	RangeElems  = core.RangeElems
+	RangeTables = core.RangeTables
 )
 
 // DefaultChunks is the pipeline depth Pipelined mode uses when the
@@ -183,13 +213,24 @@ func Partition(g *Graph, chunks int) (*Graph, *PartitionReport) {
 	return graph.Partition(g, chunks)
 }
 
+// PartitionWavefront runs the chunking pass with cross-pair rewiring:
+// rowwise-declared nodes chunk alongside the pairs, and every layer-
+// boundary join whose chunk ranges provably align becomes chunk-
+// granular — the graph executes as a wavefront instead of draining at
+// each boundary. Bit-exact with eager.
+func PartitionWavefront(g *Graph, chunks int) (*Graph, *PartitionReport) {
+	return graph.PartitionWavefront(g, chunks)
+}
+
 // Select runs the cost-model-driven rewrite behind Auto mode: each
-// fusible compute→collective pair is priced in its three execution
-// forms (eager, fused, pipelined at candidate chunk depths up to the
-// pair's WG-slot saturation point) with the analytic device/link cost
-// model, and rewritten to the predicted-fastest form. The report lists
-// every decision with the predicted costs. Mixed-mode execution is
-// bit-exact with eager.
+// fusible compute→collective pair is priced in its execution forms
+// (eager, fused, pipelined at candidate chunk depths up to the pair's
+// WG-slot saturation point) with the analytic device/link cost model,
+// and rewritten to the predicted-fastest form; alignable segment chains
+// are additionally priced as cross-pair wavefronts with the wavefront
+// pipeline recurrence and rewritten whole when the model predicts a
+// win. The report lists every decision with the predicted costs. Mixed-
+// mode execution is bit-exact with eager.
 func Select(g *Graph) (*Graph, *SelectReport) {
 	return graph.Select(g)
 }
@@ -421,6 +462,7 @@ var experimentTable = []experiment{
 	{id: "fig16", aliases: []string{"hybrid"}, run: experiments.Fig16},
 	{id: "pipeline", run: experiments.Pipeline},
 	{id: "auto", run: experiments.Auto},
+	{id: "wavefront", run: experiments.Wavefront},
 	{id: "ablation:zerocopy", run: experiments.AblationZeroCopy},
 	{id: "ablation:slicesize", run: experiments.AblationSliceSize},
 	{id: "ablation:occupancy", run: experiments.AblationOccupancyPenalty},

@@ -205,6 +205,97 @@ func TestStackViaFacade(t *testing.T) {
 	}
 }
 
+// TestWavefrontBitExactMatrix is the wavefront correctness matrix: the
+// Wavefront execution mode (cross-layer chunk-granular dependencies)
+// must be bit-exact with eager on the paper's scale-up (1x8), scale-out
+// (8x1), and hybrid (2x4) shapes for all three multi-layer stack types
+// — decoder (which provably cannot wavefront and falls back to per-pair
+// pipelining), multi-group DLRM, and the token-banded MoE stack (which
+// wavefronts across every layer boundary).
+func TestWavefrontBitExactMatrix(t *testing.T) {
+	shapes := []struct {
+		name        string
+		nodes, gpus int
+	}{
+		{"scale-up-1x8", 1, 8},
+		{"scale-out-8x1", 8, 1},
+		{"hybrid-2x4", 2, 4},
+	}
+	for _, sh := range shapes {
+		sh := sh
+		t.Run(sh.name, func(t *testing.T) {
+			sys, err := NewCluster(sh.nodes, sh.gpus, Options{Functional: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			type stack struct {
+				name string
+				step func(p *Proc, mode ExecMode)
+				outs func() [][]float32
+			}
+			dec, err := sys.NewTransformerDecoder(DecoderConfig{Layers: 2, Hidden: 64, FFN: 128, TileM: 8, Seed: 3}, DefaultOperatorConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			dec.Executor().Chunks = 2
+			dcfg := DLRMConfig()
+			dcfg.TablesPerGPU, dcfg.TableRows, dcfg.EmbeddingDim = 2, 128, 16
+			dcfg.GlobalBatch, dcfg.AvgPooling, dcfg.SliceRows = 64, 4, 8
+			dcfg.Groups, dcfg.Seed = 2, 7
+			dl, err := sys.NewDLRM(dcfg, DefaultOperatorConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			dl.Executor().Chunks = 2
+			mcfg := MoEConfig()
+			mcfg.TokensPerGPU, mcfg.ModelDim, mcfg.FFNDim = 16, 24, 32
+			mcfg.TileM, mcfg.TileN, mcfg.Seed = 4, 8, 5
+			mo, err := sys.NewMoEStack(mcfg, 2, DefaultOperatorConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			mo.Executor().Chunks = 2
+			stacks := []stack{
+				{"decoder", func(p *Proc, m ExecMode) { dec.Step(p, m) }, func() (o [][]float32) {
+					for _, b := range dec.Blocks {
+						o = append(o, append([]float32(nil), b.Out.On(0).Data()...))
+					}
+					return
+				}},
+				{"dlrm", func(p *Proc, m ExecMode) { dl.Step(p, m) }, func() (o [][]float32) {
+					for _, op := range dl.Ops {
+						o = append(o, append([]float32(nil), op.Out.On(0).Data()...))
+					}
+					return
+				}},
+				{"moe", func(p *Proc, m ExecMode) { mo.Step(p, m) }, func() (o [][]float32) {
+					for _, l := range mo.Layers {
+						o = append(o, append([]float32(nil), l.Op.Recv.On(0).Data()...))
+					}
+					return
+				}},
+			}
+			for _, st := range stacks {
+				st := st
+				var want, got [][]float32
+				sys.Run(func(p *Proc) {
+					st.step(p, Eager)
+					want = st.outs()
+					st.step(p, Wavefront)
+					got = st.outs()
+				})
+				for l := range want {
+					for i := range want[l] {
+						if got[l][i] != want[l][i] {
+							t.Fatalf("%s layer %d elem %d: wavefront %g != eager %g", st.name, l, i, got[l][i], want[l][i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestSpecValidation verifies invalid specs surface as errors.
 func TestSpecValidation(t *testing.T) {
 	sys, err := NewScaleUp(2, Options{})
@@ -234,8 +325,8 @@ func TestExperimentRegistryAliases(t *testing.T) {
 	for _, id := range Experiments() {
 		found := false
 		for _, want := range []string{"table1", "table2", "fig8", "fig9", "fig10", "fig11", "fig12",
-			"fig13", "fig14", "fig15", "fig16", "pipeline", "auto", "ablation:zerocopy", "ablation:slicesize",
-			"ablation:occupancy", "ablation:kernelsplit"} {
+			"fig13", "fig14", "fig15", "fig16", "pipeline", "auto", "wavefront", "ablation:zerocopy",
+			"ablation:slicesize", "ablation:occupancy", "ablation:kernelsplit"} {
 			if id == want {
 				found = true
 			}
@@ -244,7 +335,7 @@ func TestExperimentRegistryAliases(t *testing.T) {
 			t.Errorf("unexpected experiment id %q", id)
 		}
 	}
-	if len(Experiments()) != 17 {
-		t.Errorf("experiment catalogue has %d entries, want 17", len(Experiments()))
+	if len(Experiments()) != 18 {
+		t.Errorf("experiment catalogue has %d entries, want 18", len(Experiments()))
 	}
 }

@@ -30,7 +30,7 @@ func TestMultiGroupBitExactAcrossModes(t *testing.T) {
 			want = append(want, append([]float32(nil), op.Out.On(0).Data()...))
 		}
 		m.Executor().Chunks = 2
-		for _, mode := range []graph.Mode{graph.Compiled, graph.Pipelined} {
+		for _, mode := range []graph.Mode{graph.Compiled, graph.Pipelined, graph.Wavefront, graph.Auto} {
 			m.Step(p, mode)
 			for grp, op := range m.Ops {
 				got := op.Out.On(0).Data()

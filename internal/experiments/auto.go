@@ -1,7 +1,8 @@
 // The auto experiment validates the Auto execution mode's cost-model
 // decisions against the pipeline sweep's empirical ground truth: for
 // every {stack, shape, layers} configuration it measures all static
-// modes (eager, fused, pipelined at each sweep chunk count), runs Auto,
+// modes (eager, fused, pipelined and wavefront at each sweep chunk
+// count), runs Auto,
 // and reports the chosen per-pair schedules, the regret against the
 // best static mode, and the overall mispredict rate — the acceptance
 // metric of the quasi-static scheduler.
@@ -53,6 +54,9 @@ func Auto(opt Options) *Result {
 				}
 				for _, k := range chunkss {
 					statics = append(statics, staticRun{fmt.Sprintf("pipelined@%d", k), run(graph.Pipelined, k).dur})
+				}
+				for _, k := range chunkss {
+					statics = append(statics, staticRun{fmt.Sprintf("wavefront@%d", k), run(graph.Wavefront, k).dur})
 				}
 				best, bestName := bestStatic(statics)
 				auto := run(graph.Auto, chunkss[0])

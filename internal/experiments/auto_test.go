@@ -49,7 +49,7 @@ func TestAutoMatchesBestOnHeadlineConfigs(t *testing.T) {
 				return r
 			}
 			best := run(graph.Eager, 2).dur
-			for _, s := range []stackRun{run(graph.Pipelined, 2), run(graph.Compiled, 2)} {
+			for _, s := range []stackRun{run(graph.Pipelined, 2), run(graph.Compiled, 2), run(graph.Wavefront, 2)} {
 				if s.dur < best {
 					best = s.dur
 				}

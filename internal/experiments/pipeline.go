@@ -80,11 +80,16 @@ type stackRun struct {
 	dur        sim.Duration
 	comp, comm float64 // mean stream occupancy
 	overlap    float64 // overlap efficiency
+	// joins counts the layer-boundary join edges a wavefront partition
+	// rewired to chunk granularity (zero otherwise).
+	joins int
 	// decisions compacts the Auto run's per-pair choices; predicted is
-	// the summed predicted cost of the chosen forms (empty/zero unless
-	// the run was Auto).
+	// the summed predicted cost of the chosen forms; wfChains counts
+	// the select pass's wavefront chains (empty/zero unless the run was
+	// Auto).
 	decisions string
 	predicted sim.Duration
+	wfChains  int
 }
 
 // staticRun labels one measured static-mode makespan for the
@@ -155,9 +160,13 @@ func runStack(sc stackCase, nodes, gpus, layers, chunks int, mode graph.Mode) (s
 	pl.E.Run()
 	out := stackRun{dur: rep.Duration(), overlap: rep.OverlapEfficiency()}
 	out.comp, out.comm = rep.StreamOccupancy()
+	if rep.Partition != nil {
+		out.joins = len(rep.Partition.Joins)
+	}
 	if rep.Select != nil {
 		out.decisions = summarizeDecisions(rep.Select)
 		out.predicted = rep.Select.PredictedTotal()
+		out.wfChains = len(rep.Select.Wavefronts)
 	}
 	return out, nil
 }
@@ -197,6 +206,12 @@ func PipelinePoint(nodes, gpus, layers, chunks int, mode graph.Mode, opt Options
 			sel = pipelined
 		case graph.Compiled:
 			sel = fused
+		case graph.Wavefront:
+			wf, err := runStack(sc, nodes, gpus, layers, chunks, graph.Wavefront)
+			if err != nil {
+				return nil, err
+			}
+			sel = wf
 		case graph.Auto:
 			auto, err := runStack(sc, nodes, gpus, layers, chunks, graph.Auto)
 			if err != nil {
@@ -215,7 +230,8 @@ func PipelinePoint(nodes, gpus, layers, chunks int, mode graph.Mode, opt Options
 			pipelined.dur, 100*(1-float64(pipelined.dur)/float64(eager.dur)),
 			fused.dur, 100*(1-float64(fused.dur)/float64(eager.dur)),
 			100*pipelined.comp, 100*pipelined.comm, 100*pipelined.overlap))
-		if mode == graph.Auto {
+		switch mode {
+		case graph.Auto:
 			best, bestName := bestStatic([]staticRun{
 				{"eager", eager.dur}, {"pipelined", pipelined.dur}, {"fused", fused.dur},
 			})
@@ -223,6 +239,11 @@ func PipelinePoint(nodes, gpus, layers, chunks int, mode graph.Mode, opt Options
 				"%s %s auto: %v (predicted pair cost %v), decisions: %s; best static %s %v, regret %+.1f%%",
 				sc.name, label, sel.dur, sel.predicted, sel.decisions,
 				bestName, best, 100*(float64(sel.dur)/float64(best)-1)))
+		case graph.Wavefront:
+			res.Notes = append(res.Notes, fmt.Sprintf(
+				"%s %s wavefront: %v vs pipelined %v (%+.1f%%), %d join(s) rewired, overlap eff %.0f%%",
+				sc.name, label, sel.dur, pipelined.dur,
+				100*(float64(sel.dur)/float64(pipelined.dur)-1), sel.joins, 100*sel.overlap))
 		}
 	}
 	return res, nil

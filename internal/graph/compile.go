@@ -71,9 +71,16 @@ type CompileReport struct {
 	Rewrites []Rewrite
 	// Unfused counts collective nodes left on the eager path.
 	Unfused int
+	// Lowered marks a deterministic no-op: the input graph already
+	// contained chunk sub-nodes from a lowering pass, so it was returned
+	// unchanged (fusing half of a chunked schedule would corrupt it).
+	Lowered bool
 }
 
 func (r *CompileReport) String() string {
+	if r.Lowered {
+		return "compile: input graph already lowered (chunk nodes present); no-op\n"
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "compile: %d fusion(s), %d collective(s) left eager\n", len(r.Rewrites), r.Unfused)
 	for _, rw := range r.Rewrites {
@@ -101,6 +108,10 @@ func (r *CompileReport) String() string {
 // intermediate another node reads).
 func Compile(g *Graph, opt CompileOptions) (*Graph, *CompileReport) {
 	rep := &CompileReport{}
+	if lowered(g) {
+		rep.Lowered = true
+		return g, rep
+	}
 	em := newEmitter(g)
 
 	// match maps a fusable collective node to its producing compute

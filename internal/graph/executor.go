@@ -26,10 +26,17 @@ const (
 	Pipelined
 	// Auto runs the graph through the select pass first: each fusible
 	// pair executes in whichever form the analytic cost model predicts
-	// fastest — fused, pipelined at a per-pair chunk depth, or eager —
-	// mixed freely within one graph (quasi-static scheduling in the
-	// CoCoNet/GC3 tradition).
+	// fastest — fused, pipelined at a per-pair chunk depth, eager, or a
+	// cross-pair wavefront — mixed freely within one graph (quasi-static
+	// scheduling in the CoCoNet/GC3 tradition).
 	Auto
+	// Wavefront runs the graph through the cross-pair partition pass
+	// first: pairs, rowwise per-rank nodes, and row-structured exchanges
+	// all chunk at depth K, and provably aligned layer-boundary joins
+	// become chunk-granular — a deep stack executes as a wavefront
+	// (layer l+1's chunk c waits only for layer l's chunk c) instead of
+	// draining the pipeline at every layer boundary.
+	Wavefront
 )
 
 func (m Mode) String() string {
@@ -40,6 +47,8 @@ func (m Mode) String() string {
 		return "pipelined"
 	case Auto:
 		return "auto"
+	case Wavefront:
+		return "wavefront"
 	}
 	return "eager"
 }
@@ -234,6 +243,7 @@ type Executor struct {
 	// invalidates them.
 	compiled    map[*Graph]compiledEntry
 	partitioned map[*Graph]partitionedEntry
+	wavefronted map[*Graph]partitionedEntry
 	selected    map[*Graph]selectedEntry
 }
 
@@ -295,6 +305,22 @@ func (x *Executor) partition(g *Graph) (*Graph, *PartitionReport) {
 	return pg, prep
 }
 
+// wavefront returns the cached wavefront-partitioned form of g,
+// partitioning on first use (or after g was mutated, or after Chunks
+// changed).
+func (x *Executor) wavefront(g *Graph) (*Graph, *PartitionReport) {
+	k := x.chunks()
+	if ent, ok := x.wavefronted[g]; ok && ent.gen == g.gen && ent.chunks == k {
+		return ent.g, ent.rep
+	}
+	pg, prep := PartitionWavefront(g, k)
+	if x.wavefronted == nil {
+		x.wavefronted = map[*Graph]partitionedEntry{}
+	}
+	x.wavefronted[g] = partitionedEntry{g: pg, rep: prep, gen: g.gen, chunks: k}
+	return pg, prep
+}
+
 // sel returns the cached cost-model-selected form of g, running the
 // select pass on first use (or after g was mutated).
 func (x *Executor) sel(g *Graph) (*Graph, *SelectReport) {
@@ -327,9 +353,10 @@ type streamSnapshot struct {
 
 // Execute runs g in the given mode on the coordinating process and
 // blocks until every node has finished. In Compiled mode the graph is
-// first rewritten by Compile, in Pipelined mode by Partition, in Auto
-// mode by the cost-model Select pass (all cached across calls); the
-// input graph is never modified. An empty graph is a valid no-op.
+// first rewritten by Compile, in Pipelined mode by Partition, in
+// Wavefront mode by PartitionWavefront, in Auto mode by the cost-model
+// Select pass (all cached across calls); the input graph is never
+// modified. An empty graph is a valid no-op.
 func (x *Executor) Execute(p *sim.Proc, g *Graph, mode Mode) *Report {
 	rg := g
 	rep := &Report{Mode: mode}
@@ -338,12 +365,14 @@ func (x *Executor) Execute(p *sim.Proc, g *Graph, mode Mode) *Report {
 		rg, rep.Compile = x.compile(g)
 	case Pipelined:
 		rg, rep.Partition = x.partition(g)
+	case Wavefront:
+		rg, rep.Partition = x.wavefront(g)
 	case Auto:
 		rg, rep.Select = x.sel(g)
 	}
 	// Auto graphs may mix chunk chains with fused and eager nodes; they
 	// need the two-queue device model just like Pipelined ones.
-	streamAware := x.Streams || mode == Pipelined || mode == Auto
+	streamAware := x.Streams || mode == Pipelined || mode == Wavefront || mode == Auto
 
 	pl := g.world.Platform()
 	e := pl.E

@@ -320,6 +320,42 @@ func (g *Graph) PerRank(name string, fn func(p *sim.Proc, rank, pe int), deps ..
 	return Value{producer: n}
 }
 
+// RowsSpec describes a rowwise per-rank compute node: work that
+// decomposes over Units contiguous rows of a declared dimension, with
+// row r of the output depending only on row r of the node's inputs
+// (fractionally, when the producer's row count differs — e.g. TopK
+// token fan-out). Declaring a node rowwise is the builder's contract
+// that lets the wavefront partition split it into chunk sub-nodes and
+// flow chunk-granular dependencies through it across layer boundaries;
+// nodes without a provable rowwise structure must use PerRank instead.
+type RowsSpec struct {
+	// Kind names the dimension (RangeRows for token/batch rows).
+	Kind core.RangeKind
+	// Units is the row count of the dimension on this node.
+	Units int
+	// Run executes rows [lo,hi) on one rank. The full node runs
+	// Run(0, Units); chunk sub-nodes run disjoint covering ranges, so
+	// the body must perform exactly the rows asked for (functionally
+	// and in simulated cost) for chunked execution to stay bit-exact.
+	Run func(p *sim.Proc, rank, pe, lo, hi int)
+	// Estimate predicts the duration of Run over rows [lo,hi) for the
+	// analytic cost model (launch overheads included). Optional: when
+	// nil, the select pass cannot price wavefront schedules through
+	// this node and will leave its chain un-wavefronted.
+	Estimate func(lo, hi int) sim.Duration
+}
+
+// PerRankRows adds a rowwise per-rank compute node (see RowsSpec). An
+// invalid spec (no rows, nil body) is a programming error and panics
+// like other builder misuse.
+func (g *Graph) PerRankRows(name string, spec RowsSpec, deps ...Value) Value {
+	if spec.Units <= 0 || spec.Run == nil {
+		panic(fmt.Sprintf("graph: PerRankRows %q needs Units > 0 and a Run body", name))
+	}
+	n := g.add(name, &rowsOp{g: g, spec: spec}, deps...)
+	return Value{producer: n}
+}
+
 // ---- collective node builders ----
 
 // AllReduce adds the collective node completing a GEMV pair: eagerly it
@@ -382,5 +418,21 @@ func (g *Graph) AllReduceSymmAlgo(name string, data *shmem.Symm, off, elems int,
 // graph's configured collective algorithm. Never fused.
 func (g *Graph) AllToAllSymm(name string, send, recv *shmem.Symm, cnt int, deps ...Value) Value {
 	n := g.add(name, &symmCollectiveOp{g: g, name: "all_to_all", data: send, recv: recv, elems: cnt, algo: g.cfg.Collective}, deps...)
+	return Value{producer: n, payload: recv}
+}
+
+// AllToAllSymmRows adds a generic library All-to-All whose per-rank-
+// pair block is declared row-structured: rows rows of elemsPerRow
+// float32 each (rows*elemsPerRow per rank pair, like AllToAllSymm with
+// cnt = rows*elemsPerRow). The declaration is the builder's contract
+// that row band [lo,hi) of every block is independent of the other
+// bands, so a wavefront partition may split the exchange into
+// sub-block chunk chains (collectives.AllToAllSub) and flow
+// chunk-granular dependencies through it. Never fused.
+func (g *Graph) AllToAllSymmRows(name string, send, recv *shmem.Symm, rows, elemsPerRow int, deps ...Value) Value {
+	if rows <= 0 || elemsPerRow <= 0 {
+		panic(fmt.Sprintf("graph: AllToAllSymmRows %q needs rows > 0 and elemsPerRow > 0", name))
+	}
+	n := g.add(name, &symmA2ARowsOp{g: g, send: send, recv: recv, rows: rows, epr: elemsPerRow, algo: g.cfg.Collective}, deps...)
 	return Value{producer: n, payload: recv}
 }

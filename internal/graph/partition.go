@@ -15,6 +15,16 @@ import (
 // overlaps chunk k+1's compute: the classic way to hide communication
 // without fusing, and the third execution mode (Pipelined) of the
 // executor.
+//
+// PartitionWavefront additionally makes chunk ranges first-class
+// ACROSS pair boundaries: when the graph proves (via the operators'
+// chunk-range metadata and the builders' rowwise declarations) that
+// chunk c of a consumer reads only an upstream prefix of chunks, the
+// full-tensor join edge between adjacent chunk chains is replaced by
+// chunk-granular edges — layer l+1's chunk c waits for layer l's chunk
+// c, not for the whole layer-l output. A deep stack then executes as a
+// wavefront instead of paying a full pipeline drain at every layer
+// boundary (the Wavefront execution mode).
 
 // Split records one partitioned pair.
 type Split struct {
@@ -26,21 +36,57 @@ type Split struct {
 	Chunks int
 }
 
+// Join records one full-tensor join edge a wavefront pass replaced by
+// chunk-granular edges.
+type Join struct {
+	// Producer and Consumer name the original nodes at the join: the
+	// upstream chunked segment's tail and the downstream segment's head.
+	Producer, Consumer string
+	// Chunks is the consumer segment's chunk count.
+	Chunks int
+}
+
 // PartitionReport summarizes a partition pass.
 type PartitionReport struct {
 	// Chunks is the requested chunk count.
 	Chunks int
 	Splits []Split
+	// RowSplits counts rowwise per-rank nodes and row-structured
+	// exchanges split into chunk chains (wavefront passes only).
+	RowSplits int
 	// Unsplit counts collective nodes left whole (generic collectives,
 	// gradient exchanges, pairs too small to chunk).
 	Unsplit int
+	// Wavefront marks a cross-pair (wavefront) partition pass.
+	Wavefront bool
+	// Joins lists the layer-boundary join edges rewired to chunk
+	// granularity.
+	Joins []Join
+	// Lowered marks a deterministic no-op: the input graph already
+	// contained chunk sub-nodes from a previous lowering pass, so it was
+	// returned unchanged instead of re-chunking chunk nodes.
+	Lowered bool
 }
 
 func (r *PartitionReport) String() string {
+	if r.Lowered {
+		return "partition: input graph already lowered (chunk nodes present); no-op\n"
+	}
+	kind := "partition"
+	if r.Wavefront {
+		kind = "wavefront partition"
+	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "partition (K=%d): %d pair(s) chunked, %d collective(s) left whole\n", r.Chunks, len(r.Splits), r.Unsplit)
+	fmt.Fprintf(&b, "%s (K=%d): %d pair(s) chunked, %d collective(s) left whole", kind, r.Chunks, len(r.Splits), r.Unsplit)
+	if r.Wavefront {
+		fmt.Fprintf(&b, ", %d rowwise node(s) chunked, %d join(s) rewired", r.RowSplits, len(r.Joins))
+	}
+	b.WriteString("\n")
 	for _, sp := range r.Splits {
 		fmt.Fprintf(&b, "  %s: (%s, %s) -> %d chunk chains\n", sp.Pattern, sp.Compute, sp.Collective, sp.Chunks)
+	}
+	for _, j := range r.Joins {
+		fmt.Fprintf(&b, "  join %s -> %s: chunk-granular at K=%d\n", j.Producer, j.Consumer, j.Chunks)
 	}
 	return b.String()
 }
@@ -72,12 +118,61 @@ func maxChunksOf(pair any) int {
 	return 1
 }
 
+// lowered reports whether g already contains chunk sub-nodes from a
+// lowering pass. Running a lowering pass over such a graph would
+// re-chunk chunk nodes (or chunk half of a mixed-mode graph against
+// the cost model's decisions), so the passes refuse it as a
+// deterministic no-op instead.
+func lowered(g *Graph) bool {
+	for _, n := range g.nodes {
+		if _, ok := n.op.(loweredOp); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// segChain records one emitted chunk chain during a wavefront pass: the
+// per-chunk "ready" nodes downstream chunk edges may attach to, and the
+// output range each chunk finalizes.
+type segChain struct {
+	k int
+	// tails[c] is chunk c's final node (the collective chunk for pairs,
+	// the chunk node itself for rowwise segments).
+	tails []*Node
+	// out returns the output range chunk c finalizes; nil when the
+	// segment has no range metadata (downstream edges stay full-tensor).
+	out func(c int) core.ChunkRange
+}
+
+// chunkFor returns the tail of the minimal chunk whose output prefix
+// covers the consumer range in (chunks are contiguous ascending, so the
+// prefix through chunk c ends at out(c).Hi), or nil when the kinds do
+// not match or no chunk covers it.
+func (s *segChain) chunkFor(in core.ChunkRange) *Node {
+	if s.out == nil || in.Empty() {
+		return nil
+	}
+	for c := 0; c < s.k; c++ {
+		if s.out(c).CoversPrefix(in) {
+			return s.tails[c]
+		}
+	}
+	return nil
+}
+
 // emitter builds a rewrite pass's output graph, tracking the mapping
 // from source nodes to their substitutes so later nodes' dependencies
 // resolve. Shared by the partition and select passes.
 type emitter struct {
 	out      *Graph
 	replaced map[*Node]*Node
+	// segs maps an original segment tail node (a pair's collective, a
+	// rowwise node, a row-structured exchange) to its emitted chunk
+	// chain — the wavefront rewiring state. Nil outside wavefront
+	// passes; a pass registers exactly the segments it priced.
+	segs  map[*Node]*segChain
+	joins []Join
 }
 
 func newEmitter(g *Graph) *emitter {
@@ -113,6 +208,43 @@ func (em *emitter) fusePair(producer, coll *Node) (*Node, Pattern) {
 	return fn, pt
 }
 
+// headDeps resolves the dependency set of one chunk of a segment head:
+// a dependency on a registered upstream chunk chain becomes
+// chunk-granular when this chunk's input range (in, inOK) is provably
+// covered by an upstream chunk prefix; everything else resolves to the
+// producer's full substitute. joined de-duplicates the join records per
+// (upstream, segment) pair.
+func (em *emitter) headDeps(origs []*Node, in core.ChunkRange, inOK bool, joined map[*Node]bool, consumer string, k int) []*Node {
+	var out []*Node
+	seen := map[*Node]bool{}
+	for _, o := range origs {
+		var dep *Node
+		if inOK && em.segs != nil {
+			if seg := em.segs[o]; seg != nil {
+				if t := seg.chunkFor(in); t != nil {
+					dep = t
+					if !joined[o] {
+						joined[o] = true
+						em.joins = append(em.joins, Join{Producer: o.name, Consumer: consumer, Chunks: k})
+					}
+				}
+			}
+		}
+		if dep == nil {
+			m, ok := em.replaced[o]
+			if !ok {
+				panic(fmt.Sprintf("graph: input %q not part of the compiled graph", o.name))
+			}
+			dep = m
+		}
+		if !seen[dep] {
+			seen[dep] = true
+			out = append(out, dep)
+		}
+	}
+	return out
+}
+
 // chunkChain replaces the (producer, collective) pair with k
 // interleaved chunk chains
 //
@@ -121,18 +253,30 @@ func (em *emitter) fusePair(producer, coll *Node) (*Node, Pattern) {
 // with dependency edges compute#c → compute#c+1 and collective#c →
 // collective#c+1 modeling the per-stream program order, so chunk c's
 // collective overlaps chunk c+1's compute. The compute chain inherits
-// the compute node's dependencies; the collective chain inherits the
-// collective's remaining dependencies plus its own chunk's compute
-// node. Downstream consumers of the pair depend on the final chunks.
-func (em *emitter) chunkChain(producer, coll *Node, k int) {
+// the compute node's dependencies — chunk-granularly where a wavefront
+// pass proves alignment with a registered upstream chain, full-tensor
+// otherwise; the collective chain inherits the collective's remaining
+// dependencies plus its own chunk's compute node. Downstream consumers
+// of the pair depend on the final chunks (unless themselves rewired).
+func (em *emitter) chunkChain(producer, coll *Node, k int) *segChain {
 	pair := pairOf(coll.op)
-	compDeps := mapInputs(producer.in, em.replaced)
+	ranger, ranged := pair.(core.ChunkRanger)
 	collDeps := mapInputs(exclude(coll.in, producer), em.replaced)
+	seg := &segChain{k: k, tails: make([]*Node, k)}
+	if ranged {
+		seg.out = func(c int) core.ChunkRange { return ranger.ChunkOut(c, k) }
+	}
+	joined := map[*Node]bool{}
 	var prevComp, prevColl *Node
 	for c := 0; c < k; c++ {
 		compOp, collOp := chunkOps(pair, c, k)
+		var in core.ChunkRange
+		inOK := false
+		if ranged {
+			in, inOK = ranger.ChunkIn(c, k)
+		}
 		comp := &Node{name: fmt.Sprintf("%s#%d", producer.name, c), op: compOp}
-		comp.in = append(comp.in, compDeps...)
+		comp.in = em.headDeps(producer.in, in, inOK, joined, producer.name, k)
 		if prevComp != nil {
 			comp.in = append(comp.in, prevComp)
 		}
@@ -144,10 +288,63 @@ func (em *emitter) chunkChain(producer, coll *Node, k int) {
 			cl.in = append(cl.in, prevColl)
 		}
 		em.emit(cl)
+		seg.tails[c] = cl
 		prevComp, prevColl = comp, cl
 	}
 	em.replaced[producer] = prevComp
 	em.replaced[coll] = prevColl
+	return seg
+}
+
+// rowChain replaces a single rowwise node (per-rank rows, row-
+// structured exchange) with k chunk sub-nodes chained in program order,
+// each reading — and finalizing — its own row band, with head
+// dependencies resolved chunk-granularly like chunkChain.
+func (em *emitter) rowChain(n *Node, k int, kind core.RangeKind, units int, mk func(c int) Op) *segChain {
+	seg := &segChain{k: k, tails: make([]*Node, k)}
+	seg.out = func(c int) core.ChunkRange {
+		lo, hi := core.ChunkSpan(c, k, units)
+		return core.ChunkRange{Kind: kind, Lo: lo, Hi: hi, Units: units}
+	}
+	joined := map[*Node]bool{}
+	var prev *Node
+	for c := 0; c < k; c++ {
+		lo, hi := core.ChunkSpan(c, k, units)
+		in := core.ChunkRange{Kind: kind, Lo: lo, Hi: hi, Units: units}
+		node := &Node{name: fmt.Sprintf("%s#%d", n.name, c), op: mk(c)}
+		node.in = em.headDeps(n.in, in, true, joined, n.name, k)
+		if prev != nil {
+			node.in = append(node.in, prev)
+		}
+		em.emit(node)
+		seg.tails[c] = node
+		prev = node
+	}
+	em.replaced[n] = prev
+	return seg
+}
+
+// rowSegment chunks a rowwise node (per-rank rows, row-structured
+// exchange) at the requested depth, clamped to its granularity;
+// ok == false when the node is not rowwise or cannot split at least
+// twice. Shared by the wavefront partition and the select pass's
+// wavefront emission, so the two lowerings cannot drift apart.
+func (em *emitter) rowSegment(n *Node, chunks int) (seg *segChain, ok bool) {
+	switch op := n.op.(type) {
+	case *rowsOp:
+		if k := clampChunks(chunks, op.spec.Units); k >= 2 {
+			return em.rowChain(n, k, op.spec.Kind, op.spec.Units, func(c int) Op {
+				return &rowsChunkOp{op: op, c: c, n: k}
+			}), true
+		}
+	case *symmA2ARowsOp:
+		if k := clampChunks(chunks, op.rows); k >= 2 {
+			return em.rowChain(n, k, core.RangeRows, op.rows, func(c int) Op {
+				return &symmA2ARowsChunkOp{op: op, c: c, n: k}
+			}), true
+		}
+	}
+	return nil, false
 }
 
 // Partition runs the chunking pass: every fusible compute→collective
@@ -161,13 +358,43 @@ func (em *emitter) chunkChain(producer, coll *Node, k int) {
 // ranges, so a partitioned run is bit-exact with eager. Unmatched nodes
 // are copied unchanged; downstream consumers of a pair's value depend
 // on the final collective chunk. The input graph is not modified; both
-// graphs share the same backing operators and buffers.
+// graphs share the same backing operators and buffers. An already-
+// lowered input (chunk nodes present) is returned unchanged with
+// Lowered set — the pass never re-chunks chunk nodes.
 func Partition(g *Graph, chunks int) (*Graph, *PartitionReport) {
+	return partition(g, chunks, false)
+}
+
+// PartitionWavefront runs the chunking pass with cross-pair rewiring:
+// in addition to splitting pairs, it splits rowwise-declared per-rank
+// nodes and row-structured exchanges into chunk chains, and replaces
+// every full-tensor join edge between adjacent chunked chains whose
+// ranges provably align (same range kind, consumer chunk reading only
+// an upstream fraction prefix) with chunk-granular edges. A multi-layer
+// stack whose layer boundaries align then executes as a wavefront —
+// layer l+1's chunk c starts after layer l's chunk c — removing the
+// L−1 pipeline drains per-pair pipelining pays; where no alignment is
+// provable (e.g. a GEMV consumer, which reads its whole input) the pass
+// degenerates to Partition's per-pair schedule. Bit-exact with eager by
+// the same disjoint-range argument, plus the builders' rowwise
+// contracts.
+func PartitionWavefront(g *Graph, chunks int) (*Graph, *PartitionReport) {
+	return partition(g, chunks, true)
+}
+
+func partition(g *Graph, chunks int, wavefront bool) (*Graph, *PartitionReport) {
 	if chunks < 1 {
 		chunks = 1
 	}
-	rep := &PartitionReport{Chunks: chunks}
+	rep := &PartitionReport{Chunks: chunks, Wavefront: wavefront}
+	if lowered(g) {
+		rep.Lowered = true
+		return g, rep
+	}
 	em := newEmitter(g)
+	if wavefront {
+		em.segs = map[*Node]*segChain{}
+	}
 
 	match := pairMatches(g, func(Pattern) bool { return true })
 	computeMatched := map[*Node]bool{}
@@ -186,15 +413,26 @@ func Partition(g *Graph, chunks int) (*Graph, *PartitionReport) {
 		if producer, matched := match[n]; matched {
 			k := effectiveChunks(n, chunks)
 			pt, _ := patternFor(n.op)
-			em.chunkChain(producer, n, k)
+			seg := em.chunkChain(producer, n, k)
+			if wavefront {
+				em.segs[n] = seg
+			}
 			rep.Splits = append(rep.Splits, Split{Pattern: pt, Compute: producer.name, Collective: n.name, Chunks: k})
 			continue
+		}
+		if wavefront {
+			if seg, ok := em.rowSegment(n, chunks); ok {
+				em.segs[n] = seg
+				rep.RowSplits++
+				continue
+			}
 		}
 		em.copyNode(n)
 		if n.op.Kind() == KindCollective {
 			rep.Unsplit++
 		}
 	}
+	rep.Joins = em.joins
 	return em.out, rep
 }
 
@@ -203,6 +441,17 @@ func Partition(g *Graph, chunks int) (*Graph, *PartitionReport) {
 func effectiveChunks(c *Node, chunks int) int {
 	if max := maxChunksOf(pairOf(c.op)); chunks > max {
 		return max
+	}
+	return chunks
+}
+
+// clampChunks bounds a requested chunk count to a granularity.
+func clampChunks(chunks, max int) int {
+	if chunks > max {
+		return max
+	}
+	if chunks < 1 {
+		return 1
 	}
 	return chunks
 }

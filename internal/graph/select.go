@@ -4,19 +4,30 @@ import (
 	"fmt"
 	"strings"
 
+	"fusedcc/internal/collectives"
+	"fusedcc/internal/core"
 	"fusedcc/internal/sim"
 )
 
 // The select pass is the quasi-static scheduler of the Auto execution
 // mode: where Compile fuses every matched pair and Partition chunks
 // every matched pair at one global depth, Select prices each pair's
-// three execution forms with the analytic cost model (the operators'
+// execution forms with the analytic cost model (the operators'
 // Estimate* methods over the device and link models) and rewrites each
 // pair to whichever form is predicted fastest — fused persistent
 // kernel, pipeline at a per-pair saturation-clamped chunk depth, or the
 // eager bulk-synchronous pair — all coexisting in one mixed-mode graph.
 // This is the CoCoNet/GC3-style automation step: the user stops picking
 // the mode and chunk count by hand.
+//
+// On top of the per-pair forms, Select discovers chains of adjacent
+// chunkable segments whose ranges align (pairs with chunk-range
+// metadata, rowwise per-rank nodes with cost estimates, row-structured
+// exchanges) and prices the cross-pair wavefront schedule@K against the
+// sum of the segments' standalone bests — the wavefront pipeline
+// recurrence. A chain the model predicts faster as a wavefront is
+// rewritten whole: chunk chains with chunk-granular join edges, exactly
+// what PartitionWavefront builds, at the model's chosen K.
 
 // pairEstimator is the per-operator cost surface Select consults. All
 // three core pair operators implement it.
@@ -33,63 +44,102 @@ type pairEstimator interface {
 type Decision struct {
 	Pattern             Pattern
 	Compute, Collective string
-	// Choice is the selected execution form (Eager, Pipelined, or
-	// Compiled); Chunks is the chosen pipeline depth (1 unless
-	// Pipelined).
+	// Choice is the selected execution form (Eager, Pipelined,
+	// Compiled, or Wavefront for pairs scheduled inside a wavefront
+	// chain); Chunks is the chosen pipeline depth (1 unless Pipelined
+	// or Wavefront).
 	Choice Mode
 	Chunks int
 	// EagerCost, FusedCost, and PipelineCost are the predicted
-	// durations of the three forms (PipelineCost at the best candidate
-	// K; zero when the pair cannot pipeline at all).
+	// durations of the three standalone forms (PipelineCost at the best
+	// candidate K; zero when the pair cannot pipeline at all).
 	EagerCost, FusedCost, PipelineCost sim.Duration
 }
 
 // ChoiceString renders the chosen form, with the chunk depth for
-// pipelined decisions ("pipelined@4").
+// pipelined and wavefront decisions ("pipelined@4", "wavefront@4").
 func (d Decision) ChoiceString() string {
-	if d.Choice == Pipelined {
+	switch d.Choice {
+	case Pipelined:
 		return fmt.Sprintf("pipelined@%d", d.Chunks)
+	case Wavefront:
+		return fmt.Sprintf("wavefront@%d", d.Chunks)
 	}
 	return d.Choice.String()
 }
 
-// Predicted returns the predicted duration of the chosen form.
+// Predicted returns the predicted duration of the chosen form. A
+// wavefront member reports zero here: its cost is carried by the
+// chain's WavefrontDecision, not divisible per pair.
 func (d Decision) Predicted() sim.Duration {
 	switch d.Choice {
 	case Compiled:
 		return d.FusedCost
 	case Pipelined:
 		return d.PipelineCost
+	case Wavefront:
+		return 0
 	}
 	return d.EagerCost
 }
 
+// WavefrontDecision records one chain the select pass scheduled as a
+// cross-pair wavefront.
+type WavefrontDecision struct {
+	// Segments names the chain's segment head nodes in dataflow order.
+	Segments []string
+	// Chunks is the chain's chosen depth K.
+	Chunks int
+	// Predicted is the wavefront recurrence's cost at Chunks;
+	// SplitPredicted is the sum of the segments' standalone bests the
+	// wavefront beat.
+	Predicted, SplitPredicted sim.Duration
+}
+
 // SelectReport summarizes a select pass: the per-pair decisions with
-// predicted costs, plus the collectives no decision applied to.
+// predicted costs, the wavefront chains, plus the collectives no
+// decision applied to.
 type SelectReport struct {
 	Decisions []Decision
+	// Wavefronts lists the chains scheduled as cross-pair wavefronts.
+	Wavefronts []WavefrontDecision
 	// Unmatched counts collective nodes with no selectable pair
 	// (generic collectives, gradient exchanges): they stay eager.
 	Unmatched int
+	// Lowered marks a deterministic no-op: the input graph already
+	// contained chunk sub-nodes from a previous lowering pass, so it
+	// was returned unchanged.
+	Lowered bool
 }
 
 func (r *SelectReport) String() string {
+	if r.Lowered {
+		return "select: input graph already lowered (chunk nodes present); no-op\n"
+	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "select: %d pair decision(s), %d collective(s) left eager\n", len(r.Decisions), r.Unmatched)
+	fmt.Fprintf(&b, "select: %d pair decision(s), %d wavefront chain(s), %d collective(s) left eager\n",
+		len(r.Decisions), len(r.Wavefronts), r.Unmatched)
 	for _, d := range r.Decisions {
 		fmt.Fprintf(&b, "  %s: (%s, %s) -> %s  [eager %v, fused %v, pipelined %v]\n",
 			d.Pattern, d.Compute, d.Collective, d.ChoiceString(), d.EagerCost, d.FusedCost, d.PipelineCost)
 	}
+	for _, w := range r.Wavefronts {
+		fmt.Fprintf(&b, "  wavefront@%d over [%s]: predicted %v vs split %v\n",
+			w.Chunks, strings.Join(w.Segments, " -> "), w.Predicted, w.SplitPredicted)
+	}
 	return b.String()
 }
 
-// PredictedTotal sums the predicted durations of the chosen forms — a
-// lower bound on the pairs' contribution to the makespan (pairs may
-// overlap each other).
+// PredictedTotal sums the predicted durations of the chosen forms —
+// standalone pairs plus wavefront chains — a lower bound on their
+// contribution to the makespan (forms may overlap each other).
 func (r *SelectReport) PredictedTotal() sim.Duration {
 	var t sim.Duration
 	for _, d := range r.Decisions {
 		t += d.Predicted()
+	}
+	for _, w := range r.Wavefronts {
+		t += w.Predicted
 	}
 	return t
 }
@@ -97,6 +147,13 @@ func (r *SelectReport) PredictedTotal() sim.Duration {
 // maxCandidateChunks bounds the per-pair K search; granularities beyond
 // this see vanishing returns while the pass cost grows linearly.
 const maxCandidateChunks = 32
+
+// wavefrontMargin is the predicted advantage a wavefront chain must
+// clear over the sum of its segments' standalone bests before the pass
+// schedules it — the guard band for the residual bias between the
+// chunked estimators pricing the wavefront side and the fused drain
+// model that may price the split side.
+const wavefrontMargin = 0.03
 
 // pipelineCost prices pipeline@k with the two-stream pipeline
 // recurrence: compute chunks run back to back on the compute stream,
@@ -150,18 +207,351 @@ func decide(est pairEstimator) Decision {
 	return d
 }
 
+// --- wavefront chain analysis ---
+
+// wfSeg is one chunkable segment of a wavefront chain candidate: a
+// priced pair, a rowwise per-rank node with a cost estimate, or a
+// row-structured exchange.
+type wfSeg struct {
+	head, tail *Node
+	// Exactly one of pair/rows/a2a describes the segment.
+	pair   pairEstimator
+	ranger core.ChunkRanger
+	rows   *rowsOp
+	a2a    *symmA2ARowsOp
+	// maxK is the segment's chunk-depth bound (granularity, and
+	// WG-slot saturation for pairs).
+	maxK int
+	// inKind/inOK describe what the segment's head may consume
+	// chunk-granularly; outKind what its chunks finalize.
+	inKind, outKind core.RangeKind
+	inOK            bool
+}
+
+// compChunk prices the segment's compute work of chunk c of k.
+func (s *wfSeg) compChunk(c, k int) sim.Duration {
+	switch {
+	case s.pair != nil:
+		return s.pair.EstimateComputeChunk(c, k)
+	case s.rows != nil:
+		lo, hi := core.ChunkSpan(c, k, s.rows.spec.Units)
+		return s.rows.spec.Estimate(lo, hi)
+	}
+	return 0
+}
+
+// collChunk prices the segment's collective work of chunk c of k,
+// discounted to the chunk-chain dispatch cost for non-head chunks.
+func (s *wfSeg) collChunk(c, k int) sim.Duration {
+	switch {
+	case s.pair != nil:
+		return s.pair.EstimateCollectiveChunk(c, k)
+	case s.a2a != nil:
+		lo, hi := core.ChunkSpan(c, k, s.a2a.rows)
+		if hi <= lo {
+			return 0
+		}
+		comm := collectives.New(s.a2a.g.world.Platform(), s.a2a.g.pes)
+		if c > 0 {
+			comm.SetProtocolOverhead(0)
+			comm.SetLaunchOverhead(core.ChunkDispatchOverhead)
+		}
+		return comm.EstimateAllToAll((hi-lo)*s.a2a.epr, s.a2a.algo)
+	}
+	return 0
+}
+
+// standalone prices the segment executed on its own in its best
+// standalone form (the baseline a wavefront must beat).
+func (s *wfSeg) standalone(decisions map[*Node]Decision) sim.Duration {
+	switch {
+	case s.pair != nil:
+		return decisions[s.tail].Predicted()
+	case s.rows != nil:
+		return s.rows.spec.Estimate(0, s.rows.spec.Units)
+	case s.a2a != nil:
+		return s.collChunk(0, 1)
+	}
+	return 0
+}
+
+// wavefrontCost prices the chain executed as a wavefront at depth k:
+// the multi-segment generalization of the two-stream pipeline
+// recurrence, evaluated by greedy list scheduling (the executor's
+// dataflow model). Chunk c of segment i becomes ready once segment i's
+// chunk c−1 and segment i−1's chunk c have finished; compute chunks
+// serialize on the compute stream, collective chunks on the comm
+// stream, and each stream runs the earliest-ready chunk next — a
+// strict wave order would wrongly stall cheap upstream chunks behind
+// the whole previous wave.
+func wavefrontCost(chain []*wfSeg, k int) sim.Duration {
+	n := len(chain)
+	// Per-chunk durations memoized up front: the scheduling scans below
+	// revisit every pending chunk per step.
+	compDur := make([]sim.Duration, n*k)
+	collDur := make([]sim.Duration, n*k)
+	for i, s := range chain {
+		for c := 0; c < k; c++ {
+			compDur[i*k+c] = s.compChunk(c, k)
+			collDur[i*k+c] = s.collChunk(c, k)
+		}
+	}
+	// compEnd/collEnd[i*k+c]; scheduled tracks completion.
+	compEnd := make([]sim.Duration, n*k)
+	collEnd := make([]sim.Duration, n*k)
+	compDone := make([]bool, n*k)
+	collDone := make([]bool, n*k)
+	var compFree, collFree sim.Duration
+	// compReady returns the dependency-ready time of comp(i,c), valid
+	// only once its dependencies are done.
+	depsOK := func(i, c int) (sim.Duration, bool) {
+		var ready sim.Duration
+		if c > 0 {
+			if !compDone[i*k+c-1] {
+				return 0, false
+			}
+			ready = compEnd[i*k+c-1]
+		}
+		if i > 0 {
+			if !collDone[(i-1)*k+c] {
+				return 0, false
+			}
+			if t := collEnd[(i-1)*k+c]; t > ready {
+				ready = t
+			}
+		}
+		return ready, true
+	}
+	collDeps := func(i, c int) (sim.Duration, bool) {
+		if !compDone[i*k+c] {
+			return 0, false
+		}
+		ready := compEnd[i*k+c]
+		if c > 0 {
+			if !collDone[i*k+c-1] {
+				return 0, false
+			}
+			if t := collEnd[i*k+c-1]; t > ready {
+				ready = t
+			}
+		}
+		return ready, true
+	}
+	remaining := 2 * n * k
+	for remaining > 0 {
+		progress := false
+		// Zero-duration phases complete instantly at their ready time
+		// (they occupy no stream).
+		for i := 0; i < n; i++ {
+			for c := 0; c < k; c++ {
+				if !compDone[i*k+c] && compDur[i*k+c] == 0 {
+					if ready, ok := depsOK(i, c); ok {
+						compEnd[i*k+c], compDone[i*k+c] = ready, true
+						remaining--
+						progress = true
+					}
+				}
+				if !collDone[i*k+c] && compDone[i*k+c] && collDur[i*k+c] == 0 {
+					if ready, ok := collDeps(i, c); ok {
+						collEnd[i*k+c], collDone[i*k+c] = ready, true
+						remaining--
+						progress = true
+					}
+				}
+			}
+		}
+		// Each stream runs its earliest-ready pending chunk.
+		bestI, bestC, bestReady := -1, -1, sim.Duration(0)
+		for i := 0; i < n; i++ {
+			for c := 0; c < k; c++ {
+				if compDone[i*k+c] || compDur[i*k+c] == 0 {
+					continue
+				}
+				if ready, ok := depsOK(i, c); ok && (bestI < 0 || ready < bestReady) {
+					bestI, bestC, bestReady = i, c, ready
+				}
+			}
+		}
+		if bestI >= 0 {
+			start := bestReady
+			if compFree > start {
+				start = compFree
+			}
+			compEnd[bestI*k+bestC] = start + compDur[bestI*k+bestC]
+			compDone[bestI*k+bestC] = true
+			compFree = compEnd[bestI*k+bestC]
+			remaining--
+			progress = true
+		}
+		bestI, bestC, bestReady = -1, -1, 0
+		for i := 0; i < n; i++ {
+			for c := 0; c < k; c++ {
+				if collDone[i*k+c] || collDur[i*k+c] == 0 {
+					continue
+				}
+				if ready, ok := collDeps(i, c); ok && (bestI < 0 || ready < bestReady) {
+					bestI, bestC, bestReady = i, c, ready
+				}
+			}
+		}
+		if bestI >= 0 {
+			start := bestReady
+			if collFree > start {
+				start = collFree
+			}
+			collEnd[bestI*k+bestC] = start + collDur[bestI*k+bestC]
+			collDone[bestI*k+bestC] = true
+			collFree = collEnd[bestI*k+bestC]
+			remaining--
+			progress = true
+		}
+		if !progress {
+			break // unreachable: the dependency DAG is acyclic
+		}
+	}
+	return collEnd[n*k-1]
+}
+
+// wfSegments collects the chunkable segments of g: matched pairs with
+// both a cost surface and chunk-range metadata, rowwise per-rank nodes
+// with cost estimates, and row-structured exchanges. Returned keyed by
+// tail node.
+func wfSegments(g *Graph, match map[*Node]*Node) map[*Node]*wfSeg {
+	segs := map[*Node]*wfSeg{}
+	for coll, producer := range match {
+		est, ok := pairOf(coll.op).(pairEstimator)
+		if !ok {
+			continue
+		}
+		ranger, ok := pairOf(coll.op).(core.ChunkRanger)
+		if !ok {
+			continue
+		}
+		// Granularity bounds K, but NOT the WG-slot saturation clamp the
+		// standalone decide() applies: an under-filled chunk's extra
+		// device rounds are priced directly by EstimateComputeChunk in
+		// the wavefront recurrence, and in a wavefront the idle slots are
+		// filled by neighboring segments' chunks rather than wasted.
+		maxK := est.MaxChunks()
+		if maxK > maxCandidateChunks {
+			maxK = maxCandidateChunks
+		}
+		s := &wfSeg{head: producer, tail: coll, pair: est, ranger: ranger, maxK: maxK}
+		s.outKind = ranger.ChunkOut(0, 1).Kind
+		in, inOK := ranger.ChunkIn(0, 2)
+		s.inKind, s.inOK = in.Kind, inOK
+		segs[coll] = s
+	}
+	for _, n := range g.nodes {
+		switch op := n.op.(type) {
+		case *rowsOp:
+			if op.spec.Estimate == nil {
+				continue // no cost surface: cannot price a wavefront through it
+			}
+			maxK := op.spec.Units
+			if maxK > maxCandidateChunks {
+				maxK = maxCandidateChunks
+			}
+			segs[n] = &wfSeg{head: n, tail: n, rows: op, maxK: maxK,
+				inKind: op.spec.Kind, outKind: op.spec.Kind, inOK: true}
+		case *symmA2ARowsOp:
+			maxK := op.rows
+			if maxK > maxCandidateChunks {
+				maxK = maxCandidateChunks
+			}
+			segs[n] = &wfSeg{head: n, tail: n, a2a: op, maxK: maxK,
+				inKind: core.RangeRows, outKind: core.RangeRows, inOK: true}
+		}
+	}
+	return segs
+}
+
+// wfChains links segments into maximal linear chains: segment B follows
+// segment A when B's head directly consumes A's tail, B may consume
+// chunk-granularly, and the range kinds match. Ambiguous links (a head
+// consuming two segment tails, a tail feeding two segment heads) break
+// the chain — the recurrence prices linear wavefronts. Only chains of
+// at least two segments that can chunk at least twice are returned, in
+// dataflow order.
+func wfChains(g *Graph, segs map[*Node]*wfSeg) [][]*wfSeg {
+	pred := map[*wfSeg]*wfSeg{}
+	succCount := map[*wfSeg]int{}
+	for _, s := range segs {
+		if !s.inOK {
+			continue
+		}
+		var producers []*wfSeg
+		for _, in := range s.head.in {
+			if p := segs[in]; p != nil && p.outKind == s.inKind && p != s {
+				producers = append(producers, p)
+			}
+		}
+		if len(producers) == 1 {
+			pred[s] = producers[0]
+			succCount[producers[0]]++
+		}
+	}
+	var chains [][]*wfSeg
+	// Walk nodes in order so chains come out deterministic.
+	for _, n := range g.nodes {
+		s := segs[n]
+		if s == nil || s.tail != n {
+			continue
+		}
+		if p, ok := pred[s]; ok && succCount[p] == 1 {
+			continue // interior or tail of a chain: reached from its head
+		}
+		chain := []*wfSeg{s}
+		cur := s
+		for {
+			var next *wfSeg
+			if succCount[cur] == 1 {
+				for _, cand := range segs {
+					if pred[cand] == cur {
+						next = cand
+						break
+					}
+				}
+			}
+			if next == nil {
+				break
+			}
+			chain = append(chain, next)
+			cur = next
+		}
+		if len(chain) >= 2 {
+			chains = append(chains, chain)
+		}
+	}
+	return chains
+}
+
+// wfPlan is one chain the pass decided to schedule as a wavefront.
+type wfPlan struct {
+	chain []*wfSeg
+	k     int
+}
+
 // Select runs the cost-model-driven rewrite: every fusible
 // compute→collective pair (the same single-consumer adjacency Compile
 // and Partition match) is replaced by its predicted-fastest execution
 // form — fused node, chunk chains at the pair's own K, or the eager
-// pair unchanged. Unmatched nodes are copied unchanged (gradient
-// exchanges stay eager: the estimator surface covers the three pair
-// operators). The input graph is not modified; both graphs share the
-// same backing operators and buffers, so mixed-mode execution stays
-// bit-exact with eager.
+// pair unchanged — and every alignable segment chain whose wavefront
+// recurrence beats the sum of its segments' standalone bests is
+// rewritten whole as a cross-pair wavefront at the model's K. Unmatched
+// nodes are copied unchanged (gradient exchanges stay eager: the
+// estimator surface covers the three pair operators). The input graph
+// is not modified; both graphs share the same backing operators and
+// buffers, so mixed-mode execution stays bit-exact with eager. An
+// already-lowered input is returned unchanged with Lowered set.
 func Select(g *Graph) (*Graph, *SelectReport) {
 	rep := &SelectReport{}
+	if lowered(g) {
+		rep.Lowered = true
+		return g, rep
+	}
 	em := newEmitter(g)
+	em.segs = map[*Node]*segChain{}
 
 	match := pairMatches(g, func(Pattern) bool { return true })
 	decisions := map[*Node]Decision{}
@@ -181,9 +571,68 @@ func Select(g *Graph) (*Graph, *SelectReport) {
 		}
 	}
 
+	// Wavefront analysis: price each alignable chain at every admissible
+	// K against the sum of its segments' standalone bests.
+	plans := map[*Node]*wfPlan{} // keyed by segment tail (emission anchor)
+	segs := wfSegments(g, match)
+	for _, chain := range wfChains(g, segs) {
+		kmax := chain[0].maxK
+		var split sim.Duration
+		for _, s := range chain {
+			if s.maxK < kmax {
+				kmax = s.maxK
+			}
+			split += s.standalone(decisions)
+		}
+		bestK, bestCost := 0, sim.Duration(0)
+		for k := 2; k <= kmax; k++ {
+			if cost := wavefrontCost(chain, k); bestK == 0 || cost < bestCost {
+				bestK, bestCost = k, cost
+			}
+		}
+		// The wavefront side is priced by the chunked estimators, the
+		// split side partly by the fused drain model — different
+		// estimator families with residual biases of a few percent. A
+		// sub-margin predicted win is indistinguishable from that noise,
+		// and mis-scheduling a whole chain costs more than the forgone
+		// sliver, so the wavefront must clear the margin to be chosen.
+		if bestK == 0 || float64(bestCost) >= (1-wavefrontMargin)*float64(split) {
+			continue // the chain's segments run better on their own
+		}
+		plan := &wfPlan{chain: chain, k: bestK}
+		names := make([]string, len(chain))
+		for i, s := range chain {
+			names[i] = s.head.name
+			plans[s.tail] = plan
+			if s.pair != nil {
+				d := decisions[s.tail]
+				d.Choice, d.Chunks = Wavefront, bestK
+				decisions[s.tail] = d
+				computeMatched[s.head] = true
+			}
+		}
+		rep.Wavefronts = append(rep.Wavefronts, WavefrontDecision{
+			Segments: names, Chunks: bestK, Predicted: bestCost, SplitPredicted: split,
+		})
+	}
+
 	for _, n := range g.nodes {
 		if computeMatched[n] {
 			continue // compute half: emitted at its collective's position
+		}
+		if plan := plans[n]; plan != nil {
+			// Wavefront chain member: chunk at the chain's K and register
+			// the chain so downstream members pick up chunk-granular
+			// join edges. plan.k never exceeds any member's granularity,
+			// so the rowwise clamp inside rowSegment is a no-op here.
+			if seg, ok := em.rowSegment(n, plan.k); ok {
+				em.segs[n] = seg
+			} else { // pair collective
+				producer := match[n]
+				em.segs[n] = em.chunkChain(producer, n, plan.k)
+				rep.Decisions = append(rep.Decisions, decisions[n])
+			}
+			continue
 		}
 		if producer, matched := match[n]; matched {
 			d := decisions[n]

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"fusedcc/internal/core"
+	"fusedcc/internal/gpu"
 	"fusedcc/internal/graph"
 	"fusedcc/internal/kernels"
 	"fusedcc/internal/shmem"
@@ -106,26 +107,130 @@ func newLayer(w *shmem.World, pes []int, cfg Config, opCfg core.Config, seed int
 	return l, nil
 }
 
+// estimateGEMMTiles prices one stock tiled GEMM launch of tilesM x
+// tilesN tiles over m x n output elements (reduced dimension kd) with
+// the same roofline the operator estimators use — the analytic cost the
+// rowwise nodes hand the select pass so it can price wavefront
+// schedules through them.
+func estimateGEMMTiles(cfg gpu.Config, tilesM, tilesN, m, n, kd int) sim.Duration {
+	if tilesM <= 0 || tilesN <= 0 {
+		return 0
+	}
+	tm := float64(m) / float64(tilesM)
+	tn := float64(n) / float64(tilesN)
+	ke := core.KernelEstimate{
+		Grid:  tilesM * tilesN,
+		Read:  (tm + tn) * float64(kd) * 4,
+		Write: tm * tn * 4,
+		Flops: 2 * tm * tn * float64(kd),
+	}
+	return cfg.KernelLaunchOverhead + ke.Time(cfg)
+}
+
+// estimateGEMM is estimateGEMMTiles for a contiguous m x n output
+// tiled at tileM x tileN.
+func estimateGEMM(cfg gpu.Config, m, n, kd, tileM, tileN int) sim.Duration {
+	if m <= 0 || n <= 0 {
+		return 0
+	}
+	if tileM > m {
+		tileM = m
+	}
+	if tileN > n {
+		tileN = n
+	}
+	return estimateGEMMTiles(cfg, (m+tileM-1)/tileM, (n+tileN-1)/tileN, m, n, kd)
+}
+
+// estimateElementwise prices one ReLUStrided launch over n elements,
+// sized by the kernel's own grid rule so the estimate cannot diverge
+// from the simulated launch (pricing the plain ReLU's fixed 64Ki-per-WG
+// grain here would overcharge small chunked activations by the device's
+// parallelism factor).
+func estimateElementwise(cfg gpu.Config, n int) sim.Duration {
+	if n <= 0 {
+		return 0
+	}
+	grid := kernels.ElementwiseGrid(cfg.MaxWGSlots(), n)
+	per := float64(n) / float64(grid)
+	ke := core.KernelEstimate{Grid: grid, Read: per * 4, Write: per * 4, Flops: per}
+	return cfg.KernelLaunchOverhead + ke.Time(cfg)
+}
+
 // addTo appends the layer's nodes — gate, dispatch All-to-All, first
 // expert GEMM + activation, and the MatMul → combine All-to-All pair —
 // to g and returns the combine-output value.
+//
+// The gate, dispatch, and first expert stage are declared *rowwise*
+// over the token dimension: under the paper's uniform top-K routing
+// assumption, token band [lo,hi) flows order-preservingly through the
+// whole layer — gate rows [lo,hi) stage only those tokens's routed
+// copies, the dispatch moves the matching per-block row band, the
+// expert FFN rows of that band read only those dispatched rows, and the
+// combine returns them. That is exactly the contract the wavefront
+// partition needs to chain layer l+1's chunk c behind layer l's chunk c
+// instead of behind the whole layer-l combine.
 func (l *Layer) addTo(g *graph.Graph, prefix string, deps ...graph.Value) (graph.Value, error) {
 	pl := l.World.Platform()
 	cfg := l.Cfg
 	k := len(l.PEs)
 	rows := l.expertRows
-	gate := g.PerRank(prefix+"gate", func(p *sim.Proc, rank, pe int) {
-		// Gating router: tiny GEMM (tokens x experts) staging the
-		// routed tokens for dispatch.
-		dev := pl.Device(pe)
-		gt := &kernels.GEMM{M: cfg.TokensPerGPU, N: k, K: cfg.ModelDim, TileM: 32, TileN: k}
-		gt.Run(p, dev, 0)
+	perBlock := rows / k
+	cfg0 := pl.Device(l.PEs[0]).Config()
+	gate := g.PerRankRows(prefix+"gate", graph.RowsSpec{
+		Kind: core.RangeRows, Units: cfg.TokensPerGPU,
+		Run: func(p *sim.Proc, rank, pe, lo, hi int) {
+			// Gating router: tiny GEMM (tokens x experts) staging the
+			// routed tokens for dispatch.
+			dev := pl.Device(pe)
+			gt := &kernels.GEMM{M: hi - lo, N: k, K: cfg.ModelDim, TileM: min(32, hi-lo), TileN: k}
+			gt.Run(p, dev, 0)
+		},
+		Estimate: func(lo, hi int) sim.Duration {
+			return estimateGEMM(cfg0, hi-lo, k, cfg.ModelDim, 32, k)
+		},
 	}, deps...)
-	disp := g.AllToAllSymm(prefix+"dispatch", l.tokensOut, l.tokensIn, rows/k*cfg.ModelDim, gate)
-	ffn1 := g.PerRank(prefix+"expert_ffn1+act", func(p *sim.Proc, rank, pe int) {
-		dev := pl.Device(pe)
-		l.gemm1[rank].Run(p, dev, 0)
-		kernels.ReLU(p, dev, l.gemm1[rank].C, 0, rows*cfg.FFNDim)
+	disp := g.AllToAllSymmRows(prefix+"dispatch", l.tokensOut, l.tokensIn, perBlock, cfg.ModelDim, gate)
+	ffn1 := g.PerRankRows(prefix+"expert_ffn1+act", graph.RowsSpec{
+		Kind: core.RangeRows, Units: perBlock,
+		Run: func(p *sim.Proc, rank, pe, lo, hi int) {
+			// One GEMM launch over the tiles whose rows fall in band
+			// [lo,hi) of every source block (the band the dispatch chunk
+			// just delivered), then one strided activation launch over
+			// exactly those rows. The whole node (lo=0, hi=perBlock) runs
+			// the same body, so chunked and unchunked executions price
+			// the identical work identically.
+			dev := pl.Device(pe)
+			g1 := l.gemm1[rank]
+			type rect struct{ mlo, mhi, nlo, nhi int }
+			var rects []rect
+			for d := 0; d < k; d++ {
+				for r := lo; r < hi; r += g1.TileM {
+					rhi := min(r+g1.TileM, hi)
+					for t := 0; t < g1.TilesN(); t++ {
+						nlo := t * g1.TileN
+						rects = append(rects, rect{d*perBlock + r, d*perBlock + rhi, nlo, min(nlo+g1.TileN, g1.N)})
+					}
+				}
+			}
+			dev.LaunchGrid(p, "gemm", len(rects), 0, func(w *gpu.WG, i int) {
+				rc := rects[i]
+				g1.ComputeRect(w, rc.mlo, rc.mhi, rc.nlo, rc.nhi, g1.C)
+			})
+			kernels.ReLUStrided(p, dev, g1.C, perBlock*cfg.FFNDim, lo*cfg.FFNDim, (hi-lo)*cfg.FFNDim, k)
+		},
+		Estimate: func(lo, hi int) sim.Duration {
+			if hi <= lo {
+				return 0
+			}
+			// Per-block banded tiling, mirroring Run: each of the k
+			// blocks re-tiles from its own lo, so a non-TileM-aligned
+			// span costs k ragged bands, not a globally packed grid.
+			bands := (hi - lo + cfg.TileM - 1) / cfg.TileM
+			tilesN := (cfg.FFNDim + cfg.TileN - 1) / cfg.TileN
+			return estimateGEMMTiles(cfg0, k*bands, tilesN, k*(hi-lo), cfg.FFNDim, cfg.ModelDim) +
+				estimateElementwise(cfg0, k*(hi-lo)*cfg.FFNDim)
+		},
 	}, disp)
 	mm := g.MatMul(prefix+"expert_ffn2", l.Op, ffn1)
 	return g.AllToAll(prefix+"combine", mm)

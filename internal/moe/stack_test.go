@@ -26,7 +26,7 @@ func TestStackBitExactAcrossModes(t *testing.T) {
 			want = append(want, append([]float32(nil), l.Op.Recv.On(0).Data()...))
 		}
 		st.Executor().Chunks = 2
-		for _, mode := range []graph.Mode{graph.Compiled, graph.Pipelined} {
+		for _, mode := range []graph.Mode{graph.Compiled, graph.Pipelined, graph.Wavefront, graph.Auto} {
 			st.Step(p, mode)
 			for li, l := range st.Layers {
 				got := l.Op.Recv.On(0).Data()
@@ -78,6 +78,55 @@ func TestStackPipelinedSplitsEveryLayer(t *testing.T) {
 	// Dispatch All-to-Alls are generic collectives: left whole.
 	if rep.Partition.Unsplit != 3 {
 		t.Errorf("unsplit = %d, want the 3 dispatch collectives", rep.Partition.Unsplit)
+	}
+}
+
+// TestStackWavefrontChainsLayers verifies the wavefront partition
+// rewires the MoE stack's layer boundaries to chunk granularity: the
+// rowwise gate/dispatch/ffn1 nodes split, join edges are recorded, and
+// layer 1's first gate chunk starts before layer 0's combine chain has
+// fully drained — the inter-layer overlap per-pair pipelining cannot
+// express.
+func TestStackWavefrontChainsLayers(t *testing.T) {
+	e := sim.NewEngine()
+	pl, w := testWorld(e, false)
+	st, err := NewStack(w, pes(pl), smallCfg(), 2, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Executor().Chunks = 2
+	var rep *graph.Report
+	e.Go("step", func(p *sim.Proc) { rep = st.StepReport(p, graph.Wavefront) })
+	e.Run()
+	if !rep.Partition.Wavefront || len(rep.Partition.Splits) != 2 {
+		t.Fatalf("partition = %+v", rep.Partition)
+	}
+	// Per layer: gate, dispatch, and ffn1 split rowwise.
+	if rep.Partition.RowSplits != 6 {
+		t.Errorf("row splits = %d, want 6", rep.Partition.RowSplits)
+	}
+	// Joins: within each layer gate->dispatch->ffn1->pair, plus the
+	// layer-boundary combine->gate join.
+	if len(rep.Partition.Joins) < 7 {
+		t.Errorf("joins = %d (%+v), want >= 7", len(rep.Partition.Joins), rep.Partition.Joins)
+	}
+	boundary := false
+	for _, j := range rep.Partition.Joins {
+		if j.Producer == "l0.combine" && j.Consumer == "l1.gate" {
+			boundary = true
+		}
+	}
+	if !boundary {
+		t.Errorf("no layer-boundary join recorded: %+v", rep.Partition.Joins)
+	}
+	g1 := rep.Node("l1.gate#0")
+	drain := rep.Node("l0.combine#1")
+	if g1 == nil || drain == nil {
+		t.Fatalf("missing wavefront chunk nodes: %+v", rep.Nodes)
+	}
+	if g1.Start >= drain.End {
+		t.Errorf("layer 1 gate chunk 0 started at %v, after layer 0's combine fully drained at %v — no wavefront",
+			g1.Start, drain.End)
 	}
 }
 

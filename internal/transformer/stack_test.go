@@ -34,7 +34,7 @@ func TestDecoderStackBitExactAcrossModes(t *testing.T) {
 			want = append(want, append([]float32(nil), b.Out.On(0).Data()...))
 		}
 		d.Executor().Chunks = 2
-		for _, mode := range []graph.Mode{graph.Compiled, graph.Pipelined} {
+		for _, mode := range []graph.Mode{graph.Compiled, graph.Pipelined, graph.Wavefront, graph.Auto} {
 			d.Step(p, mode)
 			for l, b := range d.Blocks {
 				got := b.Out.On(0).Data()
@@ -96,6 +96,31 @@ func TestDecoderPipelinedReportsStreams(t *testing.T) {
 	}
 	if comp, comm := rep.StreamOccupancy(); comp <= 0 || comm <= 0 {
 		t.Errorf("occupancy compute=%.2f comm=%.2f", comp, comm)
+	}
+}
+
+// TestDecoderWavefrontFallsBackToPerPair pins the honesty of the
+// wavefront proof obligation: a GEMV + AllReduce pair reads its whole
+// input vector (ChunkIn reports no range), and the decoder's attention
+// stand-in is not rowwise, so the wavefront pass must rewire NO layer
+// boundary — it degenerates to per-pair pipelining with zero joins.
+func TestDecoderWavefrontFallsBackToPerPair(t *testing.T) {
+	e := sim.NewEngine()
+	pl, w := testWorld(e, false)
+	d, err := NewDecoder(w, pes(pl), smallDecoderCfg(2), core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Executor().Chunks = 2
+	var rep *graph.Report
+	e.Go("step", func(p *sim.Proc) { rep = d.StepReport(p, graph.Wavefront) })
+	e.Run()
+	if !rep.Partition.Wavefront || len(rep.Partition.Splits) != 2 {
+		t.Fatalf("partition = %+v", rep.Partition)
+	}
+	if len(rep.Partition.Joins) != 0 || rep.Partition.RowSplits != 0 {
+		t.Errorf("decoder must not wavefront (GEMV reads its full input): joins %+v, row splits %d",
+			rep.Partition.Joins, rep.Partition.RowSplits)
 	}
 }
 

@@ -158,6 +158,15 @@ func DefaultDecoderConfig() DecoderConfig {
 // layer's collective chunks with its later compute chunks while the
 // attention AllReduce rides the comm stream — the inter-layer overlap
 // invisible to single-layer case studies.
+//
+// The decoder deliberately declares NO rowwise structure: a GEMV output
+// tile reads the whole input vector (and the attention stand-in the
+// whole hidden state), so no chunk of layer l+1 can honestly start
+// before all of layer l's output is reduced. The wavefront partition
+// proves exactly that from the operators' chunk-range metadata and
+// degenerates to per-pair pipelining here — decode-phase tensor
+// parallelism has no cross-layer chunk dependence to exploit, unlike
+// the token-banded MoE stack.
 type Decoder struct {
 	World *shmem.World
 	PEs   []int
