@@ -24,6 +24,13 @@
 //	                            # CI perf gate: fail if any makespan
 //	                            # regresses past -tolerance vs baseline
 //	fusionbench -quick ...      # shrunken sweeps (CI-sized)
+//	fusionbench -parallel 8 ... # sweep points on 8 workers (default
+//	                            # GOMAXPROCS; 1 = serial; simulated
+//	                            # results are identical at any count)
+//	fusionbench -cpuprofile cpu.out -memprofile mem.out ...
+//	                            # host-side pprof profiles of the run
+//	fusionbench -pipeline -quick -speedjson BENCH_speed.json
+//	                            # also record host wall-clock speeds
 package main
 
 import (
@@ -32,6 +39,8 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -70,8 +79,8 @@ func parseMode(s string) (fusedcc.ExecMode, error) {
 	return 0, fmt.Errorf("bad -mode %q: want eager, pipelined, fused, wavefront, or auto", s)
 }
 
-// jsonRow and jsonResult are the BENCH_pipeline.json schema: one entry
-// per experiment with per-row makespans in nanoseconds, so CI can track
+// jsonRow and jsonResult are the BENCH JSON schema: one entry per
+// experiment with per-row makespans in nanoseconds, so CI can track
 // the performance trajectory across commits.
 type jsonRow struct {
 	Label      string  `json:"label"`
@@ -87,8 +96,33 @@ type jsonResult struct {
 	Notes []string  `json:"notes,omitempty"`
 }
 
-// writeJSON emits the collected results as a machine-readable file.
-func writeJSON(path string, results []*fusedcc.ExperimentResult) error {
+// jsonHost records host-side (wall-clock) facts of one run. Simulated
+// times never depend on the host; this block exists so future commits
+// have a host-speed trajectory alongside the virtual-time rows.
+type jsonHost struct {
+	WallMs     int64 `json:"wall_ms"`
+	GoMaxProcs int   `json:"go_maxprocs"`
+	NumCPU     int   `json:"num_cpu"`
+}
+
+// jsonHeader is the schema-2 BENCH JSON header. Everything outside
+// header is a pure function of the simulation: serial and parallel
+// runs produce byte-identical results arrays (CI diffs them with the
+// header stripped).
+type jsonHeader struct {
+	Schema   int      `json:"schema"`
+	Quick    bool     `json:"quick"`
+	Parallel int      `json:"parallel"`
+	Host     jsonHost `json:"host"`
+}
+
+type jsonFile struct {
+	Header  jsonHeader   `json:"header"`
+	Results []jsonResult `json:"results"`
+}
+
+// encodeResults converts experiment results to the JSON row schema.
+func encodeResults(results []*fusedcc.ExperimentResult) []jsonResult {
 	out := make([]jsonResult, 0, len(results))
 	for _, res := range results {
 		jr := jsonResult{ID: res.ID, Title: res.Title, Notes: res.Notes}
@@ -102,11 +136,32 @@ func writeJSON(path string, results []*fusedcc.ExperimentResult) error {
 		}
 		out = append(out, jr)
 	}
-	data, err := json.MarshalIndent(out, "", "  ")
+	return out
+}
+
+// writeJSON emits the collected results as a machine-readable schema-2
+// file: a host header (wall-clock, worker count) plus the simulated
+// results.
+func writeJSON(path string, header jsonHeader, results []*fusedcc.ExperimentResult) error {
+	data, err := json.MarshalIndent(jsonFile{Header: header, Results: encodeResults(results)}, "", "  ")
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// parseBaseline reads a baseline JSON in either schema: the schema-2
+// object with a header, or the legacy bare results array.
+func parseBaseline(data []byte) ([]jsonResult, error) {
+	var file jsonFile
+	if err := json.Unmarshal(data, &file); err == nil && file.Header.Schema >= 2 {
+		return file.Results, nil
+	}
+	var legacy []jsonResult
+	if err := json.Unmarshal(data, &legacy); err != nil {
+		return nil, err
+	}
+	return legacy, nil
 }
 
 // compareBaseline is the CI perf-regression gate: it checks the
@@ -121,8 +176,8 @@ func compareBaseline(path string, tol float64, results []*fusedcc.ExperimentResu
 	if err != nil {
 		return err
 	}
-	var base []jsonResult
-	if err := json.Unmarshal(data, &base); err != nil {
+	base, err := parseBaseline(data)
+	if err != nil {
 		return fmt.Errorf("parse baseline %s: %w", path, err)
 	}
 	index := map[string]jsonRow{}
@@ -177,35 +232,122 @@ func fail(err error) {
 	os.Exit(1)
 }
 
+// speedEntry is one experiment's host wall-clock line of the speed
+// file.
+type speedEntry struct {
+	ID     string `json:"id"`
+	WallMs int64  `json:"wall_ms"`
+}
+
+// speedFile is the BENCH_speed.json schema: the host-speed trajectory
+// of a sweep run (wall-clock only — simulated times live in the BENCH
+// result files).
+type speedFile struct {
+	Schema      int          `json:"schema"`
+	Quick       bool         `json:"quick"`
+	Parallel    int          `json:"parallel"`
+	GoMaxProcs  int          `json:"go_maxprocs"`
+	NumCPU      int          `json:"num_cpu"`
+	WallMs      int64        `json:"wall_ms"`
+	Experiments []speedEntry `json:"experiments,omitempty"`
+}
+
 func main() {
 	var (
-		fig       = flag.Int("fig", 0, "regenerate figure N (8..16; 16 is the hybrid-cluster sweep)")
-		table     = flag.Int("table", 0, "regenerate table N (1..2)")
-		all       = flag.Bool("all", false, "regenerate every table and figure")
-		ablations = flag.Bool("ablations", false, "run the design-choice ablations")
-		shape     = flag.String("shape", "", "nodes x GPUs shape (e.g. 4x4): hybrid comparison, or the shape of -mode")
-		pipeline  = flag.Bool("pipeline", false, "run the eager vs pipelined vs fused execution-mode sweep")
-		mode      = flag.String("mode", "", "run one execution-mode configuration: eager, pipelined, fused, or auto (auto without -shape runs the full selection-validation sweep)")
-		chunks    = flag.Int("chunks", fusedcc.DefaultChunks, "pipeline depth K for -mode pipelined")
-		layers    = flag.Int("layers", 2, "stack depth L for -mode (decoder layers / MoE layers / DLRM groups)")
-		jsonPath  = flag.String("json", "", "also write the results as machine-readable JSON (e.g. BENCH_pipeline.json)")
-		compare   = flag.String("compare", "", "compare results against a committed baseline JSON and fail on perf regression")
-		tolerance = flag.Float64("tolerance", 0.10, "relative slowdown tolerated by -compare before failing")
-		quick     = flag.Bool("quick", false, "shrink sweeps for a fast run")
+		fig        = flag.Int("fig", 0, "regenerate figure N (8..16; 16 is the hybrid-cluster sweep)")
+		table      = flag.Int("table", 0, "regenerate table N (1..2)")
+		all        = flag.Bool("all", false, "regenerate every table and figure")
+		ablations  = flag.Bool("ablations", false, "run the design-choice ablations")
+		shape      = flag.String("shape", "", "nodes x GPUs shape (e.g. 4x4): hybrid comparison, or the shape of -mode")
+		pipeline   = flag.Bool("pipeline", false, "run the eager vs pipelined vs fused execution-mode sweep")
+		mode       = flag.String("mode", "", "run one execution-mode configuration: eager, pipelined, fused, or auto (auto without -shape runs the full selection-validation sweep)")
+		chunks     = flag.Int("chunks", fusedcc.DefaultChunks, "pipeline depth K for -mode pipelined")
+		layers     = flag.Int("layers", 2, "stack depth L for -mode (decoder layers / MoE layers / DLRM groups)")
+		jsonPath   = flag.String("json", "", "also write the results as machine-readable JSON (e.g. BENCH_pipeline.json)")
+		compare    = flag.String("compare", "", "compare results against a committed baseline JSON and fail on perf regression")
+		tolerance  = flag.Float64("tolerance", 0.10, "relative slowdown tolerated by -compare before failing")
+		quick      = flag.Bool("quick", false, "shrink sweeps for a fast run")
+		parallel   = flag.Int("parallel", 0, "sweep worker count: 0 = GOMAXPROCS, 1 = serial (results are identical at any count)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile at exit to this file")
+		speedPath  = flag.String("speedjson", "", "also write host wall-clock speeds as JSON (e.g. BENCH_speed.json)")
 	)
 	flag.Parse()
+	if *parallel < 1 {
+		*parallel = runtime.GOMAXPROCS(0)
+	}
+	sopt := fusedcc.SweepOptions{Quick: *quick, Parallel: *parallel}
+	start := time.Now()
 
-	var results []*fusedcc.ExperimentResult
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	var (
+		results []*fusedcc.ExperimentResult
+		speeds  []speedEntry
+	)
 	emit := func(res *fusedcc.ExperimentResult) {
 		fmt.Println(res)
 		results = append(results, res)
 	}
+	// runExp regenerates one registry experiment, timing it for the
+	// speed file.
+	runExp := func(id string) *fusedcc.ExperimentResult {
+		t0 := time.Now()
+		res, err := fusedcc.RunExperimentOpt(id, sopt)
+		if err != nil {
+			fail(err)
+		}
+		speeds = append(speeds, speedEntry{ID: id, WallMs: time.Since(t0).Milliseconds()})
+		return res
+	}
 	finish := func() {
+		wall := time.Since(start).Milliseconds()
 		if *jsonPath != "" {
-			if err := writeJSON(*jsonPath, results); err != nil {
+			header := jsonHeader{
+				Schema:   2,
+				Quick:    *quick,
+				Parallel: *parallel,
+				Host:     jsonHost{WallMs: wall, GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()},
+			}
+			if err := writeJSON(*jsonPath, header, results); err != nil {
 				fail(err)
 			}
 			fmt.Printf("(wrote %s)\n", *jsonPath)
+		}
+		if *speedPath != "" {
+			sf := speedFile{
+				Schema: 1, Quick: *quick, Parallel: *parallel,
+				GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
+				WallMs: wall, Experiments: speeds,
+			}
+			data, err := json.MarshalIndent(sf, "", "  ")
+			if err != nil {
+				fail(err)
+			}
+			if err := os.WriteFile(*speedPath, append(data, '\n'), 0o644); err != nil {
+				fail(err)
+			}
+			fmt.Printf("(wrote %s: %d ms wall at -parallel %d)\n", *speedPath, wall, *parallel)
+		}
+		if *memprofile != "" {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fail(err)
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fail(err)
+			}
+			f.Close()
 		}
 		if *compare != "" {
 			if err := compareBaseline(*compare, *tolerance, results); err != nil {
@@ -225,11 +367,7 @@ func main() {
 			// sweep (per-config chosen modes, predicted vs measured
 			// makespans, regret vs best-static) — the BENCH_auto.json
 			// producer. Add -shape to run one configuration instead.
-			res, err := fusedcc.RunExperiment("auto", *quick)
-			if err != nil {
-				fail(err)
-			}
-			emit(res)
+			emit(runExp("auto"))
 			finish()
 			return
 		}
@@ -237,11 +375,7 @@ func main() {
 			// Bare -mode wavefront runs the full inter-layer wavefront
 			// validation sweep — the BENCH_wavefront.json producer. Add
 			// -shape to run one configuration instead.
-			res, err := fusedcc.RunExperiment("wavefront", *quick)
-			if err != nil {
-				fail(err)
-			}
-			emit(res)
+			emit(runExp("wavefront"))
 			finish()
 			return
 		}
@@ -251,7 +385,7 @@ func main() {
 				fail(err)
 			}
 		}
-		res, err := fusedcc.RunPipelineConfig(nodes, gpus, *layers, *chunks, m, *quick)
+		res, err := fusedcc.RunPipelineConfigOpt(nodes, gpus, *layers, *chunks, m, sopt)
 		if err != nil {
 			fail(err)
 		}
@@ -304,13 +438,9 @@ func main() {
 	}
 
 	for _, id := range ids {
-		start := time.Now()
-		res, err := fusedcc.RunExperiment(id, *quick)
-		if err != nil {
-			fail(err)
-		}
-		emit(res)
-		fmt.Printf("(regenerated in %v)\n\n", time.Since(start).Round(time.Millisecond))
+		t0 := time.Now()
+		emit(runExp(id))
+		fmt.Printf("(regenerated in %v)\n\n", time.Since(t0).Round(time.Millisecond))
 	}
 	finish()
 }

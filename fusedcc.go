@@ -469,20 +469,42 @@ var experimentTable = []experiment{
 	{id: "ablation:kernelsplit", run: experiments.AblationKernelSplit},
 }
 
+// SweepOptions tunes how the Run* entry points execute sweeps.
+type SweepOptions struct {
+	// Quick shrinks sweeps for fast runs.
+	Quick bool
+	// Parallel is the sweep worker count: each sweep point runs its own
+	// engine, so points execute concurrently on a bounded pool, merged
+	// in deterministic point order — results are identical at any
+	// count. One runs serial; values below one mean GOMAXPROCS.
+	Parallel int
+}
+
+func (o SweepOptions) internal() experiments.Options {
+	return experiments.Options{Quick: o.Quick, Parallel: o.Parallel}
+}
+
 // RunExperiment regenerates one paper artifact by id: "fig8" .. "fig15",
 // "table1", "table2", an ablation ("ablation:zerocopy",
 // "ablation:slicesize", "ablation:occupancy", "ablation:kernelsplit"),
 // or the beyond-the-paper hybrid-cluster sweep ("fig16" / "hybrid").
-// quick shrinks sweeps for fast runs.
+// quick shrinks sweeps for fast runs. Sweep points run on the host
+// default worker pool (GOMAXPROCS); use RunExperimentOpt to pin the
+// worker count.
 func RunExperiment(id string, quick bool) (*ExperimentResult, error) {
-	opt := experiments.Options{Quick: quick}
+	return RunExperimentOpt(id, SweepOptions{Quick: quick})
+}
+
+// RunExperimentOpt is RunExperiment with explicit sweep options.
+func RunExperimentOpt(id string, opt SweepOptions) (*ExperimentResult, error) {
+	iopt := opt.internal()
 	for _, ex := range experimentTable {
 		if ex.id == id {
-			return ex.run(opt), nil
+			return ex.run(iopt), nil
 		}
 		for _, a := range ex.aliases {
 			if a == id {
-				return ex.run(opt), nil
+				return ex.run(iopt), nil
 			}
 		}
 	}
@@ -512,7 +534,12 @@ func RunHybridShape(nodes, gpusPerNode int, quick bool) (*ExperimentResult, erro
 // the eager baseline against the requested mode; notes carry all three
 // makespans and per-stream occupancy.
 func RunPipelineConfig(nodes, gpusPerNode, layers, chunks int, mode ExecMode, quick bool) (*ExperimentResult, error) {
-	return experiments.PipelinePoint(nodes, gpusPerNode, layers, chunks, mode, experiments.Options{Quick: quick})
+	return RunPipelineConfigOpt(nodes, gpusPerNode, layers, chunks, mode, SweepOptions{Quick: quick})
+}
+
+// RunPipelineConfigOpt is RunPipelineConfig with explicit sweep options.
+func RunPipelineConfigOpt(nodes, gpusPerNode, layers, chunks int, mode ExecMode, opt SweepOptions) (*ExperimentResult, error) {
+	return experiments.PipelinePoint(nodes, gpusPerNode, layers, chunks, mode, opt.internal())
 }
 
 // GPUModel returns the device model used throughout (MI210-class).

@@ -35,49 +35,74 @@ func Auto(opt Options) *Result {
 		ID:    "Auto",
 		Title: "cost-model-driven mode selection vs best static mode (pipeline sweep ground truth)",
 	}
-	configs, correct := 0, 0
-	sumRegret := 0.0
+	opt = opt.withCache()
+	// Enumerate every stack execution of the sweep as one flat job list
+	// — per config: eager, fused, pipelined and wavefront at each chunk
+	// count, then auto — and run it on the sweep worker pool.
+	type config struct {
+		sc          stackCase
+		nodes, gpus int
+		layers      int
+	}
+	var configList []config
 	for _, sc := range pipelineCases(opt.Quick) {
 		for _, sh := range shapes {
 			for _, layers := range layerss {
-				label := fmt.Sprintf("%s %dx%d L%d", sc.name, sh[0], sh[1], layers)
-				run := func(mode graph.Mode, chunks int) stackRun {
-					r, err := runStack(sc, sh[0], sh[1], layers, chunks, mode)
-					if err != nil {
-						panic(err) // sweep shapes are fixed and valid
-					}
-					return r
-				}
-				statics := []staticRun{
-					{"eager", run(graph.Eager, chunkss[0]).dur},
-					{"fused", run(graph.Compiled, chunkss[0]).dur},
-				}
-				for _, k := range chunkss {
-					statics = append(statics, staticRun{fmt.Sprintf("pipelined@%d", k), run(graph.Pipelined, k).dur})
-				}
-				for _, k := range chunkss {
-					statics = append(statics, staticRun{fmt.Sprintf("wavefront@%d", k), run(graph.Wavefront, k).dur})
-				}
-				best, bestName := bestStatic(statics)
-				auto := run(graph.Auto, chunkss[0])
-
-				regret := float64(auto.dur)/float64(best) - 1
-				configs++
-				sumRegret += regret
-				hit := regret <= autoTolerance
-				if hit {
-					correct++
-				}
-				res.Rows = append(res.Rows, Row{Label: label, Baseline: best, Fused: auto.dur})
-				verdict := "match"
-				if !hit {
-					verdict = "MISPREDICT"
-				}
-				res.Notes = append(res.Notes, fmt.Sprintf(
-					"%s: auto %v (predicted pair cost %v) vs best static %s %v, regret %+.1f%% [%s]; decisions: %s",
-					label, auto.dur, auto.predicted, bestName, best, 100*regret, verdict, auto.decisions))
+				configList = append(configList, config{sc, sh[0], sh[1], layers})
 			}
 		}
+	}
+	per := 3 + 2*len(chunkss)
+	jobs := make([]stackJob, 0, len(configList)*per)
+	for _, c := range configList {
+		jobs = append(jobs,
+			stackJob{c.sc, c.nodes, c.gpus, c.layers, chunkss[0], graph.Eager},
+			stackJob{c.sc, c.nodes, c.gpus, c.layers, chunkss[0], graph.Compiled})
+		for _, k := range chunkss {
+			jobs = append(jobs, stackJob{c.sc, c.nodes, c.gpus, c.layers, k, graph.Pipelined})
+		}
+		for _, k := range chunkss {
+			jobs = append(jobs, stackJob{c.sc, c.nodes, c.gpus, c.layers, k, graph.Wavefront})
+		}
+		jobs = append(jobs, stackJob{c.sc, c.nodes, c.gpus, c.layers, chunkss[0], graph.Auto})
+	}
+	runs, err := runJobs(jobs, opt)
+	if err != nil {
+		panic(err) // sweep shapes are fixed and valid
+	}
+	configs, correct := 0, 0
+	sumRegret := 0.0
+	for i, c := range configList {
+		off := i * per
+		label := fmt.Sprintf("%s %dx%d L%d", c.sc.name, c.nodes, c.gpus, c.layers)
+		statics := []staticRun{
+			{"eager", runs[off].dur},
+			{"fused", runs[off+1].dur},
+		}
+		for j, k := range chunkss {
+			statics = append(statics, staticRun{fmt.Sprintf("pipelined@%d", k), runs[off+2+j].dur})
+		}
+		for j, k := range chunkss {
+			statics = append(statics, staticRun{fmt.Sprintf("wavefront@%d", k), runs[off+2+len(chunkss)+j].dur})
+		}
+		best, bestName := bestStatic(statics)
+		auto := runs[off+per-1]
+
+		regret := float64(auto.dur)/float64(best) - 1
+		configs++
+		sumRegret += regret
+		hit := regret <= autoTolerance
+		if hit {
+			correct++
+		}
+		res.Rows = append(res.Rows, Row{Label: label, Baseline: best, Fused: auto.dur})
+		verdict := "match"
+		if !hit {
+			verdict = "MISPREDICT"
+		}
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"%s: auto %v (predicted pair cost %v) vs best static %s %v, regret %+.1f%% [%s]; decisions: %s",
+			label, auto.dur, auto.predicted, bestName, best, 100*regret, verdict, auto.decisions))
 	}
 	rate := 0.0
 	meanRegret := 0.0

@@ -42,7 +42,7 @@ func TestAutoMatchesBestOnHeadlineConfigs(t *testing.T) {
 				t.Fatalf("unknown case %q", hc.caseName)
 			}
 			run := func(mode graph.Mode, chunks int) stackRun {
-				r, err := runStack(sc, hc.nodes, hc.gpus, hc.layers, chunks, mode)
+				r, err := runStack(sc, hc.nodes, hc.gpus, hc.layers, chunks, mode, quick)
 				if err != nil {
 					t.Fatal(err)
 				}

@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"fusedcc/internal/core"
+	"fusedcc/internal/graph"
 	"fusedcc/internal/kernels"
 	"fusedcc/internal/platform"
 	"fusedcc/internal/shmem"
@@ -86,11 +87,31 @@ func (res *Result) String() string {
 	return b.String()
 }
 
-// Options tunes experiment size. Quick shrinks sweeps and workloads so
-// unit tests and short benchmark runs stay fast; the full CLI runs use
-// Quick=false.
+// Options tunes experiment size and sweep execution. Quick shrinks
+// sweeps and workloads so unit tests and short benchmark runs stay
+// fast; the full CLI runs use Quick=false.
 type Options struct {
 	Quick bool
+	// Parallel is the sweep worker count: every sweep point builds its
+	// own engine and world, so points run concurrently on a bounded
+	// pool of this many workers, with results merged in deterministic
+	// point order — output is byte-identical at any worker count. One
+	// runs points inline (serial); values below one mean GOMAXPROCS.
+	Parallel int
+	// Cache shares select/partition analysis plans across sweep points
+	// and workers, so re-instantiations of the same (stack, shape) pair
+	// replay cached plans instead of re-pricing identical cost
+	// surfaces. Nil makes each sweep build its own cache.
+	Cache *graph.PassCache
+}
+
+// withCache returns opt with a pass cache installed, so a sweep shares
+// analyses across its points even when the caller did not provide one.
+func (opt Options) withCache() Options {
+	if opt.Cache == nil {
+		opt.Cache = graph.NewPassCache()
+	}
+	return opt
 }
 
 // clusterWorld builds a Nodes x GPUsPerNode system with the Table I link

@@ -19,6 +19,7 @@ import (
 	"fusedcc/internal/platform"
 	"fusedcc/internal/shmem"
 	"fusedcc/internal/sim"
+	"fusedcc/internal/sweep"
 	"fusedcc/internal/transformer"
 )
 
@@ -142,11 +143,13 @@ func summarizeDecisions(sel *graph.SelectReport) string {
 
 // runStack builds the case's stack on a fresh world and runs one pass.
 // Every mode runs stream-aware so makespans compare scheduling policies
-// on the same two-queue device model. Construction errors surface to
-// the caller: PipelinePoint is reachable with user-supplied shapes
-// through fusionbench, where an indivisible shape is a usage error, not
-// a programming one.
-func runStack(sc stackCase, nodes, gpus, layers, chunks int, mode graph.Mode) (stackRun, error) {
+// on the same two-queue device model. opt supplies the sweep-shared
+// pass cache (engines are per-call, so concurrent runStacks only meet
+// at the cache). Construction errors surface to the caller:
+// PipelinePoint is reachable with user-supplied shapes through
+// fusionbench, where an indivisible shape is a usage error, not a
+// programming one.
+func runStack(sc stackCase, nodes, gpus, layers, chunks int, mode graph.Mode, opt Options) (stackRun, error) {
 	pl, w := clusterWorld(nodes, gpus)
 	r, err := sc.build(w, allPEs(pl), layers)
 	if err != nil {
@@ -155,6 +158,7 @@ func runStack(sc stackCase, nodes, gpus, layers, chunks int, mode graph.Mode) (s
 	x := r.Executor()
 	x.Chunks = chunks
 	x.Streams = true
+	x.Cache = opt.Cache
 	var rep *graph.Report
 	pl.E.Go("pipeline", func(p *sim.Proc) { rep = r.StepReport(p, mode) })
 	pl.E.Run()
@@ -171,53 +175,78 @@ func runStack(sc stackCase, nodes, gpus, layers, chunks int, mode graph.Mode) (s
 	return out, nil
 }
 
-// PipelinePoint runs one {shape, layers, chunks} configuration of every
-// case-study stack in eager, pipelined, and fused form. Rows pair eager
-// (baseline) against the requested mode; notes carry all three
-// makespans and the pipelined run's per-stream occupancy.
-func PipelinePoint(nodes, gpus, layers, chunks int, mode graph.Mode, opt Options) (*Result, error) {
-	if err := validShape(nodes, gpus); err != nil {
-		return nil, err
+// stackJob names one stack execution of a sweep: a case at one sweep
+// point in one mode — the unit of work the parallel runner schedules.
+type stackJob struct {
+	sc                          stackCase
+	nodes, gpus, layers, chunks int
+	mode                        graph.Mode
+}
+
+// runJobs executes the jobs on the sweep worker pool (inline when
+// opt.Parallel is one) and returns their runs in job order. Each job
+// builds its own engine and world; workers share only the pass cache.
+// Errors surface by lowest job index — exactly the error a serial run
+// would have returned first.
+func runJobs(jobs []stackJob, opt Options) ([]stackRun, error) {
+	type outcome struct {
+		run stackRun
+		err error
 	}
-	if layers < 1 || chunks < 1 {
-		return nil, fmt.Errorf("experiments: need layers >= 1 and chunks >= 1, got %d and %d", layers, chunks)
+	outs := sweep.Map(opt.Parallel, len(jobs), func(i int) outcome {
+		j := jobs[i]
+		run, err := runStack(j.sc, j.nodes, j.gpus, j.layers, j.chunks, j.mode, opt)
+		return outcome{run, err}
+	})
+	runs := make([]stackRun, len(outs))
+	for i, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		runs[i] = o.run
 	}
-	label := fmt.Sprintf("%dx%d L%d K%d", nodes, gpus, layers, chunks)
-	res := &Result{
-		ID:    "Pipeline" + label,
-		Title: fmt.Sprintf("execution modes on multi-layer stacks (%s, %v vs eager)", label, mode),
+	return runs, nil
+}
+
+// pointJobs enumerates the stack executions one pipeline point needs,
+// in the fixed order pointAssemble consumes: per case, eager /
+// pipelined / fused, plus the extra run of a wavefront or auto point.
+func pointJobs(cases []stackCase, nodes, gpus, layers, chunks int, mode graph.Mode) []stackJob {
+	jobs := make([]stackJob, 0, len(cases)*pointJobsPerCase(mode))
+	for _, sc := range cases {
+		jobs = append(jobs,
+			stackJob{sc, nodes, gpus, layers, chunks, graph.Eager},
+			stackJob{sc, nodes, gpus, layers, chunks, graph.Pipelined},
+			stackJob{sc, nodes, gpus, layers, chunks, graph.Compiled})
+		if mode == graph.Wavefront || mode == graph.Auto {
+			jobs = append(jobs, stackJob{sc, nodes, gpus, layers, chunks, mode})
+		}
 	}
-	for _, sc := range pipelineCases(opt.Quick) {
-		eager, err := runStack(sc, nodes, gpus, layers, chunks, graph.Eager)
-		if err != nil {
-			return nil, err
-		}
-		pipelined, err := runStack(sc, nodes, gpus, layers, chunks, graph.Pipelined)
-		if err != nil {
-			return nil, err
-		}
-		fused, err := runStack(sc, nodes, gpus, layers, chunks, graph.Compiled)
-		if err != nil {
-			return nil, err
-		}
+	return jobs
+}
+
+// pointJobsPerCase is the per-case job count of pointJobs.
+func pointJobsPerCase(mode graph.Mode) int {
+	if mode == graph.Wavefront || mode == graph.Auto {
+		return 4
+	}
+	return 3
+}
+
+// pointAssemble appends one pipeline point's rows and notes to res from
+// its completed runs (the order pointJobs emitted them in).
+func pointAssemble(res *Result, cases []stackCase, label string, mode graph.Mode, runs []stackRun) {
+	per := pointJobsPerCase(mode)
+	for ci, sc := range cases {
+		eager, pipelined, fused := runs[ci*per], runs[ci*per+1], runs[ci*per+2]
 		sel := eager
 		switch mode {
 		case graph.Pipelined:
 			sel = pipelined
 		case graph.Compiled:
 			sel = fused
-		case graph.Wavefront:
-			wf, err := runStack(sc, nodes, gpus, layers, chunks, graph.Wavefront)
-			if err != nil {
-				return nil, err
-			}
-			sel = wf
-		case graph.Auto:
-			auto, err := runStack(sc, nodes, gpus, layers, chunks, graph.Auto)
-			if err != nil {
-				return nil, err
-			}
-			sel = auto
+		case graph.Wavefront, graph.Auto:
+			sel = runs[ci*per+3]
 		}
 		res.Rows = append(res.Rows, Row{
 			Label:    fmt.Sprintf("%s %s", sc.name, label),
@@ -246,13 +275,40 @@ func PipelinePoint(nodes, gpus, layers, chunks int, mode graph.Mode, opt Options
 				100*(float64(sel.dur)/float64(pipelined.dur)-1), sel.joins, 100*sel.overlap))
 		}
 	}
+}
+
+// PipelinePoint runs one {shape, layers, chunks} configuration of every
+// case-study stack in eager, pipelined, and fused form. Rows pair eager
+// (baseline) against the requested mode; notes carry all three
+// makespans and the pipelined run's per-stream occupancy.
+func PipelinePoint(nodes, gpus, layers, chunks int, mode graph.Mode, opt Options) (*Result, error) {
+	if err := validShape(nodes, gpus); err != nil {
+		return nil, err
+	}
+	if layers < 1 || chunks < 1 {
+		return nil, fmt.Errorf("experiments: need layers >= 1 and chunks >= 1, got %d and %d", layers, chunks)
+	}
+	opt = opt.withCache()
+	label := fmt.Sprintf("%dx%d L%d K%d", nodes, gpus, layers, chunks)
+	res := &Result{
+		ID:    "Pipeline" + label,
+		Title: fmt.Sprintf("execution modes on multi-layer stacks (%s, %v vs eager)", label, mode),
+	}
+	cases := pipelineCases(opt.Quick)
+	runs, err := runJobs(pointJobs(cases, nodes, gpus, layers, chunks, mode), opt)
+	if err != nil {
+		return nil, err
+	}
+	pointAssemble(res, cases, label, mode, runs)
 	return res, nil
 }
 
 // Pipeline is the full fusion-vs-pipelining sweep: {mode x chunk count
 // x layers x shape} over the three case-study stacks. Rows pair eager
 // against pipelined (the headline comparison); notes carry the fused
-// makespans and stream statistics per configuration.
+// makespans and stream statistics per configuration. The whole sweep
+// is enumerated as one flat job list, so the worker pool stays full
+// across point boundaries.
 func Pipeline(opt Options) *Result {
 	shapes := [][2]int{{1, 8}, {2, 4}, {8, 1}}
 	layerss := []int{2, 4}
@@ -262,18 +318,30 @@ func Pipeline(opt Options) *Result {
 		layerss = []int{2}
 		chunkss = []int{2}
 	}
-	res := &Result{ID: "Pipeline", Title: "eager vs pipelined vs fused on multi-layer stacks (beyond the paper)"}
+	opt = opt.withCache()
+	cases := pipelineCases(opt.Quick)
+	type point struct{ nodes, gpus, layers, chunks int }
+	var points []point
 	for _, sh := range shapes {
 		for _, layers := range layerss {
 			for _, chunks := range chunkss {
-				one, err := PipelinePoint(sh[0], sh[1], layers, chunks, graph.Pipelined, opt)
-				if err != nil {
-					panic(err) // sweep shapes are fixed and valid
-				}
-				res.Rows = append(res.Rows, one.Rows...)
-				res.Notes = append(res.Notes, one.Notes...)
+				points = append(points, point{sh[0], sh[1], layers, chunks})
 			}
 		}
+	}
+	var jobs []stackJob
+	for _, pt := range points {
+		jobs = append(jobs, pointJobs(cases, pt.nodes, pt.gpus, pt.layers, pt.chunks, graph.Pipelined)...)
+	}
+	runs, err := runJobs(jobs, opt)
+	if err != nil {
+		panic(err) // sweep shapes are fixed and valid
+	}
+	res := &Result{ID: "Pipeline", Title: "eager vs pipelined vs fused on multi-layer stacks (beyond the paper)"}
+	per := len(cases) * pointJobsPerCase(graph.Pipelined)
+	for i, pt := range points {
+		label := fmt.Sprintf("%dx%d L%d K%d", pt.nodes, pt.gpus, pt.layers, pt.chunks)
+		pointAssemble(res, cases, label, graph.Pipelined, runs[i*per:(i+1)*per])
 	}
 	return res
 }

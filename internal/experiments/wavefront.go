@@ -32,52 +32,68 @@ func Wavefront(opt Options) *Result {
 		ID:    "Wavefront",
 		Title: "inter-layer wavefront pipelining vs per-pair chunked pipelining (cross-layer chunk dependencies)",
 	}
-	wins, rewired := 0, 0
-	autoPicks, autoBad := 0, 0
+	opt = opt.withCache()
+	// One flat job list — per config: eager, pipelined, fused,
+	// wavefront, auto — run on the sweep worker pool.
+	type config struct {
+		sc          stackCase
+		nodes, gpus int
+		layers      int
+	}
+	var configList []config
 	for _, sc := range pipelineCases(opt.Quick) {
 		for _, sh := range shapes {
 			for _, layers := range layerss {
-				label := fmt.Sprintf("%s %dx%d L%d K%d", sc.name, sh[0], sh[1], layers, chunks)
-				run := func(mode graph.Mode) stackRun {
-					r, err := runStack(sc, sh[0], sh[1], layers, chunks, mode)
-					if err != nil {
-						panic(err) // sweep shapes are fixed and valid
-					}
-					return r
-				}
-				eager, pipe, fused, wf := run(graph.Eager), run(graph.Pipelined), run(graph.Compiled), run(graph.Wavefront)
-				auto := run(graph.Auto)
-				res.Rows = append(res.Rows, Row{Label: label, Baseline: pipe.dur, Fused: wf.dur})
-				gain := 100 * (1 - float64(wf.dur)/float64(pipe.dur))
-				if wf.dur < pipe.dur {
-					wins++
-				}
-				if wf.joins > 0 {
-					rewired++
-				}
-				best, bestName := bestStatic([]staticRun{
-					{"eager", eager.dur}, {"fused", fused.dur},
-					{fmt.Sprintf("pipelined@%d", chunks), pipe.dur},
-					{fmt.Sprintf("wavefront@%d", chunks), wf.dur},
-				})
-				note := fmt.Sprintf(
-					"%s: wavefront %v vs pipelined %v (%+.1f%%), %d join(s) rewired; eager %v, fused %v; overlap eff %.0f%% -> %.0f%%",
-					label, wf.dur, pipe.dur, -gain, wf.joins, eager.dur, fused.dur,
-					100*pipe.overlap, 100*wf.overlap)
-				if strings.Contains(auto.decisions, "wavefront@") || auto.wfChains > 0 {
-					autoPicks++
-					regret := float64(auto.dur)/float64(best) - 1
-					if regret > autoTolerance {
-						autoBad++
-					}
-					note += fmt.Sprintf("; auto picked wavefront: %v vs best static %s %v (regret %+.1f%%)",
-						auto.dur, bestName, best, 100*regret)
-				} else {
-					note += fmt.Sprintf("; auto stayed per-pair: %v (%s)", auto.dur, auto.decisions)
-				}
-				res.Notes = append(res.Notes, note)
+				configList = append(configList, config{sc, sh[0], sh[1], layers})
 			}
 		}
+	}
+	const per = 5
+	jobs := make([]stackJob, 0, len(configList)*per)
+	for _, c := range configList {
+		for _, mode := range []graph.Mode{graph.Eager, graph.Pipelined, graph.Compiled, graph.Wavefront, graph.Auto} {
+			jobs = append(jobs, stackJob{c.sc, c.nodes, c.gpus, c.layers, chunks, mode})
+		}
+	}
+	runs, err := runJobs(jobs, opt)
+	if err != nil {
+		panic(err) // sweep shapes are fixed and valid
+	}
+	wins, rewired := 0, 0
+	autoPicks, autoBad := 0, 0
+	for i, c := range configList {
+		off := i * per
+		label := fmt.Sprintf("%s %dx%d L%d K%d", c.sc.name, c.nodes, c.gpus, c.layers, chunks)
+		eager, pipe, fused, wf, auto := runs[off], runs[off+1], runs[off+2], runs[off+3], runs[off+4]
+		res.Rows = append(res.Rows, Row{Label: label, Baseline: pipe.dur, Fused: wf.dur})
+		gain := 100 * (1 - float64(wf.dur)/float64(pipe.dur))
+		if wf.dur < pipe.dur {
+			wins++
+		}
+		if wf.joins > 0 {
+			rewired++
+		}
+		best, bestName := bestStatic([]staticRun{
+			{"eager", eager.dur}, {"fused", fused.dur},
+			{fmt.Sprintf("pipelined@%d", chunks), pipe.dur},
+			{fmt.Sprintf("wavefront@%d", chunks), wf.dur},
+		})
+		note := fmt.Sprintf(
+			"%s: wavefront %v vs pipelined %v (%+.1f%%), %d join(s) rewired; eager %v, fused %v; overlap eff %.0f%% -> %.0f%%",
+			label, wf.dur, pipe.dur, -gain, wf.joins, eager.dur, fused.dur,
+			100*pipe.overlap, 100*wf.overlap)
+		if strings.Contains(auto.decisions, "wavefront@") || auto.wfChains > 0 {
+			autoPicks++
+			regret := float64(auto.dur)/float64(best) - 1
+			if regret > autoTolerance {
+				autoBad++
+			}
+			note += fmt.Sprintf("; auto picked wavefront: %v vs best static %s %v (regret %+.1f%%)",
+				auto.dur, bestName, best, 100*regret)
+		} else {
+			note += fmt.Sprintf("; auto stayed per-pair: %v (%s)", auto.dur, auto.decisions)
+		}
+		res.Notes = append(res.Notes, note)
 	}
 	res.Notes = append(res.Notes, fmt.Sprintf(
 		"wavefront beat per-pair pipelining on %d/%d configs (%d with rewired joins); auto scheduled a wavefront on %d configs, %d outside the %.0f%% tie window",

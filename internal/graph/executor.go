@@ -234,6 +234,12 @@ type Executor struct {
 	// Streams forces stream-aware scheduling in every mode. Pipelined
 	// runs are always stream-aware.
 	Streams bool
+	// Cache, when non-nil, shares select and partition analysis plans
+	// across executors (and engines) keyed by graph fingerprint — the
+	// cross-point artifact cache parallel sweep workers hand to every
+	// runner so identical (stack, shape) pairs are priced once per
+	// sweep instead of once per point. Safe for concurrent use.
+	Cache *PassCache
 
 	// compiled, partitioned, and selected cache the rewrite-pass outputs
 	// per source graph so repeated executions (decode loops, training
@@ -297,7 +303,13 @@ func (x *Executor) partition(g *Graph) (*Graph, *PartitionReport) {
 	if ent, ok := x.partitioned[g]; ok && ent.gen == g.gen && ent.chunks == k {
 		return ent.g, ent.rep
 	}
-	pg, prep := Partition(g, k)
+	var pg *Graph
+	var prep *PartitionReport
+	if x.Cache != nil {
+		pg, prep = partitionApply(g, k, false, x.Cache.partitionPlanFor(g, k, false))
+	} else {
+		pg, prep = Partition(g, k)
+	}
 	if x.partitioned == nil {
 		x.partitioned = map[*Graph]partitionedEntry{}
 	}
@@ -313,7 +325,13 @@ func (x *Executor) wavefront(g *Graph) (*Graph, *PartitionReport) {
 	if ent, ok := x.wavefronted[g]; ok && ent.gen == g.gen && ent.chunks == k {
 		return ent.g, ent.rep
 	}
-	pg, prep := PartitionWavefront(g, k)
+	var pg *Graph
+	var prep *PartitionReport
+	if x.Cache != nil {
+		pg, prep = partitionApply(g, k, true, x.Cache.partitionPlanFor(g, k, true))
+	} else {
+		pg, prep = PartitionWavefront(g, k)
+	}
 	if x.wavefronted == nil {
 		x.wavefronted = map[*Graph]partitionedEntry{}
 	}
@@ -327,7 +345,13 @@ func (x *Executor) sel(g *Graph) (*Graph, *SelectReport) {
 	if ent, ok := x.selected[g]; ok && ent.gen == g.gen {
 		return ent.g, ent.rep
 	}
-	sg, srep := Select(g)
+	var sg *Graph
+	var srep *SelectReport
+	if x.Cache != nil {
+		sg, srep = selectApply(g, x.Cache.selectPlanFor(g))
+	} else {
+		sg, srep = Select(g)
+	}
 	if x.selected == nil {
 		x.selected = map[*Graph]selectedEntry{}
 	}

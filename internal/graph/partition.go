@@ -382,12 +382,49 @@ func PartitionWavefront(g *Graph, chunks int) (*Graph, *PartitionReport) {
 	return partition(g, chunks, true)
 }
 
+// partitionPlan is the analysis half of a partition pass: the
+// effective chunk depth of every splittable pair, keyed by collective
+// node id so a PassCache can replay it on structurally identical graphs
+// from other sweep points. Pairs absent from chunks run whole.
+type partitionPlan struct {
+	lowered bool
+	chunks  map[int]int
+}
+
+// partitionAnalyze resolves which pairs of g can split at least twice
+// at the requested depth and what each pair's granularity-clamped
+// effective depth is.
+func partitionAnalyze(g *Graph, chunks int) *partitionPlan {
+	plan := &partitionPlan{chunks: map[int]int{}}
+	if lowered(g) {
+		plan.lowered = true
+		return plan
+	}
+	for c := range pairMatches(g, func(Pattern) bool { return true }) {
+		if k := effectiveChunks(c, chunks); k >= 2 {
+			plan.chunks[c.id] = k
+		}
+	}
+	return plan
+}
+
 func partition(g *Graph, chunks int, wavefront bool) (*Graph, *PartitionReport) {
 	if chunks < 1 {
 		chunks = 1
 	}
+	return partitionApply(g, chunks, wavefront, partitionAnalyze(g, chunks))
+}
+
+// partitionApply emits the chunked graph a plan prescribes. Like
+// selectApply, the plan may come from a PassCache hit on a structurally
+// identical graph; emission always binds to g's own nodes and backing
+// operators.
+func partitionApply(g *Graph, chunks int, wavefront bool, plan *partitionPlan) (*Graph, *PartitionReport) {
+	if chunks < 1 {
+		chunks = 1
+	}
 	rep := &PartitionReport{Chunks: chunks, Wavefront: wavefront}
-	if lowered(g) {
+	if plan.lowered {
 		rep.Lowered = true
 		return g, rep
 	}
@@ -399,7 +436,7 @@ func partition(g *Graph, chunks int, wavefront bool) (*Graph, *PartitionReport) 
 	match := pairMatches(g, func(Pattern) bool { return true })
 	computeMatched := map[*Node]bool{}
 	for c, producer := range match {
-		if k := effectiveChunks(c, chunks); k >= 2 {
+		if _, ok := plan.chunks[c.id]; ok {
 			computeMatched[producer] = true
 		} else {
 			delete(match, c) // too small to pipeline: copy the pair whole
@@ -411,7 +448,7 @@ func partition(g *Graph, chunks int, wavefront bool) (*Graph, *PartitionReport) 
 			continue // compute half: emitted at its collective's position
 		}
 		if producer, matched := match[n]; matched {
-			k := effectiveChunks(n, chunks)
+			k := plan.chunks[n.id]
 			pt, _ := patternFor(n.op)
 			seg := em.chunkChain(producer, n, k)
 			if wavefront {

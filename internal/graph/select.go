@@ -526,36 +526,40 @@ func wfChains(g *Graph, segs map[*Node]*wfSeg) [][]*wfSeg {
 	return chains
 }
 
-// wfPlan is one chain the pass decided to schedule as a wavefront.
-type wfPlan struct {
-	chain []*wfSeg
-	k     int
+// selectPlan is the analysis half of a select pass: every priced
+// decision and scheduled wavefront chain, addressed by node id
+// (insertion order) rather than node pointer, so a PassCache can replay
+// the plan on a structurally identical graph — another sweep point's
+// instance of the same workload — without re-pricing a single form.
+type selectPlan struct {
+	lowered bool
+	// decisions maps collective node ids to their chosen form
+	// (wavefront members carry the post-override Choice).
+	decisions map[int]Decision
+	// wavefronts lists the scheduled chains in discovery order: member
+	// tail node ids in chain order, the chain depth, and the report line.
+	wavefronts []wfPlanRec
 }
 
-// Select runs the cost-model-driven rewrite: every fusible
-// compute→collective pair (the same single-consumer adjacency Compile
-// and Partition match) is replaced by its predicted-fastest execution
-// form — fused node, chunk chains at the pair's own K, or the eager
-// pair unchanged — and every alignable segment chain whose wavefront
-// recurrence beats the sum of its segments' standalone bests is
-// rewritten whole as a cross-pair wavefront at the model's K. Unmatched
-// nodes are copied unchanged (gradient exchanges stay eager: the
-// estimator surface covers the three pair operators). The input graph
-// is not modified; both graphs share the same backing operators and
-// buffers, so mixed-mode execution stays bit-exact with eager. An
-// already-lowered input is returned unchanged with Lowered set.
-func Select(g *Graph) (*Graph, *SelectReport) {
-	rep := &SelectReport{}
-	if lowered(g) {
-		rep.Lowered = true
-		return g, rep
-	}
-	em := newEmitter(g)
-	em.segs = map[*Node]*segChain{}
+// wfPlanRec is one wavefront chain of a selectPlan.
+type wfPlanRec struct {
+	tails []int
+	k     int
+	dec   WavefrontDecision
+}
 
+// selectAnalyze prices every fusible pair and alignable chain of g —
+// the expensive half of the select pass (estimator sweeps over
+// candidate chunk depths plus the wavefront recurrence per chain) —
+// and returns the resulting plan without touching the graph.
+func selectAnalyze(g *Graph) *selectPlan {
+	plan := &selectPlan{decisions: map[int]Decision{}}
+	if lowered(g) {
+		plan.lowered = true
+		return plan
+	}
 	match := pairMatches(g, func(Pattern) bool { return true })
 	decisions := map[*Node]Decision{}
-	computeMatched := map[*Node]bool{}
 	for coll, producer := range match {
 		est, ok := pairOf(coll.op).(pairEstimator)
 		if !ok {
@@ -566,14 +570,10 @@ func Select(g *Graph) (*Graph, *SelectReport) {
 		d.Pattern, _ = patternFor(coll.op)
 		d.Compute, d.Collective = producer.name, coll.name
 		decisions[coll] = d
-		if d.Choice != Eager {
-			computeMatched[producer] = true
-		}
 	}
 
 	// Wavefront analysis: price each alignable chain at every admissible
 	// K against the sum of its segments' standalone bests.
-	plans := map[*Node]*wfPlan{} // keyed by segment tail (emission anchor)
 	segs := wfSegments(g, match)
 	for _, chain := range wfChains(g, segs) {
 		kmax := chain[0].maxK
@@ -599,43 +599,84 @@ func Select(g *Graph) (*Graph, *SelectReport) {
 		if bestK == 0 || float64(bestCost) >= (1-wavefrontMargin)*float64(split) {
 			continue // the chain's segments run better on their own
 		}
-		plan := &wfPlan{chain: chain, k: bestK}
+		rec := wfPlanRec{k: bestK}
 		names := make([]string, len(chain))
 		for i, s := range chain {
 			names[i] = s.head.name
-			plans[s.tail] = plan
+			rec.tails = append(rec.tails, s.tail.id)
 			if s.pair != nil {
 				d := decisions[s.tail]
 				d.Choice, d.Chunks = Wavefront, bestK
 				decisions[s.tail] = d
-				computeMatched[s.head] = true
 			}
 		}
-		rep.Wavefronts = append(rep.Wavefronts, WavefrontDecision{
+		rec.dec = WavefrontDecision{
 			Segments: names, Chunks: bestK, Predicted: bestCost, SplitPredicted: split,
-		})
+		}
+		plan.wavefronts = append(plan.wavefronts, rec)
+	}
+	for n, d := range decisions {
+		plan.decisions[n.id] = d
+	}
+	return plan
+}
+
+// selectApply emits the mixed-mode graph a plan prescribes. The plan
+// may come from analyzing g itself or from a PassCache hit on a
+// structurally identical graph (same fingerprint, hence same node ids,
+// names, and match set); emission always uses g's own nodes and backing
+// operators, so the output graph is bound to g's world. The report is
+// reconstructed in full — decisions in node order, wavefronts in
+// discovery order — identical to what a fresh analysis would produce.
+func selectApply(g *Graph, plan *selectPlan) (*Graph, *SelectReport) {
+	rep := &SelectReport{}
+	if plan.lowered {
+		rep.Lowered = true
+		return g, rep
+	}
+	em := newEmitter(g)
+	em.segs = map[*Node]*segChain{}
+
+	match := pairMatches(g, func(Pattern) bool { return true })
+	computeMatched := map[*Node]bool{}
+	for coll, producer := range match {
+		d, priced := plan.decisions[coll.id]
+		if !priced {
+			delete(match, coll) // no cost surface: leave the pair eager
+			continue
+		}
+		if d.Choice != Eager {
+			computeMatched[producer] = true
+		}
+	}
+	wfK := map[int]int{} // member tail node id -> chain depth
+	for _, rec := range plan.wavefronts {
+		rep.Wavefronts = append(rep.Wavefronts, rec.dec)
+		for _, id := range rec.tails {
+			wfK[id] = rec.k
+		}
 	}
 
 	for _, n := range g.nodes {
 		if computeMatched[n] {
 			continue // compute half: emitted at its collective's position
 		}
-		if plan := plans[n]; plan != nil {
+		if k, member := wfK[n.id]; member {
 			// Wavefront chain member: chunk at the chain's K and register
 			// the chain so downstream members pick up chunk-granular
-			// join edges. plan.k never exceeds any member's granularity,
+			// join edges. k never exceeds any member's granularity,
 			// so the rowwise clamp inside rowSegment is a no-op here.
-			if seg, ok := em.rowSegment(n, plan.k); ok {
+			if seg, ok := em.rowSegment(n, k); ok {
 				em.segs[n] = seg
 			} else { // pair collective
 				producer := match[n]
-				em.segs[n] = em.chunkChain(producer, n, plan.k)
-				rep.Decisions = append(rep.Decisions, decisions[n])
+				em.segs[n] = em.chunkChain(producer, n, k)
+				rep.Decisions = append(rep.Decisions, plan.decisions[n.id])
 			}
 			continue
 		}
 		if producer, matched := match[n]; matched {
-			d := decisions[n]
+			d := plan.decisions[n.id]
 			switch d.Choice {
 			case Compiled:
 				em.fusePair(producer, n)
@@ -653,4 +694,20 @@ func Select(g *Graph) (*Graph, *SelectReport) {
 		}
 	}
 	return em.out, rep
+}
+
+// Select runs the cost-model-driven rewrite: every fusible
+// compute→collective pair (the same single-consumer adjacency Compile
+// and Partition match) is replaced by its predicted-fastest execution
+// form — fused node, chunk chains at the pair's own K, or the eager
+// pair unchanged — and every alignable segment chain whose wavefront
+// recurrence beats the sum of its segments' standalone bests is
+// rewritten whole as a cross-pair wavefront at the model's K. Unmatched
+// nodes are copied unchanged (gradient exchanges stay eager: the
+// estimator surface covers the three pair operators). The input graph
+// is not modified; both graphs share the same backing operators and
+// buffers, so mixed-mode execution stays bit-exact with eager. An
+// already-lowered input is returned unchanged with Lowered set.
+func Select(g *Graph) (*Graph, *SelectReport) {
+	return selectApply(g, selectAnalyze(g))
 }

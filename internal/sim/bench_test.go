@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkSleepSingleProc measures the sleep→wake round trip of one
+// process — the engine's hottest path (kernel bodies are long runs of
+// Busy/Sleep calls). One op is one Sleep.
+func BenchmarkSleepSingleProc(b *testing.B) {
+	e := NewEngine()
+	e.Go("sleeper", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(10)
+		}
+	})
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkSleepManyProcs measures interleaved sleeps across 8 processes
+// with overlapping wake times, forcing the park/resume protocol (no
+// process can take a direct-handoff shortcut past the others).
+func BenchmarkSleepManyProcs(b *testing.B) {
+	const procs = 8
+	e := NewEngine()
+	for i := 0; i < procs; i++ {
+		d := Duration(i + 1) // coprime-ish periods keep wakes interleaved
+		e.Go(fmt.Sprintf("p%d", i), func(p *Proc) {
+			for k := 0; k < b.N; k++ {
+				p.Sleep(d)
+			}
+		})
+	}
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkFlagPingPong measures condition signalling: two processes
+// alternating on a Flag, the Broadcast/Wait path semaphores and streams
+// are built on. One op is one handoff.
+func BenchmarkFlagPingPong(b *testing.B) {
+	e := NewEngine()
+	f := NewFlag(e)
+	e.Go("ping", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			f.WaitEQ(p, int64(2*i))
+			f.Set(int64(2*i + 1))
+		}
+	})
+	e.Go("pong", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			f.WaitEQ(p, int64(2*i+1))
+			f.Set(int64(2*i + 2))
+		}
+	})
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkCallbacksSameInstant measures pure callback dispatch at a
+// shared instant — the Broadcast/scheduler fan-out shape.
+func BenchmarkCallbacksSameInstant(b *testing.B) {
+	e := NewEngine()
+	var fire func(i int)
+	fire = func(i int) {
+		if i < b.N {
+			e.At(e.Now(), func() { fire(i + 1) })
+		}
+	}
+	e.At(0, func() { fire(0) })
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkResourceFlows measures the bandwidth-server path: concurrent
+// transfers reallocating rates (timer cancel + reschedule churn). One op
+// is one complete transfer.
+func BenchmarkResourceFlows(b *testing.B) {
+	e := NewEngine()
+	r := NewResource(e, "hbm", 1e12, nil)
+	const procs = 4
+	per := b.N/procs + 1
+	for i := 0; i < procs; i++ {
+		e.Go(fmt.Sprintf("flow%d", i), func(p *Proc) {
+			for k := 0; k < per; k++ {
+				r.Transfer(p, 4096, 0)
+			}
+		})
+	}
+	b.ResetTimer()
+	e.Run()
+}

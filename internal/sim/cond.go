@@ -17,7 +17,7 @@ func NewCond(e *Engine) *Cond { return &Cond{e: e} }
 func (c *Cond) Wait(p *Proc, pred func() bool) {
 	for !pred() {
 		c.waiters = append(c.waiters, p)
-		p.park(parkBlocked, nil)
+		p.park(parkBlocked)
 	}
 }
 
@@ -30,7 +30,7 @@ func (c *Cond) Broadcast() {
 	ws := c.waiters
 	c.waiters = nil
 	for _, p := range ws {
-		c.e.schedule(&event{at: c.e.now, proc: p})
+		c.e.enqueue(c.e.now, p, nil)
 	}
 }
 
@@ -107,7 +107,7 @@ func (s *Semaphore) Acquire(p *Proc, n int) {
 	w := &semWaiter{p: p, n: n}
 	s.queue = append(s.queue, w)
 	for !w.done {
-		p.park(parkBlocked, nil)
+		p.park(parkBlocked)
 	}
 }
 
@@ -138,7 +138,7 @@ func (s *Semaphore) dispatch() {
 		s.available -= w.n
 		w.done = true
 		if w.p != nil {
-			s.e.schedule(&event{at: s.e.now, proc: w.p})
+			s.e.enqueue(s.e.now, w.p, nil)
 		}
 	}
 }

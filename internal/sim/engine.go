@@ -6,15 +6,18 @@ import (
 )
 
 // event is a scheduled occurrence: either waking a parked process or
-// invoking a callback while no process runs.
+// invoking a callback while no process runs. Events are pooled: the
+// engine owns every event it hands out and recycles it after dispatch,
+// so holders (e.g. Resource timers) must drop their reference no later
+// than cancellation.
 type event struct {
 	at   Time
 	seq  uint64 // tie-break: FIFO among equal times
 	proc *Proc  // non-nil: wake this process
 	fn   func() // non-nil: run this callback on the engine goroutine
-	// cancelled events stay in the heap but are skipped when popped.
+	// cancelled events stay queued but are skipped when reached.
 	cancelled bool
-	index     int
+	index     int // heap slot, or -1 while in the same-instant queue
 }
 
 type eventQueue []*event
@@ -45,8 +48,27 @@ func (q *eventQueue) Pop() any {
 	return ev
 }
 
+const (
+	// maxPool bounds the event free list so pathological bursts don't pin
+	// memory for the rest of a long sweep.
+	maxPool = 4096
+	// compactMin is the heap size below which lazy purging is always
+	// cheap enough; compaction only triggers above it.
+	compactMin = 64
+)
+
 // Engine is a deterministic discrete-event simulator. The zero value is
 // not usable; create engines with NewEngine.
+//
+// Scheduling maintains a strict (time, seq) order, where seq is a global
+// monotone counter assigned at schedule time, so equal-time events run in
+// FIFO order. Two structures hold pending events: a binary heap for
+// future instants and a flat FIFO (nowq) for events scheduled *at* the
+// instant currently being executed. Every nowq entry was necessarily
+// scheduled after every same-time heap entry (the clock had already
+// reached the instant), so draining the heap's equal-time run first and
+// the nowq second reproduces exact (time, seq) order without pushing
+// same-instant work through the heap.
 type Engine struct {
 	now     Time
 	queue   eventQueue
@@ -55,11 +77,21 @@ type Engine struct {
 	nprocs  int // live processes
 	running bool
 	panicV  any // panic propagated from a process
+
+	// Same-instant FIFO: events scheduled for the instant being executed.
+	nowq     []*event
+	nowqHead int
+
+	// horizon is the active RunUntil bound; Proc.Sleep's direct-handoff
+	// fast path must not advance the clock past it.
+	horizon Time
+
+	pool       []*event // event free list
+	ncancelled int      // cancelled events still in the heap
 }
 
 type parkMsg struct {
 	kind parkKind
-	ev   *event // for parkScheduled: the wake event (sanity only)
 }
 
 type parkKind int
@@ -73,27 +105,109 @@ const (
 
 // NewEngine returns an empty engine with the clock at zero.
 func NewEngine() *Engine {
-	return &Engine{parked: make(chan parkMsg)}
+	// Buffered channels make park and resume one-way notifications
+	// instead of rendezvous: the sender never blocks, halving the
+	// scheduler handoffs per park/resume cycle. The exclusive-runner
+	// invariant (engine blocked in <-e.parked whenever a process runs,
+	// process blocked in <-p.resume whenever the engine runs) still
+	// provides the happens-before edges for all engine state.
+	return &Engine{parked: make(chan parkMsg, 1)}
 }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
-// schedule enqueues ev and assigns its sequence number.
-func (e *Engine) schedule(ev *event) *event {
+// newEvent takes an event from the free list, or allocates one.
+func (e *Engine) newEvent() *event {
+	if n := len(e.pool); n > 0 {
+		ev := e.pool[n-1]
+		e.pool = e.pool[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// free recycles a dispatched or purged event.
+func (e *Engine) free(ev *event) {
+	ev.proc = nil
+	ev.fn = nil
+	ev.cancelled = false
+	ev.index = -1
+	if len(e.pool) < maxPool {
+		e.pool = append(e.pool, ev)
+	}
+}
+
+// enqueue schedules an occurrence at time t (clamped to now) and returns
+// the pooled event, which stays valid until dispatched or cancelled.
+func (e *Engine) enqueue(t Time, p *Proc, fn func()) *event {
+	if t < e.now {
+		t = e.now
+	}
+	ev := e.newEvent()
+	ev.at, ev.proc, ev.fn = t, p, fn
 	ev.seq = e.seq
 	e.seq++
-	heap.Push(&e.queue, ev)
+	if e.running && t == e.now {
+		ev.index = -1
+		e.nowq = append(e.nowq, ev)
+	} else {
+		heap.Push(&e.queue, ev)
+	}
 	return ev
+}
+
+// cancel marks ev as a no-op. The event object is reclaimed by the
+// engine when reached (or compacted away); callers must drop their
+// reference immediately.
+func (e *Engine) cancel(ev *event) {
+	if ev == nil || ev.cancelled {
+		return
+	}
+	ev.cancelled = true
+	if ev.index >= 0 {
+		e.ncancelled++
+		if len(e.queue) > compactMin && e.ncancelled*2 > len(e.queue) {
+			e.compact()
+		}
+	}
+}
+
+// compact rebuilds the heap without its cancelled events. Purging is
+// normally lazy (skipped at pop time), but condition-heavy runs can
+// cancel faster than they pop; compaction keeps the heap from growing
+// unboundedly once more than half of it is dead.
+func (e *Engine) compact() {
+	live := e.queue[:0]
+	for _, ev := range e.queue {
+		if ev.cancelled {
+			e.free(ev)
+			continue
+		}
+		ev.index = len(live)
+		live = append(live, ev)
+	}
+	for i := len(live); i < len(e.queue); i++ {
+		e.queue[i] = nil
+	}
+	e.queue = live
+	heap.Init(&e.queue)
+	e.ncancelled = 0
+}
+
+// purgeHead pops cancelled events off the heap top.
+func (e *Engine) purgeHead() {
+	for len(e.queue) > 0 && e.queue[0].cancelled {
+		ev := heap.Pop(&e.queue).(*event)
+		e.ncancelled--
+		e.free(ev)
+	}
 }
 
 // At schedules fn to run on the engine goroutine at time t (>= now).
 // Callbacks must not block; they may spawn processes and signal conditions.
 func (e *Engine) At(t Time, fn func()) {
-	if t < e.now {
-		t = e.now
-	}
-	e.schedule(&event{at: t, fn: fn})
+	e.enqueue(t, nil, fn)
 }
 
 // After schedules fn to run d from now.
@@ -106,7 +220,6 @@ type Proc struct {
 	e      *Engine
 	name   string
 	resume chan struct{}
-	wake   *event // pending wake event while parked (nil when blocked)
 }
 
 // Name returns the diagnostic name given at spawn.
@@ -122,11 +235,11 @@ func (p *Proc) Now() Time { return p.e.now }
 // called from the host (before Run), from engine callbacks, or from other
 // processes.
 func (e *Engine) Go(name string, fn func(*Proc)) {
-	p := &Proc{e: e, name: name, resume: make(chan struct{})}
+	p := &Proc{e: e, name: name, resume: make(chan struct{}, 1)}
 	e.nprocs++
 	// The process starts via a queue event so that spawn order is
 	// preserved deterministically.
-	e.schedule(&event{at: e.now, proc: p})
+	e.enqueue(e.now, p, nil)
 	go func() {
 		<-p.resume
 		defer func() {
@@ -142,25 +255,67 @@ func (e *Engine) Go(name string, fn func(*Proc)) {
 }
 
 // park transfers control back to the engine and blocks until resumed.
-func (p *Proc) park(kind parkKind, ev *event) {
-	p.e.parked <- parkMsg{kind: kind, ev: ev}
+func (p *Proc) park(kind parkKind) {
+	p.e.parked <- parkMsg{kind: kind}
 	<-p.resume
 }
 
 // Sleep suspends the process for d of virtual time.
+//
+// Fast path (direct handoff): when no other work precedes the wake
+// instant — the same-instant queue is drained and every pending heap
+// event lies strictly after the wake time — the next event the engine
+// would dispatch is this process's own wake. Parking would be a pure
+// round trip through the engine goroutine, so the process advances the
+// clock itself and keeps running. This is safe under the
+// exclusive-runner invariant: the engine is blocked in <-e.parked for
+// the entire duration, and observes the new clock only after the
+// process parks or exits.
 func (p *Proc) Sleep(d Duration) {
 	if d < 0 {
 		d = 0
 	}
-	ev := p.e.schedule(&event{at: p.e.now.Add(d), proc: p})
-	p.wake = ev
-	p.park(parkScheduled, ev)
-	p.wake = nil
+	e := p.e
+	at := e.now.Add(d)
+	if e.nowqHead == len(e.nowq) && at <= e.horizon {
+		e.purgeHead()
+		if len(e.queue) == 0 || e.queue[0].at > at {
+			e.now = at
+			return
+		}
+	}
+	e.enqueue(at, p, nil)
+	p.park(parkScheduled)
 }
 
 // Yield reschedules the process at the current instant, letting every
 // other event already queued for this instant run first.
 func (p *Proc) Yield() { p.Sleep(0) }
+
+// dispatch runs one event: callbacks inline, process wakes via the
+// resume/park protocol. The event is recycled before control transfers,
+// so neither the callback nor the process may retain it.
+func (e *Engine) dispatch(ev *event) {
+	if ev.fn != nil {
+		fn := ev.fn
+		e.free(ev)
+		fn()
+		return
+	}
+	p := ev.proc
+	e.free(ev)
+	p.resume <- struct{}{}
+	msg := <-e.parked
+	switch msg.kind {
+	case parkExited:
+		e.nprocs--
+	case parkPanicked:
+		e.nprocs--
+		panic(e.panicV)
+	case parkScheduled, parkBlocked:
+		// Process parked; its wake event (if any) is queued.
+	}
+}
 
 // Run executes events until the queue is empty or the optional horizon is
 // reached. It returns the final clock value. Run panics if a simulated
@@ -173,39 +328,76 @@ func (e *Engine) RunUntil(horizon Time) Time {
 	if e.running {
 		panic("sim: Run called re-entrantly")
 	}
+	if horizon < e.now {
+		return e.now
+	}
 	e.running = true
+	e.horizon = horizon
 	defer func() { e.running = false }()
 
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*event)
-		if ev.cancelled {
-			continue
-		}
-		if ev.at > horizon {
-			// Put it back for a later Run call.
-			e.schedule(&event{at: ev.at, proc: ev.proc, fn: ev.fn})
+	for {
+		e.purgeHead()
+		if len(e.queue) == 0 {
+			if e.nprocs > 0 {
+				panic(fmt.Sprintf("sim: deadlock at %v: %d process(es) blocked with empty event queue", e.now, e.nprocs))
+			}
 			return e.now
 		}
+		if e.queue[0].at > horizon {
+			// Leave it queued for a later Run call; its sequence
+			// number is preserved, so FIFO tie-breaks among
+			// equal-time events survive the horizon boundary.
+			return e.now
+		}
+		ev := heap.Pop(&e.queue).(*event)
 		e.now = ev.at
-		if ev.fn != nil {
-			ev.fn()
-			continue
+		e.dispatch(ev)
+
+		// Drain the remainder of this instant: first the heap's
+		// equal-time run (all scheduled before the clock got here,
+		// so their seqs precede every nowq entry), then the nowq
+		// FIFO, which may grow while draining. A dispatched process
+		// may fast-forward e.now via the Sleep direct handoff; that
+		// only happens when both queues have nothing at or before
+		// the new time, so the drain stays correct.
+		for len(e.queue) > 0 {
+			h := e.queue[0]
+			if h.cancelled {
+				heap.Pop(&e.queue)
+				e.ncancelled--
+				e.free(h)
+				continue
+			}
+			if h.at != e.now {
+				break
+			}
+			heap.Pop(&e.queue)
+			e.dispatch(h)
 		}
-		// Wake the process and wait for it to park again.
-		ev.proc.resume <- struct{}{}
-		msg := <-e.parked
-		switch msg.kind {
-		case parkExited:
-			e.nprocs--
-		case parkPanicked:
-			e.nprocs--
-			panic(e.panicV)
-		case parkScheduled, parkBlocked:
-			// Process parked; its wake event (if any) is queued.
+		for e.nowqHead < len(e.nowq) {
+			// Dispatches may keep appending to the current instant
+			// (callback chains, broadcast cascades); shift the
+			// drained prefix out once it dominates so the queue
+			// doesn't grow with the length of the chain. Amortized
+			// O(1): each entry moves at most once per halving.
+			if e.nowqHead > 32 && e.nowqHead*2 >= len(e.nowq) {
+				n := copy(e.nowq, e.nowq[e.nowqHead:])
+				for i := n; i < len(e.nowq); i++ {
+					e.nowq[i] = nil
+				}
+				e.nowq = e.nowq[:n]
+				e.nowqHead = 0
+			}
+			nv := e.nowq[e.nowqHead]
+			e.nowq[e.nowqHead] = nil
+			e.nowqHead++
+			if nv.cancelled {
+				e.free(nv)
+				continue
+			}
+			e.dispatch(nv)
 		}
+		e.nowq = e.nowq[:0]
+		e.nowqHead = 0
 	}
-	if e.nprocs > 0 {
-		panic(fmt.Sprintf("sim: deadlock at %v: %d process(es) blocked with empty event queue", e.now, e.nprocs))
-	}
-	return e.now
 }

@@ -122,6 +122,148 @@ func TestRunUntilHorizon(t *testing.T) {
 	}
 }
 
+func TestRunUntilPreservesSeqAcrossHorizon(t *testing.T) {
+	// Two equal-time events scheduled A-then-B beyond the horizon must
+	// still run A-then-B after RunUntil returns. The old implementation
+	// popped the over-horizon event and re-scheduled it with a fresh
+	// sequence number, silently reordering it behind its peers.
+	e := NewEngine()
+	var order []string
+	e.At(100, func() { order = append(order, "A") })
+	e.At(100, func() { order = append(order, "B") })
+	if got := e.RunUntil(50); got != 0 {
+		t.Fatalf("RunUntil(50) = %v, want 0", got)
+	}
+	if len(order) != 0 {
+		t.Fatalf("events ran before horizon: %v", order)
+	}
+	e.Run()
+	if len(order) != 2 || order[0] != "A" || order[1] != "B" {
+		t.Fatalf("order = %v, want [A B] (seq lost across RunUntil boundary)", order)
+	}
+}
+
+func TestRunUntilBeforeNow(t *testing.T) {
+	e := NewEngine()
+	e.At(100, func() {})
+	e.Run()
+	if got := e.RunUntil(50); got != 100 {
+		t.Fatalf("RunUntil(past) = %v, want clock unchanged at 100", got)
+	}
+}
+
+func TestRunUntilHorizonWithProcSleeps(t *testing.T) {
+	// The Sleep direct-handoff fast path must not advance the clock past
+	// an active RunUntil horizon even when the heap is empty.
+	e := NewEngine()
+	var hits []Time
+	e.Go("p", func(p *Proc) {
+		for i := 0; i < 4; i++ {
+			p.Sleep(100)
+			hits = append(hits, p.Now())
+		}
+	})
+	at := e.RunUntil(250)
+	if at > 250 {
+		t.Fatalf("RunUntil(250) returned %v, clock overran horizon", at)
+	}
+	if len(hits) != 2 {
+		t.Fatalf("got %d hits before horizon, want 2 (hits=%v)", len(hits), hits)
+	}
+	end := e.Run()
+	if len(hits) != 4 || end != 400 {
+		t.Fatalf("after Run: hits=%v end=%v, want 4 hits ending at 400", hits, end)
+	}
+}
+
+func TestCancelledHeapCompaction(t *testing.T) {
+	e := NewEngine()
+	var evs []*event
+	for i := 0; i < 200; i++ {
+		evs = append(evs, e.enqueue(Time(1000+i), nil, func() {}))
+	}
+	// Cancel from the back so the heap head stays live and lazy purging
+	// never kicks in; only the threshold compaction can shrink the heap.
+	for i := 199; i >= 60; i-- {
+		e.cancel(evs[i])
+	}
+	// Compaction keeps the cancelled fraction bounded: at no point may
+	// more than half the heap be dead, so 140 cancellations against 60
+	// survivors must have shrunk the heap at least once.
+	if len(e.queue) >= 200 {
+		t.Fatalf("heap len = %d after cancelling 140/200, compaction never fired", len(e.queue))
+	}
+	if e.ncancelled*2 > len(e.queue) {
+		t.Fatalf("heap %d events with %d cancelled: >50%% dead despite threshold", len(e.queue), e.ncancelled)
+	}
+	// The survivors must still run, in order.
+	var got int
+	e.queue = e.queue[:0]
+	e = NewEngine()
+	evs = evs[:0]
+	for i := 0; i < 100; i++ {
+		i := i
+		evs = append(evs, e.enqueue(Time(10+i), nil, func() { got++; _ = i }))
+	}
+	for i := 99; i >= 40; i-- {
+		e.cancel(evs[i])
+	}
+	e.Run()
+	if got != 40 {
+		t.Fatalf("ran %d events after cancellation, want 40", got)
+	}
+}
+
+func TestCompactionBelowMinIsLazy(t *testing.T) {
+	e := NewEngine()
+	var evs []*event
+	for i := 0; i < compactMin; i++ {
+		evs = append(evs, e.enqueue(Time(1000+i), nil, func() {}))
+	}
+	for _, ev := range evs {
+		e.cancel(ev)
+	}
+	if len(e.queue) != compactMin {
+		t.Fatalf("small heap compacted eagerly: len = %d, want %d", len(e.queue), compactMin)
+	}
+	e.Run() // purges lazily, must not run anything
+}
+
+func TestEventPoolRecycles(t *testing.T) {
+	e := NewEngine()
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 10; i++ {
+			e.At(e.Now().Add(Duration(i+1)), func() {})
+		}
+		e.Run()
+	}
+	if len(e.pool) == 0 {
+		t.Fatal("event pool empty after dispatch; events are not being recycled")
+	}
+}
+
+func TestSameInstantChainLongCascade(t *testing.T) {
+	// A callback chain at one instant must terminate with the queue
+	// compacted, and interleave correctly with process wakeups.
+	e := NewEngine()
+	n := 0
+	var chain func()
+	chain = func() {
+		if n++; n < 10000 {
+			e.At(e.Now(), chain)
+		}
+	}
+	e.At(5, chain)
+	e.Go("obs", func(p *Proc) { p.Sleep(5) })
+	e.Run()
+	if n != 10000 {
+		t.Fatalf("chain ran %d times, want 10000", n)
+	}
+	if len(e.nowq) != 0 || e.nowqHead != 0 {
+		t.Fatalf("nowq not reset after run: len=%d head=%d", len(e.nowq), e.nowqHead)
+	}
+}
+
 func TestSpawnFromProcess(t *testing.T) {
 	e := NewEngine()
 	var childTime Time

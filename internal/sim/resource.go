@@ -86,7 +86,7 @@ func (r *Resource) Transfer(p *Proc, bytes, perFlowCap float64) {
 	f := &flow{remaining: bytes, cap: perFlowCap, p: p}
 	r.admit(f)
 	for !f.done {
-		p.park(parkBlocked, nil)
+		p.park(parkBlocked)
 	}
 }
 
@@ -163,7 +163,7 @@ func (r *Resource) advance() {
 func (r *Resource) complete(f *flow) {
 	f.done = true
 	if f.p != nil {
-		r.e.schedule(&event{at: r.e.now, proc: f.p})
+		r.e.enqueue(r.e.now, f.p, nil)
 	}
 	if f.onDone != nil {
 		r.e.At(r.e.now, f.onDone)
@@ -174,7 +174,7 @@ func (r *Resource) complete(f *flow) {
 // completion event.
 func (r *Resource) reallocate() {
 	if r.timer != nil {
-		r.timer.cancelled = true
+		r.e.cancel(r.timer)
 		r.timer = nil
 	}
 	n := len(r.flows)
@@ -200,7 +200,7 @@ func (r *Resource) reallocate() {
 	if d < 1 {
 		d = 1
 	}
-	r.timer = r.e.schedule(&event{at: r.e.now.Add(d), fn: r.tick})
+	r.timer = r.e.enqueue(r.e.now.Add(d), nil, r.tick)
 }
 
 func (r *Resource) tick() {

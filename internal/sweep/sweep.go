@@ -1,0 +1,87 @@
+// Package sweep runs independent sweep points on a bounded worker pool
+// while keeping every observable output deterministic. A fusionbench
+// sweep is embarrassingly parallel — each point builds its own engine,
+// world, and graph — so the only thing parallelism may change is
+// wall-clock time: results come back in index order, panics propagate
+// as if the sweep had run serially, and a worker count of one runs the
+// points inline with no goroutines at all.
+package sweep
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers normalizes a requested worker count: values below one mean
+// "use the host" (GOMAXPROCS), anything else is returned as is.
+func Workers(requested int) int {
+	if requested < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return requested
+}
+
+// panicked wraps a recovered panic value so Map can tell "fn panicked"
+// apart from "fn returned".
+type panicked struct {
+	v any
+}
+
+// Map runs fn(0..n-1) with at most workers concurrent calls and
+// returns the results in index order. With workers <= 1 the calls run
+// inline on the caller's goroutine. If any call panics, Map waits for
+// the in-flight calls, then re-panics the lowest-index panic — the one
+// a serial run would have hit first — so failure behavior does not
+// depend on goroutine scheduling.
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	if n == 0 {
+		return out
+	}
+	if Workers(workers) <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	panics := make([]*panicked, n)
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		next int
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if v := recover(); v != nil {
+							panics[i] = &panicked{v: v}
+						}
+					}()
+					out[i] = fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p.v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package sweep
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdered(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		got := Map(workers, 100, func(i int) int { return i * i })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	if got := Map(4, 0, func(i int) int { t.Fatal("fn called"); return 0 }); len(got) != 0 {
+		t.Fatalf("Map over 0 items returned %d results", len(got))
+	}
+}
+
+// TestMapSerialInline proves workers <= 1 never spawns a goroutine: fn
+// observes the caller's goroutine-local state (a mutex held across the
+// call would deadlock if fn ran elsewhere and tried to lock it — here
+// we simply check call order is strictly sequential).
+func TestMapSerialInline(t *testing.T) {
+	var inFlight, maxInFlight int32
+	Map(1, 50, func(i int) int {
+		cur := atomic.AddInt32(&inFlight, 1)
+		if cur > atomic.LoadInt32(&maxInFlight) {
+			atomic.StoreInt32(&maxInFlight, cur)
+		}
+		atomic.AddInt32(&inFlight, -1)
+		return i
+	})
+	if maxInFlight != 1 {
+		t.Fatalf("workers=1 ran %d calls concurrently", maxInFlight)
+	}
+}
+
+// TestMapBoundsWorkers checks the pool never runs more than the
+// requested number of calls at once.
+func TestMapBoundsWorkers(t *testing.T) {
+	prev := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prev)
+	const workers = 3
+	var inFlight, peak int32
+	var mu sync.Mutex
+	barrier := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		Map(workers, 12, func(i int) int {
+			cur := atomic.AddInt32(&inFlight, 1)
+			mu.Lock()
+			if cur > peak {
+				peak = cur
+			}
+			mu.Unlock()
+			<-barrier
+			atomic.AddInt32(&inFlight, -1)
+			return i
+		})
+	}()
+	// Release items gradually so the pool has every chance to
+	// oversubscribe if it were going to.
+	for i := 0; i < 12; i++ {
+		barrier <- struct{}{}
+	}
+	<-done
+	if peak > workers {
+		t.Fatalf("pool peaked at %d concurrent calls, cap %d", peak, workers)
+	}
+}
+
+// TestMapPanicLowestIndex: whichever goroutine panics first, Map must
+// re-panic the lowest-index panic — the one a serial run would hit.
+func TestMapPanicLowestIndex(t *testing.T) {
+	defer func() {
+		if v := recover(); v != "boom-3" {
+			t.Fatalf("recovered %v, want boom-3", v)
+		}
+	}()
+	Map(4, 10, func(i int) int {
+		if i == 3 || i == 7 {
+			panic("boom-" + string(rune('0'+i)))
+		}
+		return i
+	})
+	t.Fatal("Map returned despite panics")
+}
+
+func TestWorkersDefault(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-2); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-2) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(6); got != 6 {
+		t.Fatalf("Workers(6) = %d, want 6", got)
+	}
+}
