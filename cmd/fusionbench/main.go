@@ -19,6 +19,15 @@
 //	                            # inter-layer wavefront vs per-pair
 //	                            # pipelining sweep (joins, overlap, auto
 //	                            # cross-check)
+//	fusionbench -mode serve -json BENCH_serving.json
+//	                            # open-loop serving sweep: idle-machine
+//	                            # vs load-aware Auto plans under QPS
+//	                            # load (p99, goodput, crossover points)
+//	fusionbench -mode serve -qps 20000 -requests 64 -shape 1x8
+//	                            # serve one shape at one offered rate
+//	fusionbench -mode serve -trace arrivals.txt
+//	                            # replay a recorded arrival trace
+//	                            # ("<offset-seconds> [kind]" per line)
 //	fusionbench -json out.json  # also emit machine-readable makespans
 //	fusionbench -pipeline -quick -compare BENCH_pipeline.json
 //	                            # CI perf gate: fail if any makespan
@@ -260,8 +269,13 @@ func main() {
 		ablations  = flag.Bool("ablations", false, "run the design-choice ablations")
 		shape      = flag.String("shape", "", "nodes x GPUs shape (e.g. 4x4): hybrid comparison, or the shape of -mode")
 		pipeline   = flag.Bool("pipeline", false, "run the eager vs pipelined vs fused execution-mode sweep")
-		mode       = flag.String("mode", "", "run one execution-mode configuration: eager, pipelined, fused, or auto (auto without -shape runs the full selection-validation sweep)")
+		mode       = flag.String("mode", "", "run one execution-mode configuration: eager, pipelined, fused, auto, wavefront, or serve (auto/wavefront/serve without -shape run their full sweeps)")
 		chunks     = flag.Int("chunks", fusedcc.DefaultChunks, "pipeline depth K for -mode pipelined")
+		qps        = flag.Float64("qps", 0, "offered request rate for -mode serve (0 without -trace runs the full serving sweep)")
+		trace      = flag.String("trace", "", "arrival trace file for -mode serve (one request per line: \"<offset-seconds> [kind]\")")
+		requests   = flag.Int("requests", 64, "request count bound for -mode serve -qps")
+		duration   = flag.Float64("duration", 0, "simulated horizon in seconds for -mode serve -qps (0: bound by -requests only)")
+		seed       = flag.Int64("seed", 1, "arrival seed for -mode serve -qps")
 		layers     = flag.Int("layers", 2, "stack depth L for -mode (decoder layers / MoE layers / DLRM groups)")
 		jsonPath   = flag.String("json", "", "also write the results as machine-readable JSON (e.g. BENCH_pipeline.json)")
 		compare    = flag.String("compare", "", "compare results against a committed baseline JSON and fail on perf regression")
@@ -357,6 +371,33 @@ func main() {
 	}
 
 	switch {
+	case *mode == "serve":
+		if *shape == "" && *qps == 0 && *trace == "" {
+			// Bare -mode serve runs the full serving sweep (every case
+			// stack per shape, offered load stepped through multiples of
+			// its saturation rate, idle-machine vs load-aware plans) —
+			// the BENCH_serving.json producer. Add -qps or -trace (and
+			// optionally -shape) to serve one configuration instead.
+			emit(runExp("serving"))
+			finish()
+			return
+		}
+		nodes, gpus := 1, 8
+		var err error
+		if *shape != "" {
+			if nodes, gpus, err = parseShape(*shape); err != nil {
+				fail(err)
+			}
+		}
+		res, err := fusedcc.RunServingConfigOpt(nodes, gpus, *layers, *qps, *requests,
+			fusedcc.DurationOf(*duration), *trace, *seed, sopt)
+		if err != nil {
+			fail(err)
+		}
+		emit(res)
+		finish()
+		return
+
 	case *mode != "":
 		m, err := parseMode(*mode)
 		if err != nil {

@@ -132,6 +132,10 @@ type (
 	// SelectWavefront records one chain the select pass scheduled as a
 	// cross-pair wavefront.
 	SelectWavefront = graph.WavefrontDecision
+	// LoadContext describes observed serving load (queue depth, arrival
+	// rate) for load-aware selection; the zero value prices for an idle
+	// machine, reproducing Select's historical choices exactly.
+	LoadContext = graph.LoadContext
 	// FusionPattern identifies one compute→collective rewrite.
 	FusionPattern = graph.Pattern
 	// RowsSpec declares a rowwise per-rank compute node — the builder
@@ -233,6 +237,16 @@ func PartitionWavefront(g *Graph, chunks int) (*Graph, *PartitionReport) {
 // mode execution is bit-exact with eager.
 func Select(g *Graph) (*Graph, *SelectReport) {
 	return graph.Select(g)
+}
+
+// SelectLoaded is Select re-priced for a machine under serving load:
+// each form's latency is charged with the head-of-line delay it imposes
+// on the queued work behind it (its bottleneck-stream demand times the
+// observed queue depth), so under contention the model can prefer a
+// form with worse idle latency but lower stream occupancy. A zero
+// LoadContext is exactly Select.
+func SelectLoaded(g *Graph, load LoadContext) (*Graph, *SelectReport) {
+	return graph.SelectLoaded(g, load)
 }
 
 // Stack chains layers onto a graph: build(l, prev) appends layer l's
@@ -463,6 +477,7 @@ var experimentTable = []experiment{
 	{id: "pipeline", run: experiments.Pipeline},
 	{id: "auto", run: experiments.Auto},
 	{id: "wavefront", run: experiments.Wavefront},
+	{id: "serving", run: experiments.Serving},
 	{id: "ablation:zerocopy", run: experiments.AblationZeroCopy},
 	{id: "ablation:slicesize", run: experiments.AblationSliceSize},
 	{id: "ablation:occupancy", run: experiments.AblationOccupancyPenalty},
@@ -540,6 +555,21 @@ func RunPipelineConfig(nodes, gpusPerNode, layers, chunks int, mode ExecMode, qu
 // RunPipelineConfigOpt is RunPipelineConfig with explicit sweep options.
 func RunPipelineConfigOpt(nodes, gpusPerNode, layers, chunks int, mode ExecMode, opt SweepOptions) (*ExperimentResult, error) {
 	return experiments.PipelinePoint(nodes, gpusPerNode, layers, chunks, mode, opt.internal())
+}
+
+// DurationOf converts seconds of simulated time to a Duration.
+func DurationOf(seconds float64) Duration { return sim.DurationOf(seconds) }
+
+// RunServingConfigOpt serves the three case-study stacks at one shape
+// under an open-loop request stream — the engine behind fusionbench's
+// -mode serve. The load is a seeded Poisson stream at qps (bounded by
+// requests or by the simulated duration) or a trace file replayed
+// verbatim. Each stack is served twice at the same offered load: on the
+// idle-machine Auto plan and on the load-aware plan re-priced with the
+// observed queue depth; rows pair the two plans' p99 latencies.
+func RunServingConfigOpt(nodes, gpusPerNode, layers int, qps float64, requests int,
+	duration Duration, tracePath string, seed int64, opt SweepOptions) (*ExperimentResult, error) {
+	return experiments.ServingPoint(nodes, gpusPerNode, layers, qps, requests, duration, tracePath, seed, opt.internal())
 }
 
 // GPUModel returns the device model used throughout (MI210-class).

@@ -8,11 +8,14 @@ import (
 )
 
 // TestSweepDeterminismMatrix asserts the parallel runner's core
-// invariant on all three BENCH sweeps: every row, makespan, and note a
-// sweep produces is identical whether points run serially or on a
-// worker pool — parallelism may only change wall-clock time. Pipeline
-// always runs; the heavier auto and wavefront sweeps are skipped in
-// -short runs.
+// invariant on the pipeline, auto, and wavefront BENCH sweeps: every
+// row, makespan, and note a sweep produces is identical whether points
+// run serially or on a worker pool — parallelism may only change
+// wall-clock time. The serving sweep gets the same serial-vs-parallel
+// check in TestServingLoadAwareCrossover (serving_test.go), folded into
+// its acceptance test so the package runs the sweep only twice.
+// Pipeline always runs; the heavier auto and wavefront sweeps are
+// skipped in -short runs.
 func TestSweepDeterminismMatrix(t *testing.T) {
 	if raceEnabled {
 		t.Skip("full quick sweeps are too heavy under the race detector; the parallel runner is race-covered by TestParallelRunnerSharedCacheRace")

@@ -1,0 +1,369 @@
+// The serving experiment (id "serving") puts the execution modes under
+// the load the paper's target workloads actually run with: an open-loop
+// Poisson request stream continuously batched into in-flight stack
+// executions. Per sweep point it serves the same arrival stream twice —
+// once on the idle-machine Auto plan (the offline selection CoCoNet and
+// GC3 perform) and once on the load-aware plan (Select re-priced with
+// the observed queue depth) — and reports where the choices flip and
+// what the flip buys in tail latency.
+package experiments
+
+import (
+	"fmt"
+
+	"fusedcc/internal/gpu"
+	"fusedcc/internal/graph"
+	"fusedcc/internal/serve"
+	"fusedcc/internal/sim"
+	"fusedcc/internal/sweep"
+)
+
+const (
+	// servingInFlight is the number of serving slots: concurrent stack
+	// executions in flight, each on its own stack instance (operators
+	// are not reentrant) but sharing one world, so they contend for the
+	// same per-GPU streams and links.
+	servingInFlight = 2
+	// servingMaxBatch caps the requests one batched stack step carries:
+	// a step's cost is the stack makespan regardless of batch size, so
+	// batching amortizes it across up to this many requests.
+	servingMaxBatch = 4
+	// servingSeed is the base arrival seed; each sweep point offsets it
+	// by its index so points draw independent streams while staying
+	// byte-identical across worker counts.
+	servingSeed = 1
+	// servingSLOFactor sets the goodput SLO at this multiple of the
+	// config's idle stack makespan.
+	servingSLOFactor = 8
+)
+
+// servingBackend adapts a case-study stack to a serving slot: one
+// batched step is one Auto-mode stack execution. The first step's
+// select report is kept — the plan is cached, so every later step
+// reuses it.
+type servingBackend struct {
+	r   stackRunner
+	sel *graph.SelectReport
+}
+
+func (b *servingBackend) Step(p *sim.Proc, batch []*serve.Request) {
+	rep := b.r.StepReport(p, graph.Auto)
+	if b.sel == nil {
+		b.sel = rep.Select
+	}
+}
+
+// servingArm is one serving pass: the request statistics plus the Auto
+// plan it executed under.
+type servingArm struct {
+	stats   *serve.Stats
+	choices string
+	load    graph.LoadContext
+	// computeOcc/commOcc are mean per-GPU stream occupancies over the
+	// whole serving run — how loaded each stream class actually was,
+	// summed across in-flight slots.
+	computeOcc, commOcc float64
+}
+
+func (a servingArm) p99() sim.Duration { return a.stats.Latency.P99 }
+
+// servingServe runs one serving pass on a fresh world: servingInFlight
+// stack instances as slots, all Auto mode under the given load context,
+// sharing the sweep pass cache.
+func servingServe(sc stackCase, nodes, gpus, layers int, arrivals serve.Arrivals,
+	cfg serve.Config, load graph.LoadContext, opt Options) (servingArm, error) {
+	pl, w := clusterWorld(nodes, gpus)
+	slots := make([]serve.Backend, servingInFlight)
+	backends := make([]*servingBackend, servingInFlight)
+	for i := range slots {
+		r, err := sc.build(w, allPEs(pl), layers)
+		if err != nil {
+			return servingArm{}, fmt.Errorf("%s on %dx%d: %w", sc.name, nodes, gpus, err)
+		}
+		x := r.Executor()
+		x.Streams = true
+		x.Cache = opt.Cache
+		x.Load = load
+		backends[i] = &servingBackend{r: r}
+		slots[i] = backends[i]
+	}
+	cfg.MaxBatch = servingMaxBatch
+	st := serve.Run(pl.E, arrivals, slots, cfg)
+	arm := servingArm{stats: st, load: load}
+	if backends[0].sel != nil {
+		arm.choices = summarizeDecisions(backends[0].sel)
+	}
+	// Occupancy reads the shared devices' cumulative stream busy time
+	// (the world is fresh, so the counters cover exactly this run) —
+	// per-step executor reports can't be summed here, since overlapping
+	// slots share the streams and would double-count each other.
+	if st.Makespan > 0 && len(pl.Devices()) > 0 {
+		var comp, comm sim.Duration
+		for _, dev := range pl.Devices() {
+			comp += dev.StreamBusy(gpu.StreamCompute)
+			comm += dev.StreamBusy(gpu.StreamComm)
+		}
+		span := float64(st.Makespan) * float64(len(pl.Devices()))
+		arm.computeOcc = float64(comp) / span
+		arm.commOcc = float64(comm) / span
+	}
+	return arm, nil
+}
+
+// servingOutcome is one completed sweep point: both arms at one offered
+// load.
+type servingOutcome struct {
+	label        string
+	qps          float64
+	idle, loaded servingArm
+	// flip: the load-aware plan chose differently; win: and its p99 is
+	// strictly lower — the acceptance condition of load-aware selection.
+	flip, win bool
+	err       error
+}
+
+// servingPointRun serves one (case, shape, rate) point twice: first on
+// the idle-machine plan (zero LoadContext — exactly what Select always
+// chose), then on the load-aware plan re-priced with the queue depth
+// the idle pass observed. Both arms replay the same seeded arrival
+// stream, so the comparison isolates the plan.
+func servingPointRun(sc stackCase, nodes, gpus, layers int, mult float64, seed int64, opt Options) servingOutcome {
+	out := servingOutcome{label: fmt.Sprintf("%s %dx%d x%.2f", sc.name, nodes, gpus, mult)}
+	// Calibrate the offered rate to this config's own idle Auto
+	// makespan: mult 1.0 offers servingMaxBatch requests per idle step
+	// time — the saturation knee of a single fully-batched slot.
+	cal, err := runStack(sc, nodes, gpus, layers, 2, graph.Auto, opt)
+	if err != nil {
+		out.err = err
+		return out
+	}
+	requests := 64
+	if opt.Quick {
+		requests = 48
+	}
+	// Underloaded points drain in near-singleton batches, so each
+	// request is a full stack execution; they only need to show the
+	// queue stays shallow and the plan stays put. Overloaded points keep
+	// the full count — the flip depends on the backlog they build.
+	if mult < 1 {
+		requests /= 3
+		if opt.Quick {
+			requests = 8
+		}
+	}
+	out.qps = mult * servingMaxBatch / cal.dur.Seconds()
+	cfg := serve.Config{Requests: requests, SLO: servingSLOFactor * cal.dur}
+
+	out.idle, err = servingServe(sc, nodes, gpus, layers,
+		serve.Poisson(out.qps, seed, sc.name), cfg, graph.LoadContext{}, opt)
+	if err != nil {
+		out.err = err
+		return out
+	}
+	// The observed mean queue depth is the pricing multiplier: an
+	// execution that holds its bottleneck stream for D delays every
+	// request queued behind it by ~D, so loaded cost charges demand once
+	// per queued request.
+	load := graph.LoadContext{
+		QueueDepth:  out.idle.stats.MeanDepth,
+		ArrivalRate: out.qps,
+	}
+	out.loaded, err = servingServe(sc, nodes, gpus, layers,
+		serve.Poisson(out.qps, seed, sc.name), cfg, load, opt)
+	if err != nil {
+		out.err = err
+		return out
+	}
+	out.flip = out.loaded.choices != out.idle.choices
+	out.win = out.flip && out.loaded.p99() < out.idle.p99()
+	return out
+}
+
+// servingNote renders one sweep point's comparison line.
+func servingNote(o servingOutcome) string {
+	verdict := "same plan"
+	if o.flip {
+		verdict = "FLIP"
+		if o.win {
+			verdict = "FLIP, p99 win"
+		}
+	}
+	return fmt.Sprintf(
+		"%s (%.0f req/s): idle plan [%s] p99 %v, goodput %.0f/s, mean depth %.2f, streams %.0f%%c+%.0f%%m; "+
+			"load-aware (depth %.2f) [%s] p99 %v (%+.1f%%), goodput %.0f/s, streams %.0f%%c+%.0f%%m [%s]",
+		o.label, o.qps,
+		o.idle.choices, o.idle.p99(), o.idle.stats.Goodput, o.idle.stats.MeanDepth,
+		100*o.idle.computeOcc, 100*o.idle.commOcc,
+		o.loaded.load.QueueDepth, o.loaded.choices, o.loaded.p99(),
+		100*(float64(o.loaded.p99())/float64(o.idle.p99())-1),
+		o.loaded.stats.Goodput, 100*o.loaded.computeOcc, 100*o.loaded.commOcc, verdict)
+}
+
+// Serving runs the QPS sweep (experiment id "serving"): every case
+// stack at each shape, offered load stepped through multiples of the
+// config's own saturation rate. Rows pair the idle-machine plan's p99
+// (baseline) against the load-aware plan's p99 at the same offered
+// load; notes carry both plans' choices, goodput, queue depths, and the
+// per-config crossover point — the lowest rate at which the load-aware
+// choice departs from the idle one and wins on tail latency.
+func Serving(opt Options) *Result {
+	shapes := [][2]int{{1, 8}, {8, 1}}
+	mults := []float64{0.5, 2, 4}
+	if opt.Quick {
+		shapes = [][2]int{{1, 8}}
+		mults = []float64{0.5, 4}
+	}
+	const layers = 2
+	opt = opt.withCache()
+	cases := pipelineCases(opt.Quick)
+	if opt.Quick {
+		// Quick serves the decoder stack only: every request is a full
+		// stack execution, so the dlrm/moe arms dominate host time (their
+		// steps simulate 5-16ms of cluster activity each) while the
+		// decoder already exhibits the load-aware crossover the sweep
+		// exists to show. The full sweep serves all three cases.
+		cases = cases[:1]
+	}
+
+	type point struct {
+		sc          stackCase
+		nodes, gpus int
+		mult        float64
+		seed        int64
+	}
+	var points []point
+	for _, sc := range cases {
+		for _, sh := range shapes {
+			for _, m := range mults {
+				points = append(points, point{sc, sh[0], sh[1], m, servingSeed + int64(len(points))})
+			}
+		}
+	}
+	outs := sweep.Map(opt.Parallel, len(points), func(i int) servingOutcome {
+		pt := points[i]
+		return servingPointRun(pt.sc, pt.nodes, pt.gpus, layers, pt.mult, pt.seed, opt)
+	})
+
+	res := &Result{
+		ID:    "Serving",
+		Title: "idle-machine vs load-aware Auto plans under open-loop request streams (p99 at equal offered load)",
+	}
+	// crossover[config] is the lowest multiplier whose point flipped and
+	// won; points arrive in multiplier order within each config.
+	crossover := map[string]float64{}
+	var order []string
+	flips, wins := 0, 0
+	for i, o := range outs {
+		if o.err != nil {
+			panic(o.err) // sweep shapes are fixed and valid
+		}
+		res.Rows = append(res.Rows, Row{Label: o.label, Baseline: o.idle.p99(), Fused: o.loaded.p99()})
+		res.Notes = append(res.Notes, servingNote(o))
+		if o.flip {
+			flips++
+		}
+		if o.win {
+			wins++
+			pt := points[i]
+			cfgKey := fmt.Sprintf("%s %dx%d", pt.sc.name, pt.nodes, pt.gpus)
+			if _, seen := crossover[cfgKey]; !seen {
+				crossover[cfgKey] = pt.mult
+				order = append(order, cfgKey)
+			}
+		}
+	}
+	for _, cfgKey := range order {
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"%s: load-aware selection crosses over at x%.2f offered load (flip with lower p99)",
+			cfgKey, crossover[cfgKey]))
+	}
+	res.Notes = append(res.Notes, fmt.Sprintf(
+		"load-aware selection changed the plan on %d/%d points, winning on p99 at %d",
+		flips, len(outs), wins))
+	return res
+}
+
+// ServingPoint serves the three case stacks at one shape and one
+// offered load — the engine behind fusionbench's -mode serve. The load
+// comes from -qps (Poisson at the given rate, bounded by requests or by
+// the horizon) or from a trace file replayed verbatim. Rows pair the
+// idle-machine plan's p99 against the load-aware plan's, exactly as one
+// sweep point of Serving.
+func ServingPoint(nodes, gpus, layers int, qps float64, requests int,
+	horizon sim.Duration, tracePath string, seed int64, opt Options) (*Result, error) {
+	if err := validShape(nodes, gpus); err != nil {
+		return nil, err
+	}
+	if layers < 1 {
+		return nil, fmt.Errorf("experiments: need layers >= 1, got %d", layers)
+	}
+	if tracePath == "" && qps <= 0 {
+		return nil, fmt.Errorf("experiments: serving needs -qps > 0 or a -trace file")
+	}
+	if tracePath == "" && requests <= 0 && horizon <= 0 {
+		return nil, fmt.Errorf("experiments: serving needs a -requests or -duration bound")
+	}
+	opt = opt.withCache()
+	label := fmt.Sprintf("%dx%d L%d", nodes, gpus, layers)
+	res := &Result{
+		ID:    "Serving" + label,
+		Title: fmt.Sprintf("idle-machine vs load-aware Auto plans under request load (%s)", label),
+	}
+	type pointOutcome struct {
+		o   servingOutcome
+		err error
+	}
+	cases := pipelineCases(opt.Quick)
+	outs := sweep.Map(opt.Parallel, len(cases), func(i int) pointOutcome {
+		sc := cases[i]
+		arrivals := func() (serve.Arrivals, serve.Config, float64, error) {
+			if tracePath != "" {
+				tr, err := serve.LoadTrace(tracePath)
+				if err != nil {
+					return nil, serve.Config{}, 0, err
+				}
+				if len(tr.At) == 0 {
+					return nil, serve.Config{}, 0, fmt.Errorf("experiments: trace %s is empty", tracePath)
+				}
+				rate := float64(len(tr.At))
+				if span := tr.At[len(tr.At)-1].Seconds(); span > 0 {
+					rate = float64(len(tr.At)) / span
+				}
+				return tr, serve.Config{Requests: len(tr.At)}, rate, nil
+			}
+			return serve.Poisson(qps, seed, sc.name), serve.Config{Requests: requests, Horizon: horizon}, qps, nil
+		}
+		out := servingOutcome{label: fmt.Sprintf("%s %s", sc.name, label)}
+		cal, err := runStack(sc, nodes, gpus, layers, 2, graph.Auto, opt)
+		if err != nil {
+			return pointOutcome{err: err}
+		}
+		arr, cfg, rate, err := arrivals()
+		if err != nil {
+			return pointOutcome{err: err}
+		}
+		cfg.SLO = servingSLOFactor * cal.dur
+		out.qps = rate
+		if out.idle, err = servingServe(sc, nodes, gpus, layers, arr, cfg, graph.LoadContext{}, opt); err != nil {
+			return pointOutcome{err: err}
+		}
+		load := graph.LoadContext{QueueDepth: out.idle.stats.MeanDepth, ArrivalRate: rate}
+		if arr, _, _, err = arrivals(); err != nil {
+			return pointOutcome{err: err}
+		}
+		if out.loaded, err = servingServe(sc, nodes, gpus, layers, arr, cfg, load, opt); err != nil {
+			return pointOutcome{err: err}
+		}
+		out.flip = out.loaded.choices != out.idle.choices
+		out.win = out.flip && out.loaded.p99() < out.idle.p99()
+		return pointOutcome{o: out}
+	})
+	for _, po := range outs {
+		if po.err != nil {
+			return nil, po.err
+		}
+		res.Rows = append(res.Rows, Row{Label: po.o.label, Baseline: po.o.idle.p99(), Fused: po.o.loaded.p99()})
+		res.Notes = append(res.Notes, servingNote(po.o))
+	}
+	return res, nil
+}

@@ -114,6 +114,18 @@ func (s *Stream) Name() string { return s.name }
 // BusyTime reports the cumulative time the stream held work.
 func (s *Stream) BusyTime() sim.Duration { return s.srv.BusyTime() }
 
+// QueueLen reports the work items currently queued behind the stream's
+// running item — the instantaneous backlog serving telemetry samples.
+func (s *Stream) QueueLen() int { return s.srv.QueueLen() }
+
+// MeanWait reports the mean time admitted items spent queued on the
+// stream before running (zero if nothing has run).
+func (s *Stream) MeanWait() sim.Duration { return s.srv.MeanWait() }
+
+// QueueWait reports the cumulative time admitted items spent queued on
+// the stream — the per-device contention signal of a loaded run.
+func (s *Stream) QueueWait() sim.Duration { return s.srv.TotalWait() }
+
 // Acquire blocks p until the stream is free, then holds it. Paired with
 // Release, this is how the graph scheduler serializes whole nodes on a
 // stream while the node's own kernels run on their rank processes.

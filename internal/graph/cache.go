@@ -47,10 +47,12 @@ func (c *PassCache) Stats() (hits, misses int64) {
 	return c.hits, c.misses
 }
 
-// selectPlanFor returns the cached select plan of g's fingerprint,
-// analyzing g on a miss.
-func (c *PassCache) selectPlanFor(g *Graph) *selectPlan {
-	key := "select|" + fingerprint(g)
+// selectPlanFor returns the cached select plan of g's fingerprint
+// under the given load, analyzing g on a miss. The load joins the key:
+// the same graph priced under different contention can legitimately
+// choose different forms, so plans never alias across load contexts.
+func (c *PassCache) selectPlanFor(g *Graph, load LoadContext) *selectPlan {
+	key := "select|" + load.key() + "|" + fingerprint(g)
 	c.mu.Lock()
 	if p, ok := c.selects[key]; ok {
 		c.hits++
@@ -61,7 +63,7 @@ func (c *PassCache) selectPlanFor(g *Graph) *selectPlan {
 	c.mu.Unlock()
 	// Analyze outside the lock: pricing is the expensive part, and a
 	// concurrent worker on the same key computes an identical plan.
-	p := selectAnalyze(g)
+	p := selectAnalyze(g, load)
 	c.mu.Lock()
 	if prev, ok := c.selects[key]; ok {
 		p = prev

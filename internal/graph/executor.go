@@ -240,6 +240,11 @@ type Executor struct {
 	// runner so identical (stack, shape) pairs are priced once per
 	// sweep instead of once per point. Safe for concurrent use.
 	Cache *PassCache
+	// Load is the contention context Auto mode prices under. Zero (the
+	// default) selects exactly as on an idle machine; a serving layer
+	// sets it from observed queue depth so Select re-prices the forms
+	// under load.
+	Load LoadContext
 
 	// compiled, partitioned, and selected cache the rewrite-pass outputs
 	// per source graph so repeated executions (decode loops, training
@@ -268,9 +273,10 @@ type partitionedEntry struct {
 }
 
 type selectedEntry struct {
-	g   *Graph
-	rep *SelectReport
-	gen int // source graph generation at selection time
+	g    *Graph
+	rep  *SelectReport
+	gen  int    // source graph generation at selection time
+	load string // load-context key at selection time
 }
 
 // compile returns the cached fused form of g, compiling on first use
@@ -340,22 +346,24 @@ func (x *Executor) wavefront(g *Graph) (*Graph, *PartitionReport) {
 }
 
 // sel returns the cached cost-model-selected form of g, running the
-// select pass on first use (or after g was mutated).
+// select pass on first use (or after g was mutated, or after the
+// executor's load context changed).
 func (x *Executor) sel(g *Graph) (*Graph, *SelectReport) {
-	if ent, ok := x.selected[g]; ok && ent.gen == g.gen {
+	lk := x.Load.key()
+	if ent, ok := x.selected[g]; ok && ent.gen == g.gen && ent.load == lk {
 		return ent.g, ent.rep
 	}
 	var sg *Graph
 	var srep *SelectReport
 	if x.Cache != nil {
-		sg, srep = selectApply(g, x.Cache.selectPlanFor(g))
+		sg, srep = selectApply(g, x.Cache.selectPlanFor(g, x.Load))
 	} else {
-		sg, srep = Select(g)
+		sg, srep = SelectLoaded(g, x.Load)
 	}
 	if x.selected == nil {
 		x.selected = map[*Graph]selectedEntry{}
 	}
-	x.selected[g] = selectedEntry{g: sg, rep: srep, gen: g.gen}
+	x.selected[g] = selectedEntry{g: sg, rep: srep, gen: g.gen, load: lk}
 	return sg, srep
 }
 

@@ -39,6 +39,44 @@ type pairEstimator interface {
 	SaturationChunks() int
 }
 
+// LoadContext describes observed serving load, so Select can price
+// execution forms under contention instead of on an idle machine. On an
+// idle machine the best form minimizes makespan; under an open-loop
+// arrival process a new execution first drains the queue ahead of it,
+// so its latency is its own makespan plus the queued executions' demand
+// on the bottleneck stream. The zero value is the idle machine and
+// reproduces the historical Select behavior exactly.
+type LoadContext struct {
+	// QueueDepth is the mean number of whole-graph executions queued or
+	// in flight ahead of a newly admitted one — the multiplier on each
+	// form's bottleneck-stream demand.
+	QueueDepth float64
+	// ArrivalRate is the offered load in executions per second.
+	// Informational: recorded in reports and cache keys so plans priced
+	// under different loads never alias.
+	ArrivalRate float64
+}
+
+// Loaded reports whether the context describes any contention.
+func (lc LoadContext) Loaded() bool { return lc.QueueDepth > 0 }
+
+// key renders the context for plan-cache keys and executor memos.
+func (lc LoadContext) key() string {
+	if !lc.Loaded() && lc.ArrivalRate == 0 {
+		return "idle"
+	}
+	return fmt.Sprintf("d=%.6g,r=%.6g", lc.QueueDepth, lc.ArrivalRate)
+}
+
+// loadedCost is the contention-aware price of a form: its own latency
+// plus the expected drain of the queue ahead of it, each queued
+// execution charged at this form's bottleneck-stream demand (the
+// steady-state service interval once the two streams pipeline across
+// executions).
+func (lc LoadContext) loadedCost(lat, demand sim.Duration) float64 {
+	return float64(lat) + lc.QueueDepth*float64(demand)
+}
+
 // Decision records one pair's mode choice and the predicted costs of
 // every eligible execution form — the per-pair line of a SelectReport.
 type Decision struct {
@@ -54,6 +92,12 @@ type Decision struct {
 	// durations of the three standalone forms (PipelineCost at the best
 	// candidate K; zero when the pair cannot pipeline at all).
 	EagerCost, FusedCost, PipelineCost sim.Duration
+	// Demand is the chosen form's bottleneck-stream demand: the busier
+	// stream's total work, the per-execution service interval a loaded
+	// machine sustains. A fused kernel's demand is its whole duration
+	// (compute stream carries the communication too); eager and
+	// pipelined forms split work across the two streams.
+	Demand sim.Duration
 }
 
 // ChoiceString renders the chosen form, with the chunk depth for
@@ -101,6 +145,9 @@ type WavefrontDecision struct {
 // decision applied to.
 type SelectReport struct {
 	Decisions []Decision
+	// Load is the contention context the pass priced under (zero: idle
+	// machine).
+	Load LoadContext
 	// Wavefronts lists the chains scheduled as cross-pair wavefronts.
 	Wavefronts []WavefrontDecision
 	// Unmatched counts collective nodes with no selectable pair
@@ -119,6 +166,9 @@ func (r *SelectReport) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "select: %d pair decision(s), %d wavefront chain(s), %d collective(s) left eager\n",
 		len(r.Decisions), len(r.Wavefronts), r.Unmatched)
+	if r.Load.Loaded() {
+		fmt.Fprintf(&b, "  load: queue depth %.2f, arrival rate %.1f/s\n", r.Load.QueueDepth, r.Load.ArrivalRate)
+	}
 	for _, d := range r.Decisions {
 		fmt.Fprintf(&b, "  %s: (%s, %s) -> %s  [eager %v, fused %v, pipelined %v]\n",
 			d.Pattern, d.Compute, d.Collective, d.ChoiceString(), d.EagerCost, d.FusedCost, d.PipelineCost)
@@ -160,28 +210,51 @@ const wavefrontMargin = 0.03
 // chunk c's collective starts once both its compute chunk and the
 // previous collective chunk are done. Non-head collective chunks are
 // priced at the chunk-chain dispatch cost by the operator's estimator.
-func pipelineCost(est pairEstimator, k int) sim.Duration {
-	var compEnd, collEnd sim.Duration
+// Alongside the makespan it returns the form's bottleneck-stream
+// demand: the busier stream's summed chunk work, the steady-state
+// per-execution interval when executions pipeline back to back.
+func pipelineCost(est pairEstimator, k int) (lat, demand sim.Duration) {
+	var compEnd, collEnd, compSum, collSum sim.Duration
 	for c := 0; c < k; c++ {
-		compEnd += est.EstimateComputeChunk(c, k)
+		comp := est.EstimateComputeChunk(c, k)
+		compSum += comp
+		compEnd += comp
 		start := compEnd
 		if collEnd > start {
 			start = collEnd
 		}
-		collEnd = start + est.EstimateCollectiveChunk(c, k)
+		coll := est.EstimateCollectiveChunk(c, k)
+		collSum += coll
+		collEnd = start + coll
 	}
-	return collEnd
+	demand = compSum
+	if collSum > demand {
+		demand = collSum
+	}
+	return collEnd, demand
 }
 
 // decide prices one pair's eligible execution forms and picks the
-// cheapest: eager (compute then collective, serial), fused, or the best
-// pipeline depth K in [2, min(MaxChunks, SaturationChunks)] — the
-// saturation clamp keeps every chunk large enough to fill the device's
-// WG slots.
-func decide(est pairEstimator) Decision {
+// cheapest under the given load: eager (compute then collective,
+// serial), fused, or the best pipeline depth K in [2, min(MaxChunks,
+// SaturationChunks)] — the saturation clamp keeps every chunk large
+// enough to fill the device's WG slots. At zero load the loaded cost
+// degenerates to the pure latency and the historical idle-machine
+// choice is reproduced exactly; under load each form is additionally
+// charged QueueDepth times its bottleneck-stream demand, which
+// penalizes the fused form (its persistent kernel carries the
+// communication on the compute stream, so its demand is its whole
+// duration) relative to the split forms.
+func decide(est pairEstimator, load LoadContext) Decision {
 	d := Decision{Choice: Eager, Chunks: 1}
-	d.EagerCost = est.EstimateComputeChunk(0, 1) + est.EstimateCollectiveChunk(0, 1)
+	comp := est.EstimateComputeChunk(0, 1)
+	coll := est.EstimateCollectiveChunk(0, 1)
+	d.EagerCost = comp + coll
 	d.FusedCost = est.EstimateFused()
+	eagerDemand := comp
+	if coll > eagerDemand {
+		eagerDemand = coll
+	}
 
 	maxK := est.SaturationChunks()
 	if mc := est.MaxChunks(); maxK > mc {
@@ -191,18 +264,21 @@ func decide(est pairEstimator) Decision {
 		maxK = maxCandidateChunks
 	}
 	bestK := 0
+	var pipeDemand sim.Duration
 	for k := 2; k <= maxK; k++ {
-		if cost := pipelineCost(est, k); bestK == 0 || cost < d.PipelineCost {
-			d.PipelineCost, bestK = cost, k
+		cost, dem := pipelineCost(est, k)
+		if bestK == 0 || load.loadedCost(cost, dem) < load.loadedCost(d.PipelineCost, pipeDemand) {
+			d.PipelineCost, pipeDemand, bestK = cost, dem, k
 		}
 	}
 
-	best := d.EagerCost
-	if d.FusedCost < best {
-		d.Choice, best = Compiled, d.FusedCost
+	d.Demand = eagerDemand
+	best := load.loadedCost(d.EagerCost, eagerDemand)
+	if c := load.loadedCost(d.FusedCost, d.FusedCost); c < best {
+		d.Choice, best, d.Demand = Compiled, c, d.FusedCost
 	}
-	if bestK > 0 && d.PipelineCost < best {
-		d.Choice, d.Chunks = Pipelined, bestK
+	if bestK > 0 && load.loadedCost(d.PipelineCost, pipeDemand) < best {
+		d.Choice, d.Chunks, d.Demand = Pipelined, bestK, pipeDemand
 	}
 	return d
 }
@@ -273,6 +349,18 @@ func (s *wfSeg) standalone(decisions map[*Node]Decision) sim.Duration {
 		return s.collChunk(0, 1)
 	}
 	return 0
+}
+
+// standaloneDemand prices the segment's bottleneck-stream demand in its
+// chosen standalone form. Pure-compute and pure-collective segments
+// occupy one stream for their whole duration, so their demand is their
+// standalone cost; pairs carry the demand of whichever form decide()
+// chose.
+func (s *wfSeg) standaloneDemand(decisions map[*Node]Decision) sim.Duration {
+	if s.pair != nil {
+		return decisions[s.tail].Demand
+	}
+	return s.standalone(decisions)
 }
 
 // wavefrontCost prices the chain executed as a wavefront at depth k:
@@ -412,6 +500,24 @@ func wavefrontCost(chain []*wfSeg, k int) sim.Duration {
 	return collEnd[n*k-1]
 }
 
+// wavefrontDemand prices the chain's bottleneck-stream demand at depth
+// k: the busier stream's total chunk work summed across all segments —
+// what each queued execution behind this one costs once executions
+// pipeline through the two streams.
+func wavefrontDemand(chain []*wfSeg, k int) sim.Duration {
+	var comp, coll sim.Duration
+	for _, s := range chain {
+		for c := 0; c < k; c++ {
+			comp += s.compChunk(c, k)
+			coll += s.collChunk(c, k)
+		}
+	}
+	if coll > comp {
+		return coll
+	}
+	return comp
+}
+
 // wfSegments collects the chunkable segments of g: matched pairs with
 // both a cost surface and chunk-range metadata, rowwise per-rank nodes
 // with cost estimates, and row-structured exchanges. Returned keyed by
@@ -533,6 +639,9 @@ func wfChains(g *Graph, segs map[*Node]*wfSeg) [][]*wfSeg {
 // instance of the same workload — without re-pricing a single form.
 type selectPlan struct {
 	lowered bool
+	// load is the contention context the plan was priced under; replayed
+	// into the report so cached plans stay attributable.
+	load LoadContext
 	// decisions maps collective node ids to their chosen form
 	// (wavefront members carry the post-override Choice).
 	decisions map[int]Decision
@@ -548,12 +657,13 @@ type wfPlanRec struct {
 	dec   WavefrontDecision
 }
 
-// selectAnalyze prices every fusible pair and alignable chain of g —
-// the expensive half of the select pass (estimator sweeps over
-// candidate chunk depths plus the wavefront recurrence per chain) —
-// and returns the resulting plan without touching the graph.
-func selectAnalyze(g *Graph) *selectPlan {
-	plan := &selectPlan{decisions: map[int]Decision{}}
+// selectAnalyze prices every fusible pair and alignable chain of g
+// under the given load — the expensive half of the select pass
+// (estimator sweeps over candidate chunk depths plus the wavefront
+// recurrence per chain) — and returns the resulting plan without
+// touching the graph.
+func selectAnalyze(g *Graph, load LoadContext) *selectPlan {
+	plan := &selectPlan{load: load, decisions: map[int]Decision{}}
 	if lowered(g) {
 		plan.lowered = true
 		return plan
@@ -566,28 +676,32 @@ func selectAnalyze(g *Graph) *selectPlan {
 			delete(match, coll) // no cost surface: leave the pair eager
 			continue
 		}
-		d := decide(est)
+		d := decide(est, load)
 		d.Pattern, _ = patternFor(coll.op)
 		d.Compute, d.Collective = producer.name, coll.name
 		decisions[coll] = d
 	}
 
 	// Wavefront analysis: price each alignable chain at every admissible
-	// K against the sum of its segments' standalone bests.
+	// K against the sum of its segments' standalone bests, both sides at
+	// their loaded cost.
 	segs := wfSegments(g, match)
 	for _, chain := range wfChains(g, segs) {
 		kmax := chain[0].maxK
-		var split sim.Duration
+		var split, splitDemand sim.Duration
 		for _, s := range chain {
 			if s.maxK < kmax {
 				kmax = s.maxK
 			}
 			split += s.standalone(decisions)
+			splitDemand += s.standaloneDemand(decisions)
 		}
 		bestK, bestCost := 0, sim.Duration(0)
+		var bestDemand sim.Duration
 		for k := 2; k <= kmax; k++ {
-			if cost := wavefrontCost(chain, k); bestK == 0 || cost < bestCost {
-				bestK, bestCost = k, cost
+			cost, dem := wavefrontCost(chain, k), wavefrontDemand(chain, k)
+			if bestK == 0 || load.loadedCost(cost, dem) < load.loadedCost(bestCost, bestDemand) {
+				bestK, bestCost, bestDemand = k, cost, dem
 			}
 		}
 		// The wavefront side is priced by the chunked estimators, the
@@ -596,7 +710,7 @@ func selectAnalyze(g *Graph) *selectPlan {
 		// sub-margin predicted win is indistinguishable from that noise,
 		// and mis-scheduling a whole chain costs more than the forgone
 		// sliver, so the wavefront must clear the margin to be chosen.
-		if bestK == 0 || float64(bestCost) >= (1-wavefrontMargin)*float64(split) {
+		if bestK == 0 || load.loadedCost(bestCost, bestDemand) >= (1-wavefrontMargin)*load.loadedCost(split, splitDemand) {
 			continue // the chain's segments run better on their own
 		}
 		rec := wfPlanRec{k: bestK}
@@ -629,7 +743,7 @@ func selectAnalyze(g *Graph) *selectPlan {
 // reconstructed in full — decisions in node order, wavefronts in
 // discovery order — identical to what a fresh analysis would produce.
 func selectApply(g *Graph, plan *selectPlan) (*Graph, *SelectReport) {
-	rep := &SelectReport{}
+	rep := &SelectReport{Load: plan.load}
 	if plan.lowered {
 		rep.Lowered = true
 		return g, rep
@@ -709,5 +823,15 @@ func selectApply(g *Graph, plan *selectPlan) (*Graph, *SelectReport) {
 // buffers, so mixed-mode execution stays bit-exact with eager. An
 // already-lowered input is returned unchanged with Lowered set.
 func Select(g *Graph) (*Graph, *SelectReport) {
-	return selectApply(g, selectAnalyze(g))
+	return SelectLoaded(g, LoadContext{})
+}
+
+// SelectLoaded runs the same rewrite priced under an observed serving
+// load: each form's cost gains QueueDepth times its bottleneck-stream
+// demand, so forms that concentrate work on one stream (the fused
+// persistent kernel above all) lose ground to forms that split it as
+// the queue deepens. SelectLoaded with the zero LoadContext is exactly
+// Select.
+func SelectLoaded(g *Graph, load LoadContext) (*Graph, *SelectReport) {
+	return selectApply(g, selectAnalyze(g, load))
 }

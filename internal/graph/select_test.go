@@ -72,7 +72,7 @@ func TestDecidePicksCheapestForm(t *testing.T) {
 	for _, tc := range cases {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
-			d := decide(tc.est)
+			d := decide(tc.est, LoadContext{})
 			if d.Choice != tc.wantChoice {
 				t.Fatalf("choice = %v, want %v (decision %+v)", d.Choice, tc.wantChoice, d)
 			}
@@ -89,6 +89,97 @@ func TestDecidePicksCheapestForm(t *testing.T) {
 				t.Errorf("Predicted() = %v", got)
 			}
 		})
+	}
+}
+
+// TestDecideLoadedFlipsFromFused pins the contention-aware pricing: a
+// surface where the fused form is latency-best but demand-worst (the
+// persistent kernel occupies the compute stream for its whole duration,
+// while pipelining splits the same work across both streams) must pick
+// fused on an idle machine and flip to pipelined once queue depth
+// enters the price.
+func TestDecideLoadedFlipsFromFused(t *testing.T) {
+	est := fakeEstimator{compute: 800, collective: 800, fused: 890, maxChunks: 8, satur: 8}
+	idle := decide(est, LoadContext{})
+	if idle.Choice != Compiled {
+		t.Fatalf("idle choice = %v, want compiled (decision %+v)", idle.Choice, idle)
+	}
+	if idle.Demand != idle.FusedCost {
+		t.Errorf("fused demand = %v, want the whole fused duration %v", idle.Demand, idle.FusedCost)
+	}
+	loaded := decide(est, LoadContext{QueueDepth: 1, ArrivalRate: 1000})
+	if loaded.Choice != Pipelined {
+		t.Fatalf("loaded choice = %v, want pipelined (decision %+v)", loaded.Choice, loaded)
+	}
+	if loaded.Demand >= idle.Demand {
+		t.Errorf("loaded demand %v not below fused demand %v", loaded.Demand, idle.Demand)
+	}
+	// The load moves only the choice; the per-form latencies are
+	// machine properties and must not change.
+	if loaded.EagerCost != idle.EagerCost || loaded.FusedCost != idle.FusedCost {
+		t.Errorf("loaded pricing changed form costs: %+v vs %+v", loaded, idle)
+	}
+}
+
+func TestDecideDemandPerForm(t *testing.T) {
+	// Eager chosen: demand is the busier phase, not the serial sum.
+	eag := decide(fakeEstimator{compute: 300, collective: 100, fused: 900, maxChunks: 1, satur: 8}, LoadContext{})
+	if eag.Choice != Eager || eag.Demand != 300 {
+		t.Errorf("eager decision %+v, want demand 300", eag)
+	}
+	// Pipelined chosen: demand is the busier stream's summed chunk work.
+	pip := decide(fakeEstimator{compute: 800, collective: 400, chunkDiscount: 10, fused: 5000, maxChunks: 8, satur: 8}, LoadContext{})
+	if pip.Choice != Pipelined {
+		t.Fatalf("decision %+v, want pipelined", pip)
+	}
+	if pip.Demand != 800 {
+		t.Errorf("pipelined demand = %v, want compute-stream total 800", pip.Demand)
+	}
+}
+
+func TestSelectLoadedReportCarriesLoad(t *testing.T) {
+	pl, w := testWorld(t, 1, 4)
+	g := New(w, allPEs(pl), core.DefaultConfig())
+	sp, _, _ := testSpecs(4)
+	v := mustValue(t)(g.GEMVFromSpec("mv", sp))
+	if _, err := g.AllReduce("ar", v); err != nil {
+		t.Fatal(err)
+	}
+	load := LoadContext{QueueDepth: 2, ArrivalRate: 5000}
+	_, rep := SelectLoaded(g, load)
+	if rep.Load != load {
+		t.Errorf("report load = %+v, want %+v", rep.Load, load)
+	}
+	if !strings.Contains(rep.String(), "load:") {
+		t.Errorf("report rendering misses load line: %q", rep.String())
+	}
+	if (LoadContext{}).key() != "idle" || load.key() == (LoadContext{}).key() {
+		t.Errorf("load keys alias: %q vs %q", load.key(), (LoadContext{}).key())
+	}
+}
+
+// TestPassCacheSelectKeysOnLoad guards against plan aliasing: the same
+// graph priced under different contention must occupy distinct cache
+// entries.
+func TestPassCacheSelectKeysOnLoad(t *testing.T) {
+	pl, w := testWorld(t, 1, 4)
+	g := New(w, allPEs(pl), core.DefaultConfig())
+	sp, _, _ := testSpecs(4)
+	v := mustValue(t)(g.GEMVFromSpec("mv", sp))
+	if _, err := g.AllReduce("ar", v); err != nil {
+		t.Fatal(err)
+	}
+	c := NewPassCache()
+	p1 := c.selectPlanFor(g, LoadContext{})
+	p2 := c.selectPlanFor(g, LoadContext{QueueDepth: 3})
+	if p1 == p2 {
+		t.Error("plans aliased across load contexts")
+	}
+	if h, m := c.Stats(); h != 0 || m != 2 {
+		t.Errorf("stats = %d hits, %d misses, want 0 hits, 2 misses", h, m)
+	}
+	if p3 := c.selectPlanFor(g, LoadContext{QueueDepth: 3}); p3 != p2 {
+		t.Error("repeat loaded lookup missed the cache")
 	}
 }
 

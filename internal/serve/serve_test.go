@@ -1,0 +1,201 @@
+package serve
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"fusedcc/internal/sim"
+)
+
+func TestPercentileNearestRank(t *testing.T) {
+	// Hand-built log: 1..10us. Nearest-rank percentiles have closed
+	// forms: p50 -> 5th sample, p95 -> 10th, p99 -> 10th, p10 -> 1st.
+	us := sim.Microsecond
+	var samples []sim.Duration
+	for i := 10; i >= 1; i-- { // unsorted on purpose
+		samples = append(samples, sim.Duration(i)*us)
+	}
+	cases := []struct {
+		p    float64
+		want sim.Duration
+	}{
+		{10, 1 * us}, {50, 5 * us}, {90, 9 * us}, {95, 10 * us}, {99, 10 * us}, {100, 10 * us},
+	}
+	for _, tc := range cases {
+		if got := Percentile(samples, tc.p); got != tc.want {
+			t.Errorf("p%g = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("empty percentile = %v, want 0", got)
+	}
+	s := Summarize(samples)
+	if s.Mean != sim.Duration(55)*us/10 || s.P50 != 5*us || s.P99 != 10*us || s.Max != 10*us {
+		t.Errorf("summary = %+v", s)
+	}
+	if len(samples) != 10 || samples[0] != 10*us {
+		t.Error("Percentile/Summarize modified their input")
+	}
+}
+
+func TestSummaryExactOnSingleSlotRun(t *testing.T) {
+	// Deterministic trace and service time make every stamp exact:
+	// arrivals at 0 and 10us, service 100us on one slot. Request 0
+	// waits 0 and finishes at 100us; request 1 waits 90us and finishes
+	// at 200us.
+	e := sim.NewEngine()
+	tr := &Trace{At: []sim.Time{0, sim.Time(10 * sim.Microsecond)}, Kinds: []string{"a", "b"}}
+	backend := BackendFunc(func(p *sim.Proc, batch []*Request) {
+		p.Sleep(100 * sim.Microsecond)
+	})
+	st := Run(e, tr, []Backend{backend}, Config{Requests: 2})
+	if st.Generated != 2 || st.Completed != 2 || st.Batches != 2 {
+		t.Fatalf("counts = %+v", st)
+	}
+	r0, r1 := st.Requests[0], st.Requests[1]
+	if r0.Kind != "a" || r1.Kind != "b" {
+		t.Errorf("kinds = %q, %q", r0.Kind, r1.Kind)
+	}
+	if r0.Wait() != 0 || r0.Latency() != 100*sim.Microsecond {
+		t.Errorf("request 0: wait %v, latency %v", r0.Wait(), r0.Latency())
+	}
+	if r1.Wait() != 90*sim.Microsecond || r1.Latency() != 190*sim.Microsecond {
+		t.Errorf("request 1: wait %v, latency %v", r1.Wait(), r1.Latency())
+	}
+	if st.Makespan != 200*sim.Microsecond {
+		t.Errorf("makespan = %v", st.Makespan)
+	}
+	if st.Latency.Max != 190*sim.Microsecond || st.Wait.Mean != 45*sim.Microsecond {
+		t.Errorf("summaries: latency %+v, wait %+v", st.Latency, st.Wait)
+	}
+	if !strings.Contains(st.String(), "served 2/2") {
+		t.Errorf("stats rendering: %q", st.String())
+	}
+}
+
+// TestMD1MeanWait checks the simulated queue against the analytic
+// M/D/1 formula W = rho*S/(2*(1-rho)) at low utilization: Poisson
+// arrivals, deterministic 100us service, one slot, no batching.
+func TestMD1MeanWait(t *testing.T) {
+	service := 100 * sim.Microsecond
+	rho := 0.3
+	qps := rho / service.Seconds()
+	e := sim.NewEngine()
+	backend := BackendFunc(func(p *sim.Proc, batch []*Request) { p.Sleep(service) })
+	st := Run(e, Poisson(qps, 7, "req"), []Backend{backend}, Config{Requests: 5000})
+	if st.Completed != 5000 {
+		t.Fatalf("completed %d of 5000", st.Completed)
+	}
+	want := rho * service.Seconds() / (2 * (1 - rho)) // 21.43us
+	got := st.Wait.Mean.Seconds()
+	if math.Abs(got-want)/want > 0.15 {
+		t.Errorf("mean wait %v, want ~%v (±15%%)", st.Wait.Mean, sim.DurationOf(want))
+	}
+	// Offered and carried load agree at this utilization.
+	if math.Abs(st.Throughput-qps)/qps > 0.05 {
+		t.Errorf("throughput %.0f, want ~%.0f", st.Throughput, qps)
+	}
+	if st.MeanDepth <= 0 || st.MaxDepth < 1 {
+		t.Errorf("depth stats: mean %.3f, max %d", st.MeanDepth, st.MaxDepth)
+	}
+}
+
+func TestPoissonSameSeedIdentical(t *testing.T) {
+	run := func() *Stats {
+		e := sim.NewEngine()
+		backend := BackendFunc(func(p *sim.Proc, batch []*Request) { p.Sleep(50 * sim.Microsecond) })
+		return Run(e, Poisson(20000, 42, "req"), []Backend{backend, backend}, Config{Requests: 500, MaxBatch: 4, SLO: sim.Millisecond})
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same-seed runs diverged:\n%v\n%v", a, b)
+	}
+	c := func() *Stats {
+		e := sim.NewEngine()
+		backend := BackendFunc(func(p *sim.Proc, batch []*Request) { p.Sleep(50 * sim.Microsecond) })
+		return Run(e, Poisson(20000, 43, "req"), []Backend{backend, backend}, Config{Requests: 500, MaxBatch: 4, SLO: sim.Millisecond})
+	}()
+	if a.Makespan == c.Makespan {
+		t.Error("different seeds produced identical makespans")
+	}
+}
+
+func TestContinuousBatchingCoalesces(t *testing.T) {
+	// Ten requests arrive at t=0. Admission is greedy — the idle slot
+	// takes the first request the moment it lands — so the remaining
+	// nine queue behind its 10us step and drain as 4, 4, 1: continuous
+	// batching takes whatever is queued when the slot frees, not
+	// fixed-size batches.
+	at := make([]sim.Time, 10)
+	e := sim.NewEngine()
+	var sizes []int
+	backend := BackendFunc(func(p *sim.Proc, batch []*Request) {
+		sizes = append(sizes, len(batch))
+		p.Sleep(10 * sim.Microsecond)
+	})
+	st := Run(e, &Trace{At: at}, []Backend{backend}, Config{Requests: 10, MaxBatch: 4})
+	if st.Batches != 4 || !reflect.DeepEqual(sizes, []int{1, 4, 4, 1}) {
+		t.Fatalf("batches = %d, sizes = %v", st.Batches, sizes)
+	}
+	if st.Makespan != 40*sim.Microsecond {
+		t.Errorf("makespan = %v", st.Makespan)
+	}
+	if st.MaxDepth != 9 {
+		t.Errorf("max depth = %d, want 9 (first request admitted on arrival)", st.MaxDepth)
+	}
+}
+
+func TestParseTrace(t *testing.T) {
+	in := `# arrival trace
+0 dlrm
+0.0001 decode
+
+0.0005
+`
+	tr, err := ParseTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAt := []sim.Time{0, sim.Time(100 * sim.Microsecond), sim.Time(500 * sim.Microsecond)}
+	if !reflect.DeepEqual(tr.At, wantAt) {
+		t.Errorf("At = %v, want %v", tr.At, wantAt)
+	}
+	if !reflect.DeepEqual(tr.Kinds, []string{"dlrm", "decode", ""}) {
+		t.Errorf("Kinds = %v", tr.Kinds)
+	}
+	// Replay: gaps reconstruct the offsets.
+	var at sim.Time
+	for i := 0; ; i++ {
+		gap, _, ok := tr.Next(i)
+		if !ok {
+			break
+		}
+		at = at.Add(gap)
+		if at != tr.At[i] {
+			t.Errorf("request %d replayed at %v, want %v", i, at, tr.At[i])
+		}
+	}
+	if _, err := ParseTrace(strings.NewReader("0.5\n0.1\n")); err == nil {
+		t.Error("decreasing offsets accepted")
+	}
+	if _, err := ParseTrace(strings.NewReader("abc\n")); err == nil {
+		t.Error("malformed offset accepted")
+	}
+}
+
+func TestSLOGoodput(t *testing.T) {
+	// Two requests: the first meets a 150us SLO, the queued second
+	// (190us e2e) misses it.
+	e := sim.NewEngine()
+	tr := &Trace{At: []sim.Time{0, sim.Time(10 * sim.Microsecond)}}
+	backend := BackendFunc(func(p *sim.Proc, batch []*Request) { p.Sleep(100 * sim.Microsecond) })
+	st := Run(e, tr, []Backend{backend}, Config{Requests: 2, SLO: 150 * sim.Microsecond})
+	if st.Goodput >= st.Throughput {
+		t.Errorf("goodput %.0f not below throughput %.0f with one SLO miss", st.Goodput, st.Throughput)
+	}
+	if want := st.Throughput / 2; math.Abs(st.Goodput-want) > 1e-9 {
+		t.Errorf("goodput %.2f, want %.2f (1 of 2 within SLO)", st.Goodput, want)
+	}
+}

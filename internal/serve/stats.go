@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"fusedcc/internal/sim"
+)
+
+// Summary aggregates one latency component over the completed requests.
+type Summary struct {
+	Mean, P50, P95, P99, Max sim.Duration
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("mean %v, p50 %v, p95 %v, p99 %v, max %v", s.Mean, s.P50, s.P95, s.P99, s.Max)
+}
+
+// Percentile returns the nearest-rank p-th percentile (p in (0, 100])
+// of the samples. Zero on an empty slice; the input is not modified.
+func Percentile(samples []sim.Duration, p float64) sim.Duration {
+	n := len(samples)
+	if n == 0 {
+		return 0
+	}
+	sorted := append([]sim.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	// Nearest rank: the smallest sample with at least p% of the mass at
+	// or below it.
+	rank := int(math.Ceil(float64(n) * p / 100))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1]
+}
+
+// Summarize computes the summary statistics of the samples.
+func Summarize(samples []sim.Duration) Summary {
+	var s Summary
+	if len(samples) == 0 {
+		return s
+	}
+	var total sim.Duration
+	for _, d := range samples {
+		total += d
+		if d > s.Max {
+			s.Max = d
+		}
+	}
+	s.Mean = total / sim.Duration(len(samples))
+	s.P50 = Percentile(samples, 50)
+	s.P95 = Percentile(samples, 95)
+	s.P99 = Percentile(samples, 99)
+	return s
+}
+
+// Stats is the outcome of one serving run.
+type Stats struct {
+	// Generated counts emitted requests; Completed counts requests that
+	// finished (all of them: the run drains); Batches counts backend
+	// steps.
+	Generated, Completed, Batches int
+	// Makespan is the simulated time from start to the last completion.
+	Makespan sim.Duration
+	// Wait, Service, and Latency summarize the per-request components.
+	Wait, Service, Latency Summary
+	// Throughput is completions per second; Goodput counts only
+	// completions within the configured SLO.
+	Throughput, Goodput float64
+	// MeanDepth is the time-weighted mean queue depth (requests queued,
+	// not yet admitted); MaxDepth the deepest instantaneous backlog.
+	MeanDepth float64
+	MaxDepth  int
+	// Requests is the completed-request log in completion order.
+	Requests []*Request
+}
+
+// finish derives the aggregate statistics from the completed log.
+func (st *Stats) finish(end sim.Time, slo sim.Duration) {
+	st.Completed = len(st.Requests)
+	st.Makespan = end.Sub(0)
+	waits := make([]sim.Duration, st.Completed)
+	services := make([]sim.Duration, st.Completed)
+	lats := make([]sim.Duration, st.Completed)
+	good := 0
+	for i, r := range st.Requests {
+		waits[i] = r.Wait()
+		services[i] = r.Service()
+		lats[i] = r.Latency()
+		if slo <= 0 || r.Latency() <= slo {
+			good++
+		}
+	}
+	st.Wait = Summarize(waits)
+	st.Service = Summarize(services)
+	st.Latency = Summarize(lats)
+	if secs := st.Makespan.Seconds(); secs > 0 {
+		st.Throughput = float64(st.Completed) / secs
+		st.Goodput = float64(good) / secs
+	}
+}
+
+func (st *Stats) String() string {
+	return fmt.Sprintf(
+		"served %d/%d in %v (%d batches): latency %s; wait %s; %.0f req/s, goodput %.0f req/s, mean depth %.2f (max %d)",
+		st.Completed, st.Generated, st.Makespan, st.Batches,
+		st.Latency, st.Wait, st.Throughput, st.Goodput, st.MeanDepth, st.MaxDepth)
+}

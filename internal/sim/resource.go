@@ -228,6 +228,12 @@ type Server struct {
 	// onBusy, when non-nil, observes busy/idle transitions (the hook
 	// overlap accounting attaches to).
 	onBusy func(busy bool)
+
+	// Queue accounting: how long admitted holders sat waiting behind
+	// earlier acquirers. The serving layer and the contention-aware cost
+	// estimator read these to see where queueing builds under load.
+	admissions int64
+	totalWait  Duration
 }
 
 // NewServer returns an idle server bound to e.
@@ -250,12 +256,42 @@ func (s *Server) Held() bool { return s.held }
 // behind earlier acquirers.
 func (s *Server) Acquire(p *Proc) {
 	s.waiters++
+	enqueued := s.e.now
 	s.sem.Acquire(p, 1)
+	s.admissions++
+	s.totalWait += s.e.now.Sub(enqueued)
 	s.held = true
 	s.busySince = s.e.now
 	if s.onBusy != nil {
 		s.onBusy(true)
 	}
+}
+
+// QueueLen reports the acquirers currently queued behind the holder
+// (zero when idle or when the holder runs alone) — the instantaneous
+// queue depth the serving layer samples.
+func (s *Server) QueueLen() int {
+	if s.held {
+		return s.waiters - 1
+	}
+	return s.waiters
+}
+
+// Admissions reports how many acquisitions have completed their wait
+// (including the current holder, if any).
+func (s *Server) Admissions() int64 { return s.admissions }
+
+// TotalWait reports the cumulative time admitted acquirers spent queued
+// before taking the server.
+func (s *Server) TotalWait() Duration { return s.totalWait }
+
+// MeanWait reports the mean queue wait per admitted acquirer (zero
+// before any admission).
+func (s *Server) MeanWait() Duration {
+	if s.admissions == 0 {
+		return 0
+	}
+	return s.totalWait / Duration(s.admissions)
 }
 
 // Release ends the current hold and admits the next waiter.

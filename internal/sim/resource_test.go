@@ -272,6 +272,48 @@ func TestServerBusyTimeExcludesIdleGaps(t *testing.T) {
 	}
 }
 
+// TestServerQueueAccounting pins the wait-time and queue-depth
+// statistics the serving layer reads: three holders of 100ns arriving
+// together wait 0, 100, and 200ns, and mid-run the queue holds the
+// not-yet-admitted acquirers behind the holder.
+func TestServerQueueAccounting(t *testing.T) {
+	e := NewEngine()
+	s := NewServer(e, "stream")
+	if s.QueueLen() != 0 || s.MeanWait() != 0 || s.Admissions() != 0 {
+		t.Fatalf("fresh server has non-zero queue stats: len=%d mean=%v adm=%d",
+			s.QueueLen(), s.MeanWait(), s.Admissions())
+	}
+	var depthAtFirstHold int
+	for i := 0; i < 3; i++ {
+		first := i == 0
+		e.Go("w", func(p *Proc) {
+			s.Acquire(p)
+			if first {
+				p.Yield() // let the other two queue behind the hold
+				depthAtFirstHold = s.QueueLen()
+			}
+			p.Sleep(Duration(100))
+			s.Release()
+		})
+	}
+	e.Run()
+	if depthAtFirstHold != 2 {
+		t.Errorf("queue depth during first hold = %d, want 2 (holder excluded)", depthAtFirstHold)
+	}
+	if s.Admissions() != 3 {
+		t.Errorf("admissions = %d, want 3", s.Admissions())
+	}
+	if s.TotalWait() != 300 {
+		t.Errorf("total wait = %v, want 0+100+200 = 300", s.TotalWait())
+	}
+	if s.MeanWait() != 100 {
+		t.Errorf("mean wait = %v, want 100", s.MeanWait())
+	}
+	if s.QueueLen() != 0 {
+		t.Errorf("queue depth after drain = %d, want 0", s.QueueLen())
+	}
+}
+
 func TestServerWaitIdleAndTransitions(t *testing.T) {
 	e := NewEngine()
 	s := NewServer(e, "stream")
