@@ -38,6 +38,14 @@
 //	                            # results are identical at any count)
 //	fusionbench -cpuprofile cpu.out -memprofile mem.out ...
 //	                            # host-side pprof profiles of the run
+//	fusionbench -mode astra -simshards 8
+//	                            # 128-node DLRM replay, serial vs
+//	                            # conservative sharded engine: in-process
+//	                            # identity gate plus both wall clocks
+//	fusionbench -simshards 8 ...
+//	                            # run simulations on 8 conservative
+//	                            # engine shards (results identical;
+//	                            # executor sweeps degrade to serial)
 //	fusionbench -pipeline -quick -speedjson BENCH_speed.json
 //	                            # also record host wall-clock speeds
 package main
@@ -119,10 +127,11 @@ type jsonHost struct {
 // runs produce byte-identical results arrays (CI diffs them with the
 // header stripped).
 type jsonHeader struct {
-	Schema   int      `json:"schema"`
-	Quick    bool     `json:"quick"`
-	Parallel int      `json:"parallel"`
-	Host     jsonHost `json:"host"`
+	Schema    int      `json:"schema"`
+	Quick     bool     `json:"quick"`
+	Parallel  int      `json:"parallel"`
+	SimShards int      `json:"sim_shards,omitempty"`
+	Host      jsonHost `json:"host"`
 }
 
 type jsonFile struct {
@@ -248,17 +257,19 @@ type speedEntry struct {
 	WallMs int64  `json:"wall_ms"`
 }
 
-// speedFile is the BENCH_speed.json schema: the host-speed trajectory
-// of a sweep run (wall-clock only — simulated times live in the BENCH
-// result files).
+// speedFile is the BENCH_speed.json schema (2): the host-speed
+// trajectory of a sweep run — wall-clock plus process-wide engine
+// runtime counters (simulated times live in the BENCH result files).
 type speedFile struct {
-	Schema      int          `json:"schema"`
-	Quick       bool         `json:"quick"`
-	Parallel    int          `json:"parallel"`
-	GoMaxProcs  int          `json:"go_maxprocs"`
-	NumCPU      int          `json:"num_cpu"`
-	WallMs      int64        `json:"wall_ms"`
-	Experiments []speedEntry `json:"experiments,omitempty"`
+	Schema      int                 `json:"schema"`
+	Quick       bool                `json:"quick"`
+	Parallel    int                 `json:"parallel"`
+	SimShards   int                 `json:"sim_shards,omitempty"`
+	GoMaxProcs  int                 `json:"go_maxprocs"`
+	NumCPU      int                 `json:"num_cpu"`
+	WallMs      int64               `json:"wall_ms"`
+	Engine      fusedcc.EngineStats `json:"engine"`
+	Experiments []speedEntry        `json:"experiments,omitempty"`
 }
 
 func main() {
@@ -285,12 +296,13 @@ func main() {
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 		speedPath  = flag.String("speedjson", "", "also write host wall-clock speeds as JSON (e.g. BENCH_speed.json)")
+		simShards  = flag.Int("simshards", 0, "conservative engine shard request (0/1 = serial; workloads without a positive cross-shard lookahead degrade to serial; simulated results are identical at any count)")
 	)
 	flag.Parse()
 	if *parallel < 1 {
 		*parallel = runtime.GOMAXPROCS(0)
 	}
-	sopt := fusedcc.SweepOptions{Quick: *quick, Parallel: *parallel}
+	sopt := fusedcc.SweepOptions{Quick: *quick, Parallel: *parallel, SimShards: *simShards}
 	start := time.Now()
 
 	if *cpuprofile != "" {
@@ -313,7 +325,8 @@ func main() {
 		results = append(results, res)
 	}
 	// runExp regenerates one registry experiment, timing it for the
-	// speed file.
+	// speed file; wall points measured inside the experiment (e.g. the
+	// astra replay's serial and sharded passes) ride along.
 	runExp := func(id string) *fusedcc.ExperimentResult {
 		t0 := time.Now()
 		res, err := fusedcc.RunExperimentOpt(id, sopt)
@@ -321,16 +334,20 @@ func main() {
 			fail(err)
 		}
 		speeds = append(speeds, speedEntry{ID: id, WallMs: time.Since(t0).Milliseconds()})
+		for _, wp := range res.Walls {
+			speeds = append(speeds, speedEntry{ID: id + ":" + wp.Name, WallMs: wp.Ms})
+		}
 		return res
 	}
 	finish := func() {
 		wall := time.Since(start).Milliseconds()
 		if *jsonPath != "" {
 			header := jsonHeader{
-				Schema:   2,
-				Quick:    *quick,
-				Parallel: *parallel,
-				Host:     jsonHost{WallMs: wall, GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()},
+				Schema:    2,
+				Quick:     *quick,
+				Parallel:  *parallel,
+				SimShards: *simShards,
+				Host:      jsonHost{WallMs: wall, GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()},
 			}
 			if err := writeJSON(*jsonPath, header, results); err != nil {
 				fail(err)
@@ -339,9 +356,10 @@ func main() {
 		}
 		if *speedPath != "" {
 			sf := speedFile{
-				Schema: 1, Quick: *quick, Parallel: *parallel,
+				Schema: 2, Quick: *quick, Parallel: *parallel, SimShards: *simShards,
 				GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
-				WallMs: wall, Experiments: speeds,
+				WallMs: wall, Engine: fusedcc.GlobalEngineStats(),
+				Experiments: speeds,
 			}
 			data, err := json.MarshalIndent(sf, "", "  ")
 			if err != nil {
@@ -371,6 +389,18 @@ func main() {
 	}
 
 	switch {
+	case *mode == "astra":
+		// -mode astra runs the scale-out DLRM replay serially and on the
+		// conservative sharded engine in one process: the experiment
+		// gates that simulated timestamps are identical, and both
+		// passes' wall-clock points land in -speedjson.
+		if sopt.SimShards == 0 {
+			sopt.SimShards = 8
+		}
+		emit(runExp("astra"))
+		finish()
+		return
+
 	case *mode == "serve":
 		if *shape == "" && *qps == 0 && *trace == "" {
 			// Bare -mode serve runs the full serving sweep (every case

@@ -478,6 +478,7 @@ var experimentTable = []experiment{
 	{id: "auto", run: experiments.Auto},
 	{id: "wavefront", run: experiments.Wavefront},
 	{id: "serving", run: experiments.Serving},
+	{id: "astra", aliases: []string{"astra-replay"}, run: experiments.AstraReplay},
 	{id: "ablation:zerocopy", run: experiments.AblationZeroCopy},
 	{id: "ablation:slicesize", run: experiments.AblationSliceSize},
 	{id: "ablation:occupancy", run: experiments.AblationOccupancyPenalty},
@@ -493,11 +494,27 @@ type SweepOptions struct {
 	// in deterministic point order — results are identical at any
 	// count. One runs serial; values below one mean GOMAXPROCS.
 	Parallel int
+	// SimShards requests intra-simulation parallelism: each simulation
+	// runs on up to this many conservative engine shards (0/1 =
+	// serial). Simulated results are byte-identical at any shard count;
+	// workloads without a positive cross-shard lookahead degrade to one
+	// shard.
+	SimShards int
 }
 
 func (o SweepOptions) internal() experiments.Options {
-	return experiments.Options{Quick: o.Quick, Parallel: o.Parallel}
+	return experiments.Options{Quick: o.Quick, Parallel: o.Parallel, SimShards: o.SimShards}
 }
+
+// EngineStats are process-wide simulation-engine runtime counters
+// (events dispatched, event-pool reuse, direct sleep handoffs, heap
+// high-water, conservative windows and barrier stalls), aggregated over
+// every engine and shard the process ran.
+type EngineStats = sim.Stats
+
+// GlobalEngineStats snapshots the process-wide engine counters — the
+// source of the BENCH_speed.json engine block.
+func GlobalEngineStats() EngineStats { return sim.GlobalStats() }
 
 // RunExperiment regenerates one paper artifact by id: "fig8" .. "fig15",
 // "table1", "table2", an ablation ("ablation:zerocopy",

@@ -204,14 +204,48 @@ func (s *Simulator) mlpParamBytes() float64 {
 type Result struct {
 	Total  sim.Duration
 	Phases map[string]sim.Duration
+	// Shards is the engine shard count the replay actually ran on, and
+	// Note the partition's degradation note when it differs from the
+	// request (see sim.Partition).
+	Shards int
+	Note   string
+}
+
+// torusLinks enumerates the torus's directed neighbor couplings at the
+// hop latency — the partition input (matches Torus2D.CouplingLinks, but
+// is needed before the world the torus is built on exists).
+func (s *Simulator) torusLinks() []sim.Link {
+	w, h := s.Sys.TorusW, s.Sys.TorusH
+	ls := make([]sim.Link, 0, 2*w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			a := y*w + x
+			for _, b := range []int{y*w + (x+1)%w, (y+1)%h*w + x} {
+				if a != b {
+					ls = append(ls, sim.Link{A: a, B: b, Latency: s.Sys.HopLatency})
+				}
+			}
+		}
+	}
+	return ls
 }
 
 // TrainIteration replays one forward + backward pass across the torus
-// and returns the makespan.
-func (s *Simulator) TrainIteration(fused bool) Result {
-	e := sim.NewEngine()
-	tor := netsim.NewTorus2D(e, s.Sys.TorusW, s.Sys.TorusH, s.Sys.LinkBandwidth, s.Sys.HopLatency)
-	n := tor.Nodes()
+// on the serial engine and returns the makespan.
+func (s *Simulator) TrainIteration(fused bool) Result { return s.TrainIterationOpt(fused, 1) }
+
+// TrainIterationOpt replays one iteration on a conservative sharded
+// engine: nodes are partitioned into up to shards logical processes with
+// the hop latency as lookahead. Serial (shards=1) and sharded runs share
+// this one code path — all cross-node effects travel as posted messages
+// whose delay is at least one hop — and produce identical simulated
+// timestamps (the cross-shard interactions, flag increments and
+// link-bandwidth admissions, are commutative within an instant).
+func (s *Simulator) TrainIterationOpt(fused bool, shards int) Result {
+	n := s.Nodes()
+	part := sim.PartitionNodes(n, shards, s.torusLinks())
+	world := sim.NewSharded(part)
+	tor := netsim.NewTorus2D(world, s.Sys.TorusW, s.Sys.TorusH, s.Sys.LinkBandwidth, s.Sys.HopLatency)
 	t := s.Times
 	chunks := sim.Duration(s.Model.Chunks)
 
@@ -219,27 +253,27 @@ func (s *Simulator) TrainIteration(fused bool) Result {
 	bwdRecv := make([]*sim.Flag, n)
 	arDone := make([]*sim.Flag, n)
 	for i := 0; i < n; i++ {
+		e := world.EngineFor(i)
 		fwdRecv[i] = sim.NewFlag(e)
 		bwdRecv[i] = sim.NewFlag(e)
 		arDone[i] = sim.NewFlag(e)
 	}
 	pairBytes := s.a2aBytesPerPair()
 
-	// sendAll posts the A2A traffic from src to every peer concurrently.
+	// sendAll launches the A2A traffic from src to every peer: hop-by-hop
+	// chains that serialize on each link where it lives and propagate as
+	// posted messages, never blocking a process on a remote shard.
 	sendAll := func(src int, recv []*sim.Flag) {
 		for off := 1; off < n; off++ {
 			dst := (src + off) % n
-			e.Go(fmt.Sprintf("a2a.%d->%d", src, dst), func(p *sim.Proc) {
-				netsim.Send(p, tor, src, dst, pairBytes)
-				recv[dst].Add(1)
-			})
+			netsim.SendAsync(world, tor, src, dst, pairBytes, func() { recv[dst].Add(1) })
 		}
 	}
 
-	done := sim.NewWaitGroup(e)
-	done.Add(n)
+	finish := make([]sim.Time, n)
 	for node := 0; node < n; node++ {
 		node := node
+		e := world.EngineFor(node)
 		e.Go(fmt.Sprintf("node%d", node), func(p *sim.Proc) {
 			// --- Forward ---
 			// Bottom MLP is independent computation, overlapped with the
@@ -271,7 +305,7 @@ func (s *Simulator) TrainIteration(fused bool) Result {
 			p.Sleep(t.MLPBwd)
 			// MLP gradient AllReduce starts as soon as MLP grads exist,
 			// overlapping the embedding path in both configurations.
-			s.ringAllReduce(e, tor, node, arDone[node])
+			s.ringAllReduce(e, node, arDone[node])
 			// Embedding gradients return to table owners (backward A2A).
 			sendAll(node, bwdRecv)
 			applyStart := p.Now()
@@ -290,15 +324,19 @@ func (s *Simulator) TrainIteration(fused bool) Result {
 				p.Sleep(t.EmbeddingBwd)
 			}
 			arDone[node].WaitGE(p, 1)
-			done.Done()
+			// Per-node finish instants replace a cross-shard WaitGroup:
+			// each shard writes only its own nodes' slots, and the
+			// makespan is their max after the world drains.
+			finish[node] = p.Now()
 		})
 	}
+	world.Run()
 	var total sim.Duration
-	e.Go("join", func(p *sim.Proc) {
-		done.Wait(p)
-		total = sim.Duration(p.Now())
-	})
-	e.Run()
+	for _, ft := range finish {
+		if sim.Duration(ft) > total {
+			total = sim.Duration(ft)
+		}
+	}
 	return Result{
 		Total: total,
 		Phases: map[string]sim.Duration{
@@ -308,6 +346,8 @@ func (s *Simulator) TrainIteration(fused bool) Result {
 			"mlp_bwd":     t.MLPBwd,
 			"interaction": t.Interaction,
 		},
+		Shards: world.Shards(),
+		Note:   world.Note(),
 	}
 }
 
@@ -316,8 +356,8 @@ func (s *Simulator) TrainIteration(fused bool) Result {
 // the X ring, then the Y ring on the X-reduced shard, at ring-bandwidth
 // cost plus hop latencies. Gradient sync needs no per-byte fidelity here
 // because it is identical in both configurations.
-func (s *Simulator) ringAllReduce(e *sim.Engine, tor *netsim.Torus2D, node int, doneFlag *sim.Flag) {
-	w, h := tor.Dims()
+func (s *Simulator) ringAllReduce(e *sim.Engine, node int, doneFlag *sim.Flag) {
+	w, h := s.Sys.TorusW, s.Sys.TorusH
 	bytes := s.mlpParamBytes()
 	bw := s.Sys.LinkBandwidth
 	dur := sim.TransferTime(2*float64(w-1)/float64(w)*bytes, bw) +

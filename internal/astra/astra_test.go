@@ -74,6 +74,33 @@ func TestFusedIterationFaster(t *testing.T) {
 	}
 }
 
+// TestShardCountInvariance is the byte-identity contract of the
+// conservative sharded engine: the replay's simulated makespan must be
+// identical at every shard count, for both configurations.
+func TestShardCountInvariance(t *testing.T) {
+	s, err := New(tinySystem(), tinyModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fused := range []bool{false, true} {
+		want := s.TrainIterationOpt(fused, 1)
+		if want.Shards != 1 {
+			t.Fatalf("serial run realized %d shards", want.Shards)
+		}
+		for _, shards := range []int{2, 4, 8} {
+			got := s.TrainIterationOpt(fused, shards)
+			if got.Shards != shards {
+				t.Errorf("fused=%v requested %d shards, realized %d (note %q)",
+					fused, shards, got.Shards, got.Note)
+			}
+			if got.Total != want.Total {
+				t.Errorf("fused=%v shards=%d total %v diverges from serial %v",
+					fused, shards, got.Total, want.Total)
+			}
+		}
+	}
+}
+
 func TestIterationDeterministic(t *testing.T) {
 	s, err := New(tinySystem(), tinyModel())
 	if err != nil {

@@ -33,6 +33,13 @@ func (r Row) Normalized() float64 {
 	return float64(r.Fused) / float64(r.Baseline)
 }
 
+// WallPoint is one named host wall-clock measurement taken inside an
+// experiment (e.g. the serial and sharded passes of the astra replay).
+type WallPoint struct {
+	Name string
+	Ms   int64
+}
+
 // Result is a regenerated figure or table.
 type Result struct {
 	ID    string
@@ -42,6 +49,10 @@ type Result struct {
 	Notes []string
 	// Extra carries non-tabular renderings (the Fig 11 Gantt chart).
 	Extra string
+	// Walls carries host wall-clock points measured inside the
+	// experiment. Host-dependent: excluded from the simulated-result
+	// JSON encodings, surfaced only through the speed file.
+	Walls []WallPoint
 }
 
 // MeanReduction returns the average of (1 - normalized) over rows, the
@@ -103,6 +114,13 @@ type Options struct {
 	// replay cached plans instead of re-pricing identical cost
 	// surfaces. Nil makes each sweep build its own cache.
 	Cache *graph.PassCache
+	// SimShards requests intra-simulation parallelism: the engine is
+	// split into up to this many conservative shards (0 and 1 run the
+	// plain serial engine). Workloads whose cross-node interactions
+	// admit no positive lookahead — executor clusters coupled through
+	// zero-latency symmetric-heap writes — degrade to one shard with a
+	// partition note; simulated results are identical either way.
+	SimShards int
 }
 
 // withCache returns opt with a pass cache installed, so a sweep shares
@@ -118,9 +136,25 @@ func (opt Options) withCache() Options {
 // parameters on both levels (timing mode). Shapes are fixed per
 // experiment, so a construction failure is a programming error.
 func clusterWorld(nodes, gpusPerNode int) (*platform.Platform, *shmem.World) {
-	e := sim.NewEngine()
+	return clusterWorldOpt(nodes, gpusPerNode, Options{})
+}
+
+// clusterWorldOpt honours opt.SimShards by building the cluster through
+// the sharded construction path. Executor clusters couple nodes through
+// zero-latency shmem writes, so the partition always degrades to one
+// shard here — pl.E remains the engine that runs everything — but the
+// request still exercises the full sharded plumbing end to end.
+func clusterWorldOpt(nodes, gpusPerNode int, opt Options) (*platform.Platform, *shmem.World) {
 	cfg := platform.Cluster(nodes, gpusPerNode)
-	pl, err := platform.New(e, cfg)
+	var (
+		pl  *platform.Platform
+		err error
+	)
+	if opt.SimShards > 1 {
+		pl, err = platform.NewSharded(sim.NewSharded(cfg.Partition(opt.SimShards)), cfg)
+	} else {
+		pl, err = platform.New(sim.NewEngine(), cfg)
+	}
 	if err != nil {
 		panic(err)
 	}

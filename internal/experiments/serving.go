@@ -72,7 +72,7 @@ func (a servingArm) p99() sim.Duration { return a.stats.Latency.P99 }
 // sharing the sweep pass cache.
 func servingServe(sc stackCase, nodes, gpus, layers int, arrivals serve.Arrivals,
 	cfg serve.Config, load graph.LoadContext, opt Options) (servingArm, error) {
-	pl, w := clusterWorld(nodes, gpus)
+	pl, w := clusterWorldOpt(nodes, gpus, opt)
 	slots := make([]serve.Backend, servingInFlight)
 	backends := make([]*servingBackend, servingInFlight)
 	for i := range slots {

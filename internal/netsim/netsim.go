@@ -23,17 +23,78 @@ type Network interface {
 	// Path returns the directed link sequence from src to dst and the
 	// total propagation latency. src == dst returns (nil, 0).
 	Path(src, dst int) ([]*sim.Resource, sim.Duration)
+	// Lookahead returns the minimum latency of any single link: the
+	// conservative-PDES lookahead bound — no node can affect another
+	// sooner than this.
+	Lookahead() sim.Duration
+	// CouplingLinks enumerates the directed inter-node couplings with
+	// their latencies, the input to sim.PartitionNodes.
+	CouplingLinks() []sim.Link
+}
+
+// Hop is one link traversal of a routed path: serialize on Link (owned
+// by node From's shard), then pay Latency to propagate to node To.
+type Hop struct {
+	From, To int
+	Link     *sim.Resource
+	Latency  sim.Duration
+}
+
+// Router is a topology that exposes per-hop routes, the shard-aware
+// transfer path: each hop's serialization runs on the link owner's
+// shard and the hop latency is the cross-shard propagation delay.
+type Router interface {
+	// Route returns the hop sequence from src to dst (empty when
+	// src == dst).
+	Route(src, dst int) []Hop
 }
 
 // Send moves one message store-and-forward along the path from src to
 // dst, blocking the calling process. Each hop's serialization shares that
-// link fairly with competing traffic.
+// link fairly with competing traffic. The full path latency is charged
+// up front; SendAsync is the hop-accurate (and shard-safe) variant.
 func Send(p *sim.Proc, n Network, src, dst int, bytes float64) {
 	links, lat := n.Path(src, dst)
 	p.Sleep(lat)
 	for _, l := range links {
 		l.Transfer(p, bytes, 0)
 	}
+}
+
+// SendAsync routes bytes from src to dst hop by hop without blocking
+// the caller: each hop serializes through its link (fair-shared with
+// competing traffic, on the shard owning the link) and then pays the
+// hop latency as the propagation delay into the next node's shard —
+// which is exactly the cross-shard message delay the conservative
+// engine's lookahead bounds, so chains never violate causality.
+// onDelivered (optional) runs on dst's shard when the last byte
+// arrives. The caller must execute on src's shard.
+//
+// Total uncontended delivery time equals Send's (sum of hop latencies
+// plus per-hop serializations); under contention the two differ only in
+// when each hop's serialization overlaps competing flows.
+func SendAsync(w sim.World, r Router, src, dst int, bytes float64, onDelivered func()) {
+	hops := r.Route(src, dst)
+	if len(hops) == 0 {
+		if onDelivered != nil {
+			w.EngineFor(src).After(0, onDelivered)
+		}
+		return
+	}
+	var step func(i int)
+	step = func(i int) {
+		h := hops[i]
+		h.Link.TransferAsync(bytes, 0, func() {
+			w.Post(h.From, h.To, h.Latency, func() {
+				if i+1 < len(hops) {
+					step(i + 1)
+				} else if onDelivered != nil {
+					onDelivered()
+				}
+			})
+		})
+	}
+	step(0)
 }
 
 // PointToPoint is a full mesh of NIC-to-NIC connections: each node has a
@@ -47,8 +108,9 @@ type PointToPoint struct {
 	nics    []*sim.Resource
 }
 
-// NewPointToPoint builds the mesh.
-func NewPointToPoint(e *sim.Engine, nodes int, bytesPerSec float64, latency sim.Duration) *PointToPoint {
+// NewPointToPoint builds the mesh. w places each node's NIC on its
+// shard engine (a bare *sim.Engine keeps everything serial).
+func NewPointToPoint(w sim.World, nodes int, bytesPerSec float64, latency sim.Duration) *PointToPoint {
 	if nodes < 1 {
 		panic("netsim: need at least one node")
 	}
@@ -57,7 +119,7 @@ func NewPointToPoint(e *sim.Engine, nodes int, bytesPerSec float64, latency sim.
 	}
 	pp := &PointToPoint{nodes: nodes, latency: latency, nics: make([]*sim.Resource, nodes)}
 	for i := range pp.nics {
-		pp.nics[i] = sim.NewResource(e, fmt.Sprintf("nic%d.tx", i), bytesPerSec, nil)
+		pp.nics[i] = sim.NewResource(w.EngineFor(i), fmt.Sprintf("nic%d.tx", i), bytesPerSec, nil)
 	}
 	return pp
 }
@@ -76,6 +138,29 @@ func (pp *PointToPoint) Path(src, dst int) ([]*sim.Resource, sim.Duration) {
 	return []*sim.Resource{pp.nics[src]}, pp.latency
 }
 
+// Route implements Router: one hop through the source NIC.
+func (pp *PointToPoint) Route(src, dst int) []Hop {
+	if src == dst {
+		return nil
+	}
+	return []Hop{{From: src, To: dst, Link: pp.nics[src], Latency: pp.latency}}
+}
+
+// Lookahead implements Network: the one-way NIC latency.
+func (pp *PointToPoint) Lookahead() sim.Duration { return pp.latency }
+
+// CouplingLinks implements Network: every ordered node pair, at the
+// mesh latency.
+func (pp *PointToPoint) CouplingLinks() []sim.Link {
+	var ls []sim.Link
+	for a := 0; a < pp.nodes; a++ {
+		for b := a + 1; b < pp.nodes; b++ {
+			ls = append(ls, sim.Link{A: a, B: b, Latency: pp.latency})
+		}
+	}
+	return ls
+}
+
 // Torus2D is a width x height torus with directed neighbor links and
 // dimension-ordered (X then Y) routing.
 type Torus2D struct {
@@ -86,7 +171,9 @@ type Torus2D struct {
 
 // NewTorus2D builds the torus. bytesPerSec is per directed link
 // (Table II: 200 Gb/s = 25 GB/s), hopLat per traversed hop (700 ns).
-func NewTorus2D(e *sim.Engine, w, h int, bytesPerSec float64, hopLat sim.Duration) *Torus2D {
+// Each directed link a->b lives on node a's shard engine, so hop
+// serialization always runs where the sending side executes.
+func NewTorus2D(wld sim.World, w, h int, bytesPerSec float64, hopLat sim.Duration) *Torus2D {
 	if w < 2 || h < 2 {
 		panic("netsim: torus needs w,h >= 2")
 	}
@@ -97,7 +184,7 @@ func NewTorus2D(e *sim.Engine, w, h int, bytesPerSec float64, hopLat sim.Duratio
 	add := func(a, b int) {
 		key := [2]int{a, b}
 		if _, ok := t.links[key]; !ok {
-			t.links[key] = sim.NewResource(e, fmt.Sprintf("torus.%d->%d", a, b), bytesPerSec, nil)
+			t.links[key] = sim.NewResource(wld.EngineFor(a), fmt.Sprintf("torus.%d->%d", a, b), bytesPerSec, nil)
 		}
 	}
 	for y := 0; y < h; y++ {
@@ -176,6 +263,53 @@ func (t *Torus2D) Path(src, dst int) ([]*sim.Resource, sim.Duration) {
 		y = ny
 	}
 	return links, sim.Duration(len(links)) * t.hopLat
+}
+
+// Route implements Router: the dimension-ordered hop sequence matching
+// Path, each hop on its directed neighbor link.
+func (t *Torus2D) Route(src, dst int) []Hop {
+	if src == dst {
+		return nil
+	}
+	var hops []Hop
+	sx, sy := t.Coord(src)
+	dx, dy := t.Coord(dst)
+	x, y := sx, sy
+	stepX := shortestStep(sx, dx, t.w)
+	for x != dx {
+		nx := (x + stepX + t.w) % t.w
+		a, b := t.ID(x, y), t.ID(nx, y)
+		hops = append(hops, Hop{From: a, To: b, Link: t.Link(a, b), Latency: t.hopLat})
+		x = nx
+	}
+	stepY := shortestStep(sy, dy, t.h)
+	for y != dy {
+		ny := (y + stepY + t.h) % t.h
+		a, b := t.ID(x, y), t.ID(x, ny)
+		hops = append(hops, Hop{From: a, To: b, Link: t.Link(a, b), Latency: t.hopLat})
+		y = ny
+	}
+	return hops
+}
+
+// Lookahead implements Network: the per-hop propagation latency.
+func (t *Torus2D) Lookahead() sim.Duration { return t.hopLat }
+
+// CouplingLinks implements Network: every directed neighbor link at the
+// hop latency.
+func (t *Torus2D) CouplingLinks() []sim.Link {
+	ls := make([]sim.Link, 0, len(t.links))
+	for y := 0; y < t.h; y++ {
+		for x := 0; x < t.w; x++ {
+			n := t.ID(x, y)
+			for _, m := range []int{t.ID((x+1)%t.w, y), t.ID(x, (y+1)%t.h)} {
+				if n != m {
+					ls = append(ls, sim.Link{A: n, B: m, Latency: t.hopLat})
+				}
+			}
+		}
+	}
+	return ls
 }
 
 // shortestStep returns -1 or +1: the ring direction with fewer hops from

@@ -88,6 +88,19 @@ type Engine struct {
 
 	pool       []*event // event free list
 	ncancelled int      // cancelled events still in the heap
+
+	// Runtime counters (see Stats).
+	nDispatched uint64
+	nPoolHits   uint64
+	nHandoffs   uint64
+	maxHeap     int
+	reported    Stats // portion already flushed to the global accumulator
+
+	// Sharded-engine hookup: when this engine is one shard of a Sharded
+	// world, shard is its index and postSeq orders its outgoing
+	// inter-shard messages (FIFO per source at the merge barrier).
+	shard   int
+	postSeq uint64
 }
 
 type parkMsg struct {
@@ -117,11 +130,31 @@ func NewEngine() *Engine {
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
+// EngineFor implements World: a bare engine places every node's state on
+// itself — the single-shard degenerate case of the sharded engine.
+func (e *Engine) EngineFor(node int) *Engine { return e }
+
+// Post implements World: on a bare engine a cross-node message is an
+// ordinary delayed callback (node ids only matter across shards).
+func (e *Engine) Post(from, to int, d Duration, fn func()) { e.After(d, fn) }
+
+// NextEventTime reports the timestamp of the earliest pending event, or
+// ok=false when the queue is empty. Used by the sharded engine's window
+// computation.
+func (e *Engine) NextEventTime() (Time, bool) {
+	e.purgeHead()
+	if len(e.queue) == 0 {
+		return 0, false
+	}
+	return e.queue[0].at, true
+}
+
 // newEvent takes an event from the free list, or allocates one.
 func (e *Engine) newEvent() *event {
 	if n := len(e.pool); n > 0 {
 		ev := e.pool[n-1]
 		e.pool = e.pool[:n-1]
+		e.nPoolHits++
 		return ev
 	}
 	return &event{}
@@ -153,6 +186,9 @@ func (e *Engine) enqueue(t Time, p *Proc, fn func()) *event {
 		e.nowq = append(e.nowq, ev)
 	} else {
 		heap.Push(&e.queue, ev)
+		if len(e.queue) > e.maxHeap {
+			e.maxHeap = len(e.queue)
+		}
 	}
 	return ev
 }
@@ -281,6 +317,7 @@ func (p *Proc) Sleep(d Duration) {
 		e.purgeHead()
 		if len(e.queue) == 0 || e.queue[0].at > at {
 			e.now = at
+			e.nHandoffs++
 			return
 		}
 	}
@@ -296,6 +333,7 @@ func (p *Proc) Yield() { p.Sleep(0) }
 // resume/park protocol. The event is recycled before control transfers,
 // so neither the callback nor the process may retain it.
 func (e *Engine) dispatch(ev *event) {
+	e.nDispatched++
 	if ev.fn != nil {
 		fn := ev.fn
 		e.free(ev)
@@ -324,7 +362,15 @@ func (e *Engine) dispatch(ev *event) {
 func (e *Engine) Run() Time { return e.RunUntil(Forever) }
 
 // RunUntil executes events with timestamps <= horizon.
-func (e *Engine) RunUntil(horizon Time) Time {
+func (e *Engine) RunUntil(horizon Time) Time { return e.run(horizon, false) }
+
+// runWindow executes events with timestamps <= horizon inside one
+// conservative window: unlike RunUntil, draining the local queue while
+// processes stay blocked is not a deadlock — their wakeups may arrive
+// as inter-shard messages at the next window barrier.
+func (e *Engine) runWindow(horizon Time) Time { return e.run(horizon, true) }
+
+func (e *Engine) run(horizon Time, windowed bool) Time {
 	if e.running {
 		panic("sim: Run called re-entrantly")
 	}
@@ -333,12 +379,15 @@ func (e *Engine) RunUntil(horizon Time) Time {
 	}
 	e.running = true
 	e.horizon = horizon
-	defer func() { e.running = false }()
+	defer func() {
+		e.running = false
+		e.flushStats()
+	}()
 
 	for {
 		e.purgeHead()
 		if len(e.queue) == 0 {
-			if e.nprocs > 0 {
+			if e.nprocs > 0 && !windowed {
 				panic(fmt.Sprintf("sim: deadlock at %v: %d process(es) blocked with empty event queue", e.now, e.nprocs))
 			}
 			return e.now

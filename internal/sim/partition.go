@@ -1,0 +1,139 @@
+package sim
+
+import "fmt"
+
+// Link is an inter-node coupling for shard partitioning: any interaction
+// path between two simulated nodes, labelled with the minimum latency an
+// effect takes to cross it. The conservative engine's lookahead — how
+// far shards may run ahead of each other — is the minimum latency over
+// links that end up crossing a shard boundary.
+type Link struct {
+	A, B    int
+	Latency Duration
+}
+
+// Partition maps simulated nodes onto engine shards.
+type Partition struct {
+	// ShardOf maps node id -> shard index.
+	ShardOf []int
+	// Shards is the shard count actually realized (possibly fewer than
+	// requested: zero-latency links merge their endpoints, and a node
+	// count below the request caps it).
+	Shards int
+	// Lookahead is the minimum latency over cross-shard links: the
+	// conservative safe-window width. Zero when Shards == 1.
+	Lookahead Duration
+	// Note is non-empty when the request was degraded (zero-latency
+	// couplings collapsing nodes into one shard, or a clamp); callers
+	// should log it so silent serialization is visible.
+	Note string
+}
+
+// PartitionNodes assigns nodes to at most shards shards such that every
+// zero-latency link stays shard-internal. Zero-latency couplings admit
+// no conservative lookahead — splitting them across shards would
+// livelock the window barrier at zero-width windows — so their connected
+// components are merged first (the degenerate-lookahead rule) and whole
+// components are then distributed over shards in balanced node-id order.
+func PartitionNodes(nodes, shards int, links []Link) Partition {
+	if nodes < 1 {
+		panic("sim: PartitionNodes needs at least one node")
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > nodes {
+		shards = nodes
+	}
+
+	// Union zero-latency components.
+	parent := make([]int, nodes)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	merged := false
+	for _, l := range links {
+		if l.Latency > 0 {
+			continue
+		}
+		ra, rb := find(l.A), find(l.B)
+		if ra != rb {
+			// Deterministic root: smaller id wins.
+			if ra > rb {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra
+			merged = true
+		}
+	}
+
+	// Components in ascending order of their smallest member.
+	compOf := make([]int, nodes)
+	var compSize []int
+	rootComp := map[int]int{}
+	for n := 0; n < nodes; n++ {
+		r := find(n)
+		c, ok := rootComp[r]
+		if !ok {
+			c = len(compSize)
+			rootComp[r] = c
+			compSize = append(compSize, 0)
+		}
+		compOf[n] = c
+		compSize[c]++
+	}
+	ncomp := len(compSize)
+	if shards > ncomp {
+		shards = ncomp
+	}
+
+	// Distribute whole components over shards, balanced by node count:
+	// component c goes to the shard its cumulative node prefix falls in.
+	compShard := make([]int, ncomp)
+	assigned := 0
+	for c := 0; c < ncomp; c++ {
+		compShard[c] = assigned * shards / nodes
+		assigned += compSize[c]
+	}
+
+	p := Partition{ShardOf: make([]int, nodes), Shards: shards}
+	for n := 0; n < nodes; n++ {
+		p.ShardOf[n] = compShard[compOf[n]]
+	}
+
+	if shards > 1 {
+		// Lookahead: minimum latency over links crossing shards.
+		min := Duration(0)
+		for _, l := range links {
+			if p.ShardOf[l.A] == p.ShardOf[l.B] {
+				continue
+			}
+			if min == 0 || l.Latency < min {
+				min = l.Latency
+			}
+		}
+		p.Lookahead = min
+		if min <= 0 {
+			// No cross-shard link carries latency information (e.g. no
+			// links at all): without a lookahead bound the window
+			// barrier cannot make conservative progress — degrade.
+			p = Partition{ShardOf: make([]int, nodes), Shards: 1,
+				Note: "no positive cross-shard lookahead: running single-shard"}
+			return p
+		}
+	}
+	if merged && shards == 1 {
+		p.Note = "zero-latency couplings collapse all nodes into one shard (serial execution)"
+	} else if merged {
+		p.Note = fmt.Sprintf("zero-latency couplings merged nodes into %d component(s) on %d shard(s)", ncomp, shards)
+	}
+	return p
+}
