@@ -1,0 +1,183 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+
+	"fusedcc/internal/analysis"
+)
+
+// Vet-tool protocol: `go vet -vettool=detlint` invokes the tool once
+// per compilation unit with the path to a JSON config describing the
+// unit — its files, its import map, and the export data cmd/go already
+// built for its dependencies. The shape mirrors
+// golang.org/x/tools/go/analysis/unitchecker, minus facts (the
+// determinism checks need none), so an empty facts file satisfies the
+// protocol's output contract.
+
+// vetConfig mirrors cmd/go's internal vet config JSON.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func unitcheckerMain(cfgPath string, jsonOut bool) {
+	cfg, err := readVetConfig(cfgPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	// Dependency passes only want the (empty) facts file.
+	if cfg.VetxOnly {
+		writeVetx(cfg)
+		return
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				writeVetx(cfg)
+				return
+			}
+			fatalf("%v", err)
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := &vetImporter{
+		cfg: cfg,
+		gc: importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+			file, ok := cfg.PackageFile[path]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+			return os.Open(file)
+		}),
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	tcfg := &types.Config{
+		Importer:    imp,
+		Sizes:       types.SizesFor(compiler, runtime.GOARCH),
+		FakeImportC: true,
+		GoVersion:   cfg.GoVersion,
+	}
+	importPath := cfg.ImportPath
+	if i := strings.Index(importPath, " ["); i >= 0 {
+		importPath = importPath[:i]
+	}
+	pkg, err := tcfg.Check(importPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx(cfg)
+			return
+		}
+		fatalf("typechecking %s: %v", cfg.ImportPath, err)
+	}
+
+	diags, err := analysis.Check(fset, files, pkg, info, analysis.All())
+	if err != nil {
+		fatalf("%v", err)
+	}
+	writeVetx(cfg)
+
+	if jsonOut {
+		// cmd/go's vet -json shape: {package: {analyzer: [diagnostics]}}.
+		byCheck := make(map[string][]map[string]string)
+		for _, d := range diags {
+			byCheck[d.Check] = append(byCheck[d.Check], map[string]string{
+				"posn":    fset.Position(d.Pos).String(),
+				"message": d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "\t")
+		if err := enc.Encode(map[string]any{cfg.ID: byCheck}); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Check, d.Message)
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+}
+
+func readVetConfig(path string) (*vetConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("parsing vet config %s: %w", path, err)
+	}
+	return cfg, nil
+}
+
+// writeVetx emits the facts file cmd/go expects from every unit, even
+// though the determinism checks define no facts.
+func writeVetx(cfg *vetConfig) {
+	if cfg.VetxOutput == "" {
+		return
+	}
+	if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+		fatalf("writing facts: %v", err)
+	}
+}
+
+// vetImporter maps source import strings through the unit's ImportMap
+// before delegating to the gc export-data importer.
+type vetImporter struct {
+	cfg *vetConfig
+	gc  types.Importer
+}
+
+func (vi *vetImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if mapped, ok := vi.cfg.ImportMap[path]; ok {
+		path = mapped
+	}
+	return vi.gc.Import(path)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "detlint: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -272,6 +272,10 @@ type speedFile struct {
 	Experiments []speedEntry        `json:"experiments,omitempty"`
 }
 
+// main times each experiment's regeneration on the host clock for the
+// speed JSON; simulated results never depend on these reads.
+//
+//detlint:allow wallclock -- host speed reporting, not simulated time
 func main() {
 	var (
 		fig        = flag.Int("fig", 0, "regenerate figure N (8..16; 16 is the hybrid-cluster sweep)")

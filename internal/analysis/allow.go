@@ -1,0 +1,230 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// Allow annotations opt one check out at a chosen scope:
+//
+//	//detlint:allow wallclock            — line scope (this line and the next)
+//	//detlint:allow wallclock, rawgo     — several checks at once
+//	//detlint:allow rawgo -- reason why  — everything after “--” is commentary
+//
+// Scope is positional:
+//
+//   - file: the annotation appears before (or on) the package clause —
+//     typically inside the package doc comment — and covers the file.
+//   - decl: the annotation is part of a top-level declaration's doc
+//     comment and covers that whole declaration.
+//   - line: anywhere else; it covers its own line (trailing form) and
+//     the line directly below (preceding form).
+//
+// Unknown check names are themselves diagnostics — a typo'd annotation
+// silently suppressing nothing is exactly the kind of drift this suite
+// exists to catch.
+
+const allowPrefix = "//detlint:allow"
+
+type checkSet map[string]bool
+
+type declSpan struct {
+	start, end token.Pos
+	checks     checkSet
+}
+
+// AllowIndex answers “is this finding annotated away?” for one package.
+type AllowIndex struct {
+	fset  *token.FileSet
+	files map[string]checkSet         // filename → file-scope checks
+	lines map[string]map[int]checkSet // filename → line → checks
+	decls []declSpan
+}
+
+// Allowed reports whether an annotation covers check at pos.
+func (ix *AllowIndex) Allowed(check string, pos token.Pos) bool {
+	if ix == nil || !pos.IsValid() {
+		return false
+	}
+	p := ix.fset.Position(pos)
+	if ix.files[p.Filename][check] {
+		return true
+	}
+	if ix.lines[p.Filename][p.Line][check] {
+		return true
+	}
+	for _, d := range ix.decls {
+		if d.start <= pos && pos <= d.end && d.checks[check] {
+			return true
+		}
+	}
+	return false
+}
+
+// BuildAllowIndex scans every comment in files for detlint directives.
+// known is the set of valid check names; directives naming anything
+// else (or nothing) come back as diagnostics under the pseudo-check
+// "detlint" so the driver surfaces them like any other finding.
+func BuildAllowIndex(fset *token.FileSet, files []*ast.File, known map[string]bool) (*AllowIndex, []Diagnostic) {
+	ix := &AllowIndex{
+		fset:  fset,
+		files: make(map[string]checkSet),
+		lines: make(map[string]map[int]checkSet),
+	}
+	var diags []Diagnostic
+	report := func(pos token.Pos, format string, args ...any) {
+		diags = append(diags, Diagnostic{Pos: pos, Check: "detlint", Message: fmt.Sprintf(format, args...)})
+	}
+
+	for _, f := range files {
+		// Doc comment groups of top-level declarations carry decl scope.
+		docSpan := make(map[*ast.CommentGroup]declSpan)
+		for _, decl := range f.Decls {
+			var doc *ast.CommentGroup
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				doc = d.Doc
+			case *ast.GenDecl:
+				doc = d.Doc
+			}
+			if doc != nil {
+				docSpan[doc] = declSpan{start: doc.Pos(), end: decl.End()}
+			}
+		}
+		pkgLine := fset.Position(f.Package).Line
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, "//detlint:") {
+					continue
+				}
+				checks, ok := parseAllow(c.Text)
+				if !ok {
+					report(c.Pos(), "detlint: unknown directive %q (only //detlint:allow is recognized)", firstField(c.Text))
+					continue
+				}
+				if len(checks) == 0 {
+					report(c.Pos(), "detlint: //detlint:allow names no checks")
+					continue
+				}
+				set := checkSet{}
+				for _, name := range checks {
+					if !known[name] {
+						report(c.Pos(), "detlint: unknown check %q in //detlint:allow (valid: %s)", name, strings.Join(knownNames(known), ", "))
+						continue
+					}
+					set[name] = true
+				}
+				if len(set) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Slash)
+				switch {
+				case pos.Line <= pkgLine:
+					merge(ix.fileSet(pos.Filename), set)
+				case inDoc(docSpan, cg):
+					span := docSpan[cg]
+					span.checks = set
+					ix.decls = append(ix.decls, span)
+				default:
+					merge(ix.lineSet(pos.Filename, pos.Line), set)
+					merge(ix.lineSet(pos.Filename, pos.Line+1), set)
+				}
+			}
+		}
+	}
+	return ix, diags
+}
+
+func (ix *AllowIndex) fileSet(name string) checkSet {
+	s := ix.files[name]
+	if s == nil {
+		s = checkSet{}
+		ix.files[name] = s
+	}
+	return s
+}
+
+func (ix *AllowIndex) lineSet(name string, line int) checkSet {
+	m := ix.lines[name]
+	if m == nil {
+		m = make(map[int]checkSet)
+		ix.lines[name] = m
+	}
+	s := m[line]
+	if s == nil {
+		s = checkSet{}
+		m[line] = s
+	}
+	return s
+}
+
+func merge(dst, src checkSet) {
+	for k := range src {
+		dst[k] = true
+	}
+}
+
+func inDoc(spans map[*ast.CommentGroup]declSpan, cg *ast.CommentGroup) bool {
+	_, ok := spans[cg]
+	return ok
+}
+
+// parseAllow extracts check names from a //detlint:allow comment.
+// ok=false means the comment is a detlint directive other than allow.
+// Commentary after “--” and any nested “//” (e.g. analysistest want
+// clauses) is ignored.
+func parseAllow(text string) (checks []string, ok bool) {
+	rest, ok := strings.CutPrefix(text, allowPrefix)
+	if !ok {
+		return nil, false
+	}
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		// A different directive sharing the prefix, e.g.
+		// //detlint:allowance — not ours.
+		return nil, false
+	}
+	if i := strings.Index(rest, "--"); i >= 0 {
+		rest = rest[:i]
+	}
+	if i := strings.Index(rest, "//"); i >= 0 {
+		rest = rest[:i]
+	}
+	return strings.FieldsFunc(rest, func(r rune) bool {
+		return r == ',' || unicode.IsSpace(r)
+	}), true
+}
+
+// firstField returns the directive word of a //detlint: comment for
+// error messages, e.g. "//detlint:deny".
+func firstField(text string) string {
+	if i := strings.IndexFunc(text, unicode.IsSpace); i >= 0 {
+		text = text[:i]
+	}
+	return text
+}
+
+func knownNames(known map[string]bool) []string {
+	// Suite order first, then any extras sorted: the error text must be
+	// deterministic (our own mapiter rule applies to us too).
+	names := make([]string, 0, len(known))
+	seen := make(map[string]bool, len(known))
+	for _, a := range All() {
+		if known[a.Name] {
+			names = append(names, a.Name)
+			seen[a.Name] = true
+		}
+	}
+	var extra []string
+	//detlint:allow mapiter -- sorted-keys idiom: extras are sorted immediately below
+	for name := range known {
+		if !seen[name] {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	return append(names, extra...)
+}

@@ -1,0 +1,187 @@
+// Package analysistest runs one analyzer over golden fixture packages
+// and checks its findings against `// want "regexp"` comments, in the
+// style of golang.org/x/tools/go/analysis/analysistest. The loader is
+// hermetic: every import — including stand-ins for stdlib packages like
+// time and testing — must resolve inside testdata/src, so the suite
+// runs offline and typechecks in milliseconds.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"fusedcc/internal/analysis"
+)
+
+// Run loads each named package from dir/src, applies the analyzer, and
+// reports any mismatch between its diagnostics (plus annotation-syntax
+// errors) and the packages' want comments as test failures.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	l := &loader{
+		root: filepath.Join(dir, "src"),
+		fset: token.NewFileSet(),
+		pkgs: make(map[string]*loaded),
+	}
+	for _, pkg := range pkgs {
+		p, err := l.load(pkg)
+		if err != nil {
+			t.Fatalf("loading %s: %v", pkg, err)
+		}
+		diags, err := analysis.Check(l.fset, p.files, p.pkg, p.info, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("checking %s: %v", pkg, err)
+		}
+		match(t, l.fset, p.files, diags)
+	}
+}
+
+type loaded struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+type loader struct {
+	root string
+	fset *token.FileSet
+	pkgs map[string]*loaded
+}
+
+// Import implements types.Importer over the fixture tree.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	p, err := l.load(path)
+	if err != nil {
+		return nil, err
+	}
+	return p.pkg, nil
+}
+
+func (l *loader) load(path string) (*loaded, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("fixture package %q not under %s (the harness is hermetic; add a stub): %w", path, l.root, err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("fixture package %q has no Go files", path)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	cfg := &types.Config{Importer: l}
+	pkg, err := cfg.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	p := &loaded{pkg: pkg, files: files, info: info}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+func match(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := fset.Position(c.Pos())
+				for _, pat := range wantPatterns(t, pos, c.Text) {
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: pat})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: [%s] %s", pos, d.Check, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// wantPatterns extracts the quoted regexps of a `// want "..." `...“
+// clause, if the comment has one.
+func wantPatterns(t *testing.T, pos token.Position, text string) []*regexp.Regexp {
+	t.Helper()
+	i := strings.Index(text, "// want ")
+	if i < 0 {
+		return nil
+	}
+	rest := strings.TrimSpace(text[i+len("// want "):])
+	var pats []*regexp.Regexp
+	for rest != "" {
+		q, err := strconv.QuotedPrefix(rest)
+		if err != nil {
+			t.Fatalf("%s: malformed want clause at %q: %v", pos, rest, err)
+		}
+		expr, err := strconv.Unquote(q)
+		if err != nil {
+			t.Fatalf("%s: unquoting %q: %v", pos, q, err)
+		}
+		re, err := regexp.Compile(expr)
+		if err != nil {
+			t.Fatalf("%s: bad want regexp %q: %v", pos, expr, err)
+		}
+		pats = append(pats, re)
+		rest = strings.TrimSpace(rest[len(q):])
+	}
+	if len(pats) == 0 {
+		t.Fatalf("%s: want clause with no patterns", pos)
+	}
+	return pats
+}

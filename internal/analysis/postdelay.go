@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// Postdelay audits World.Post call sites. A cross-shard post's delay
+// must be at least the Chandy–Misra lookahead (the minimum cross-shard
+// link latency); the contract is panic-enforced at runtime, but only on
+// the shard counts a run actually exercises. Statically, a delay that
+// is a bare constant not derived from any hop/link latency — and any
+// provably zero delay — is suspect: it encodes an assumption about the
+// topology instead of reading it. Delays spelled from latency-named
+// quantities (h.Latency, lookahead, hop costs) pass; deliberate
+// violations in tests annotate with //detlint:allow postdelay.
+var Postdelay = &Analyzer{
+	Name: "postdelay",
+	Doc: "flag World.Post delays that are bare constants or zero instead of " +
+		"being derived from a hop/link latency (the lookahead contract)",
+	Run: runPostdelay,
+}
+
+func runPostdelay(pass *Pass) error {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := funcFor(info, call)
+			if fn == nil || fn.Name() != "Post" || fn.Pkg() == nil || !IsSimPackage(fn.Pkg().Path()) {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Params().Len() != 4 || len(call.Args) != 4 {
+				// World.Post(from, to, delay, fn); anything else named
+				// Post (e.g. netsim.Channel.Post) is not this contract.
+				return true
+			}
+			delay := call.Args[2]
+			tv, ok := info.Types[delay]
+			if !ok || tv.Value == nil {
+				// Not a compile-time constant: the runtime lookahead
+				// panic owns it.
+				return true
+			}
+			if isZeroConst(tv.Value) {
+				pass.Reportf(delay.Pos(), "postdelay: Post with zero delay can never satisfy the cross-shard lookahead contract")
+				return true
+			}
+			if !latencyDerived(delay) {
+				pass.Reportf(delay.Pos(), "postdelay: Post delay %s is a bare constant; derive it from the hop/link latency that bounds the shard lookahead", tv.Value.ExactString())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isZeroConst(v constant.Value) bool {
+	switch v.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(v) == 0
+	}
+	return false
+}
+
+// latencyDerived reports whether the expression mentions a quantity
+// named after a link/hop latency, which is taken as evidence the author
+// tied the delay to the topology rather than guessing a number.
+func latencyDerived(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		var name string
+		switch n := n.(type) {
+		case *ast.Ident:
+			name = n.Name
+		case *ast.SelectorExpr:
+			name = n.Sel.Name
+		default:
+			return true
+		}
+		lower := strings.ToLower(name)
+		for _, marker := range []string{"lat", "lookahead", "hop", "delay"} {
+			if strings.Contains(lower, marker) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

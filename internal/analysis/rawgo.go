@@ -1,0 +1,46 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// Rawgo forbids bare `go` statements in packages that consume the DES
+// engine. A goroutine the engine doesn't know about runs on the host
+// scheduler's clock: it can observe or mutate simulation state at a
+// host-dependent instant, which is exactly the nondeterminism the
+// (time, seq) event order exists to exclude. Simulated concurrency goes
+// through Engine.Go proc registration; genuine host-side concurrency
+// (worker pools around whole simulations, -race stress tests) annotates
+// with //detlint:allow rawgo. The sim package itself is exempt — it is
+// the scheduler these goroutines must register with.
+var Rawgo = &Analyzer{
+	Name: "rawgo",
+	Doc: "forbid bare go statements in sim-consuming packages; spawn " +
+		"simulated processes with Engine.Go",
+	Run: runRawgo,
+}
+
+func runRawgo(pass *Pass) error {
+	if IsSimPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	importsSim := false
+	for _, imp := range pass.Pkg.Imports() {
+		if IsSimPackage(imp.Path()) {
+			importsSim = true
+			break
+		}
+	}
+	if !importsSim {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				pass.Reportf(g.Pos(), "rawgo: bare go statement in a sim-consuming package bypasses Engine.Go proc registration; annotate //detlint:allow rawgo if this is host-side concurrency")
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,37 @@
+package analysis
+
+import (
+	"strconv"
+)
+
+// Rawrand forbids importing math/rand anywhere but the centralized
+// seeded-RNG package (internal/workload). Scattered rand imports mean
+// scattered seeding decisions, and one global-rand call makes a sweep's
+// output depend on worker interleaving. Everything draws randomness
+// through workload.Rand(seed) so byte-identity holds at any
+// parallelism.
+var Rawrand = &Analyzer{
+	Name: "rawrand",
+	Doc: "forbid math/rand imports outside the internal/workload seeded-RNG " +
+		"package; draw randomness through workload.Rand",
+	Run: runRawrand,
+}
+
+func runRawrand(pass *Pass) error {
+	if IsWorkloadPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			switch path {
+			case "math/rand", "math/rand/v2":
+				pass.Reportf(imp.Pos(), "rawrand: import of %s outside internal/workload; draw randomness through workload.Rand so seeding stays centralized", path)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,37 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"fusedcc/internal/analysis"
+	"fusedcc/internal/analysis/analysistest"
+)
+
+func TestWallclock(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Wallclock, "wallclock")
+}
+
+func TestRawrand(t *testing.T) {
+	// The workload fixture is the allowlisted package: its math/rand
+	// import must produce no findings.
+	analysistest.Run(t, "testdata", analysis.Rawrand, "rawrand", "workload")
+}
+
+func TestMapiter(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Mapiter, "mapiter")
+}
+
+func TestPostdelay(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Postdelay, "postdelay")
+}
+
+func TestRawgo(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Rawgo, "rawgo", "rawgo/pure")
+}
+
+// TestAllowScopes drives the annotation parser end to end through the
+// harness: line, decl, and file scope plus the unknown-check,
+// empty-list, and unknown-directive error paths.
+func TestAllowScopes(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Wallclock, "allow")
+}

@@ -1,0 +1,12 @@
+// Host-timing helpers: the file-scope annotation (before the package
+// clause) covers every finding in this file.
+//
+//detlint:allow wallclock
+package allow
+
+import "time"
+
+func hostOnly() time.Duration {
+	t0 := time.Now()
+	return time.Since(t0)
+}

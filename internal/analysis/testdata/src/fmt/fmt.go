@@ -1,0 +1,14 @@
+// Package fmt is a hermetic stand-in for stdlib fmt.
+package fmt
+
+// Println prints its operands followed by a newline.
+func Println(a ...any) (int, error) { return 0, nil }
+
+// Printf prints a formatted string.
+func Printf(format string, a ...any) (int, error) { return 0, nil }
+
+// Sprintf returns a formatted string.
+func Sprintf(format string, a ...any) string { return "" }
+
+// Fprintf writes a formatted string to w.
+func Fprintf(w any, format string, a ...any) (int, error) { return 0, nil }

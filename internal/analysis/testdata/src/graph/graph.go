@@ -1,0 +1,16 @@
+// Package graph is a hermetic stand-in for fusedcc/internal/graph:
+// mapiter treats its mutation verbs as order-dependent sinks because
+// construction order decides node ids.
+package graph
+
+// Graph is the computation-graph stand-in.
+type Graph struct{}
+
+// Node is a graph node id.
+type Node int
+
+// AddDep records an execution-order edge.
+func (g *Graph) AddDep(from, to Node) {}
+
+// Nodes returns the node count.
+func (g *Graph) Nodes() int { return 0 }

@@ -1,0 +1,93 @@
+package mapiter
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"graph"
+	"sim"
+)
+
+func rows(m map[string]int) []string {
+	var out []string
+	for k, v := range m { // want `mapiter: map iteration order reaches an append to "out"`
+		out = append(out, fmt.Sprintf("%s=%d", k, v))
+	}
+	return out
+}
+
+type report struct{ rows []string }
+
+func fieldRows(r *report, m map[string]int) {
+	for k := range m { // want `mapiter: map iteration order reaches an append to field "rows"`
+		r.rows = append(r.rows, k)
+	}
+}
+
+func sorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // the sorted-keys idiom's first half: not flagged
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []string
+	for _, k := range keys {
+		out = append(out, fmt.Sprintf("%s=%d", k, m[k]))
+	}
+	return out
+}
+
+func check(t *testing.T, m map[string]sim.Duration) {
+	for name, d := range m { // want `mapiter: map iteration order reaches test failure/log ordering`
+		if d <= 0 {
+			t.Errorf("%s nonpositive", name)
+		}
+	}
+}
+
+func post(e *sim.Engine, m map[int]sim.Duration) {
+	for node, d := range m { // want `mapiter: map iteration order reaches simulation event posting`
+		_ = node
+		e.After(d, func() {})
+	}
+}
+
+func printed(m map[string]int) {
+	for k := range m { // want `mapiter: map iteration order reaches printed output`
+		fmt.Println(k)
+	}
+}
+
+func build(g *graph.Graph, deps map[graph.Node]graph.Node) {
+	for from, to := range deps { // want `mapiter: map iteration order reaches graph mutation`
+		g.AddDep(from, to)
+	}
+}
+
+func reduce(m map[string]int) int {
+	best := 0
+	for _, v := range m { // pure reduction: not flagged
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func localAppend(m map[string]int) {
+	for k := range m { // per-iteration slice: not flagged
+		parts := []string{}
+		parts = append(parts, k)
+		_ = parts
+	}
+}
+
+// dump is debug-only output; the decl-scope annotation covers it.
+//
+//detlint:allow mapiter
+func dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}

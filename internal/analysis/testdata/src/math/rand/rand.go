@@ -1,0 +1,22 @@
+// Package rand is a hermetic stand-in for stdlib math/rand: rawrand
+// matches the import path, so only enough surface to typecheck callers
+// is needed.
+package rand
+
+// Rand is a deterministic source of pseudo-random numbers.
+type Rand struct{}
+
+// Source is a source of uniformly-distributed values.
+type Source interface{ Int63() int64 }
+
+// New returns a new Rand using src.
+func New(src Source) *Rand { return &Rand{} }
+
+// NewSource returns a seeded Source.
+func NewSource(seed int64) Source { return nil }
+
+// Intn returns a uniform int in [0, n).
+func (r *Rand) Intn(n int) int { return 0 }
+
+// ExpFloat64 returns an exponentially distributed float64.
+func (r *Rand) ExpFloat64() float64 { return 0 }

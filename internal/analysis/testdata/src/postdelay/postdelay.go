@@ -1,0 +1,39 @@
+package postdelay
+
+import "sim"
+
+const linkLat = sim.Duration(100)
+
+const zeroLat = sim.Duration(0)
+
+func good(w sim.World, hopLatency sim.Duration) {
+	w.Post(0, 1, hopLatency, func() {})  // latency-named variable
+	w.Post(0, 1, linkLat, func() {})     // latency-named constant
+	w.Post(0, 1, 2*linkLat+5, func() {}) // expression derived from a latency
+}
+
+func dynamic(w sim.World, d sim.Duration) {
+	w.Post(0, 1, d, func() {}) // non-constant: the runtime lookahead panic owns it
+}
+
+func bad(w sim.World) {
+	w.Post(0, 1, 100, func() {})     // want `postdelay: Post delay 100 is a bare constant`
+	w.Post(0, 1, 0, func() {})       // want `postdelay: Post with zero delay`
+	w.Post(0, 1, zeroLat, func() {}) // want `postdelay: Post with zero delay`
+}
+
+func engine(e *sim.Engine) {
+	e.Post(0, 1, 50, func() {}) // want `postdelay: Post delay 50 is a bare constant`
+}
+
+func annotated(w sim.World) {
+	w.Post(0, 1, 30, func() {}) //detlint:allow postdelay -- deliberate below-lookahead probe
+}
+
+func notThisPost(c *channel) {
+	c.Post(64, func() {}) // two-arg Post on another type: not the contract
+}
+
+type channel struct{}
+
+func (c *channel) Post(bytes int, fn func()) {}

@@ -1,0 +1,7 @@
+// Package pure does not import the engine, so bare goroutines are out
+// of rawgo's jurisdiction.
+package pure
+
+func fine() {
+	go func() {}()
+}

@@ -1,0 +1,9 @@
+// Legacy shim kept for comparison runs; the file-scope annotation
+// permits the direct import.
+//
+//detlint:allow rawrand
+package rawrand
+
+import "math/rand"
+
+var legacy = rand.New(rand.NewSource(2))

@@ -1,0 +1,13 @@
+package rawrand
+
+import (
+	"math/rand" // want `rawrand: import of math/rand outside internal/workload`
+
+	"workload"
+)
+
+func use() int {
+	r := rand.New(rand.NewSource(1))
+	seeded := workload.Rand(7)
+	return r.Intn(10) + seeded.Intn(10)
+}

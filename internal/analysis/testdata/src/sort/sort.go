@@ -1,0 +1,8 @@
+// Package sort is a hermetic stand-in for stdlib sort.
+package sort
+
+// Strings sorts a slice of strings in increasing order.
+func Strings(x []string) {}
+
+// Ints sorts a slice of ints in increasing order.
+func Ints(x []int) {}

@@ -1,0 +1,24 @@
+// Package testing is a hermetic stand-in for stdlib testing: mapiter
+// matches the package path and method names of its failure/log sinks.
+package testing
+
+// T is the test state stand-in.
+type T struct{}
+
+// Error logs and marks the test failed.
+func (t *T) Error(args ...any) {}
+
+// Errorf logs a formatted failure.
+func (t *T) Errorf(format string, args ...any) {}
+
+// Fatal logs and aborts the test.
+func (t *T) Fatal(args ...any) {}
+
+// Fatalf logs a formatted failure and aborts.
+func (t *T) Fatalf(format string, args ...any) {}
+
+// Log records text in the test log.
+func (t *T) Log(args ...any) {}
+
+// Logf records formatted text in the test log.
+func (t *T) Logf(format string, args ...any) {}

@@ -1,0 +1,25 @@
+// Package time is a hermetic stand-in for the stdlib time package: the
+// analyzers match callees by package path and name, so only the
+// signatures matter.
+package time
+
+// Time is a wall-clock instant.
+type Time struct{}
+
+// Duration is a span of host time.
+type Duration int64
+
+// Millisecond is one millisecond.
+const Millisecond Duration = 1e6
+
+// Now returns the current host time.
+func Now() Time { return Time{} }
+
+// Since returns the host time elapsed since t.
+func Since(t Time) Duration { return 0 }
+
+// Until returns the host time remaining until t.
+func Until(t Time) Duration { return 0 }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return 0 }

@@ -1,0 +1,11 @@
+// Host-timing helpers: the whole file reads the host clock by design.
+//
+//detlint:allow wallclock
+package wallclock
+
+import "time"
+
+func wallMs() time.Duration {
+	t0 := time.Now()
+	return time.Since(t0)
+}

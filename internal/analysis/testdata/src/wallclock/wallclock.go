@@ -1,0 +1,35 @@
+package wallclock
+
+import "time"
+
+func bad() {
+	t0 := time.Now()   // want `wallclock: time\.Now reads the host clock`
+	_ = time.Since(t0) // want `wallclock: time\.Since reads the host clock`
+}
+
+// hostTimed measures host wall-clock for a bench header; the decl-scope
+// annotation covers both calls.
+//
+//detlint:allow wallclock -- host-speed trajectory, not simulated time
+func hostTimed() time.Duration {
+	t0 := time.Now()
+	return time.Since(t0)
+}
+
+func lineScoped() {
+	t0 := time.Now() //detlint:allow wallclock
+	//detlint:allow wallclock
+	_ = time.Since(t0)
+	_ = time.Now() // want `wallclock: time\.Now`
+}
+
+// notTheClock exercises lookalikes the analyzer must ignore.
+func notTheClock(t time.Time, u time.Time) {
+	_ = time.Until(t) // only Now/Since are wall-clock reads we forbid
+	_ = t.Sub(u)
+	other{}.Now()
+}
+
+type other struct{}
+
+func (other) Now() {}

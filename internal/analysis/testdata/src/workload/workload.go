@@ -1,0 +1,11 @@
+// Package workload is a hermetic stand-in for fusedcc/internal/workload,
+// the one package rawrand permits to import math/rand.
+package workload
+
+import "math/rand"
+
+// RNG is the seeded generator handed to consumers.
+type RNG = *rand.Rand
+
+// Rand returns a seeded PRNG.
+func Rand(seed int64) RNG { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,39 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// Wallclock forbids reading the host clock. Simulated code must derive
+// every timestamp from sim.Time/Proc.Now so results are byte-identical
+// at any worker or shard count; host timing leaks nondeterminism the
+// moment it feeds a simulated quantity. Host-speed instrumentation
+// (benchmark wall-clock trajectories in cmd/ and the experiment
+// figures) is legitimate and opts out with //detlint:allow wallclock.
+var Wallclock = &Analyzer{
+	Name: "wallclock",
+	Doc: "forbid time.Now/time.Since outside annotated host-timing paths; " +
+		"simulated quantities must come from the sim clock",
+	Run: runWallclock,
+}
+
+func runWallclock(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := funcFor(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			switch fn.Name() {
+			case "Now", "Since":
+				pass.Reportf(call.Pos(), "wallclock: time.%s reads the host clock; derive simulated time from sim.Time, or annotate a host-timing path with //detlint:allow wallclock", fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

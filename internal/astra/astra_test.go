@@ -27,13 +27,16 @@ func TestCalibrationProducesPositiveTimes(t *testing.T) {
 		t.Fatal(err)
 	}
 	ts := s.Times
-	for name, d := range map[string]sim.Duration{
-		"emb_fwd": ts.EmbeddingFwd, "emb_bwd": ts.EmbeddingBwd,
-		"mlp_bottom": ts.MLPBottomFwd, "mlp_top": ts.MLPTopFwd,
-		"mlp_bwd": ts.MLPBwd, "interaction": ts.Interaction,
+	for _, tc := range []struct {
+		name string
+		d    sim.Duration
+	}{
+		{"emb_fwd", ts.EmbeddingFwd}, {"emb_bwd", ts.EmbeddingBwd},
+		{"mlp_bottom", ts.MLPBottomFwd}, {"mlp_top", ts.MLPTopFwd},
+		{"mlp_bwd", ts.MLPBwd}, {"interaction", ts.Interaction},
 	} {
-		if d <= 0 {
-			t.Errorf("%s = %v, want > 0", name, d)
+		if tc.d <= 0 {
+			t.Errorf("%s = %v, want > 0", tc.name, tc.d)
 		}
 	}
 	if ts.EmbeddingBwd <= ts.EmbeddingFwd {

@@ -317,6 +317,8 @@ func Fig15(opt Options) *Result {
 // serial makespan as "baseline" and the sharded one as "fused", so a
 // correct run always shows normalized 1.000; host wall-clock points for
 // both passes land in Walls (and from there in BENCH_speed.json).
+//
+//detlint:allow wallclock -- measures host speedup of the sharded engine
 func AstraReplay(opt Options) *Result {
 	sys := astra.DefaultSystem()
 	model := astra.DefaultModel()

@@ -128,6 +128,7 @@ func TestPassCacheConcurrent(t *testing.T) {
 	for i := 0; i < workers; i++ {
 		i := i
 		wg.Add(1)
+		//detlint:allow rawgo -- host-side concurrency: each worker drives its own engine; the -race run is the point
 		go func() {
 			defer wg.Done()
 			pl, g := cacheTestGraph(t)

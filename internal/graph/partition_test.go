@@ -112,12 +112,17 @@ func TestPipelinedBitExact(t *testing.T) {
 			k := sh.nodes * sh.gpus
 			g := New(w, allPEs(pl), core.DefaultConfig())
 			gemv, emb, gemm := buildTriple(t, g, k)
+			vals := []struct {
+				name string
+				v    Value
+			}{{"gemv", gemv}, {"emb", emb}, {"gemm", gemm}}
 
 			var eager, pipelined *Report
 			snapshot := map[string][][]float32{}
 			drive(pl, func(p *sim.Proc) {
 				eager = Run(p, g, Eager)
-				for name, v := range map[string]Value{"gemv": gemv, "emb": emb, "gemm": gemm} {
+				for _, nv := range vals {
+					name, v := nv.name, nv.v
 					for _, pe := range g.PEs() {
 						snapshot[name] = append(snapshot[name], append([]float32(nil), v.Symm().On(pe).Data()...))
 					}
@@ -128,7 +133,8 @@ func TestPipelinedBitExact(t *testing.T) {
 			if len(pipelined.Partition.Splits) != 3 {
 				t.Fatalf("partitioned %d pairs, want 3: %+v", len(pipelined.Partition.Splits), pipelined.Partition.Splits)
 			}
-			for name, v := range map[string]Value{"gemv": gemv, "emb": emb, "gemm": gemm} {
+			for _, nv := range vals {
+				name, v := nv.name, nv.v
 				for i, pe := range g.PEs() {
 					got := v.Symm().On(pe).Data()
 					want := snapshot[name][i]

@@ -14,7 +14,6 @@ import (
 	"bufio"
 	"fmt"
 	"io"
-	"math/rand"
 	"os"
 	"strconv"
 	"strings"
@@ -58,7 +57,7 @@ type Arrivals interface {
 // runs are byte-identical for a given seed regardless of how many sweep
 // workers run alongside.
 type poisson struct {
-	rng  *rand.Rand
+	rng  workload.RNG
 	mean float64 // seconds between arrivals
 	kind string
 }

@@ -266,14 +266,15 @@ func TestCrossShardRendezvous(t *testing.T) {
 // FIFO tie-break: two same-instant posts from ONE source must arrive in
 // post order after the inter-shard merge, at any shard count.
 func TestInterShardMergePreservesSourceFIFO(t *testing.T) {
+	const lat = 100 // ring link latency; posts travel exactly one hop
 	for _, shards := range []int{1, 2} {
-		w := NewSharded(PartitionNodes(2, shards, ringLinks(2, 100)))
+		w := NewSharded(PartitionNodes(2, shards, ringLinks(2, lat)))
 		var order []int
 		w.EngineFor(1).Go("src", func(p *Proc) {
 			p.Sleep(5)
 			for k := 0; k < 4; k++ {
 				k := k
-				w.Post(1, 0, 100, func() { order = append(order, k) })
+				w.Post(1, 0, lat, func() { order = append(order, k) })
 			}
 		})
 		w.Run()
@@ -291,6 +292,7 @@ func TestInterShardMergePreservesSourceFIFO(t *testing.T) {
 func TestCrossShardPostBelowLookaheadPanics(t *testing.T) {
 	w := NewSharded(PartitionNodes(4, 2, ringLinks(4, 100)))
 	w.EngineFor(0).Go("bad", func(p *Proc) {
+		//detlint:allow postdelay -- deliberately below the lookahead to prove the engine panics
 		w.Post(0, 3, 50, func() {})
 	})
 	defer func() {

@@ -44,9 +44,9 @@ func TestProgramsCoverGrid(t *testing.T) {
 	if len(seen) != 20 {
 		t.Fatalf("covered %d programs, want 20", len(seen))
 	}
-	for pid, n := range seen {
-		if n != 1 {
-			t.Fatalf("program %d ran %d times", pid, n)
+	for pid := 0; pid < 20; pid++ {
+		if seen[pid] != 1 {
+			t.Fatalf("program %d ran %d times", pid, seen[pid])
 		}
 	}
 }

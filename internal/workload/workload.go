@@ -10,9 +10,14 @@ import (
 	"fusedcc/internal/gpu"
 )
 
+// RNG is the seeded PRNG handle Rand returns. Consumers hold this alias
+// instead of importing math/rand, so every stream in the tree is
+// visibly seeded through this package (the rawrand check enforces it).
+type RNG = *rand.Rand
+
 // Rand returns a seeded PRNG. A thin wrapper so call sites don't import
 // math/rand directly with inconsistent seeding.
-func Rand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+func Rand(seed int64) RNG { return rand.New(rand.NewSource(seed)) }
 
 // CSR is a batch of variable-length index bags in compressed sparse row
 // form, the layout EmbeddingBag consumes.
