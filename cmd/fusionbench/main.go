@@ -28,6 +28,15 @@
 //	fusionbench -mode serve -trace arrivals.txt
 //	                            # replay a recorded arrival trace
 //	                            # ("<offset-seconds> [kind]" per line)
+//	fusionbench -mode chaos -json BENCH_chaos.json
+//	                            # fault-injection sweep: static plans vs
+//	                            # degradation-aware online re-selection
+//	                            # through slow-NIC / straggler /
+//	                            # dropped-rank scenarios (p99, goodput,
+//	                            # drops, re-shards)
+//	fusionbench -mode chaos -faults "slowlink@3,x8;droprank@?,start=40ms"
+//	                            # serve one shape under a specific plan
+//	                            # ("?" targets draw from -seed)
 //	fusionbench -json out.json  # also emit machine-readable makespans
 //	fusionbench -pipeline -quick -compare BENCH_pipeline.json
 //	                            # CI perf gate: fail if any makespan
@@ -287,6 +296,7 @@ func main() {
 		mode       = flag.String("mode", "", "run one execution-mode configuration: eager, pipelined, fused, auto, wavefront, or serve (auto/wavefront/serve without -shape run their full sweeps)")
 		chunks     = flag.Int("chunks", fusedcc.DefaultChunks, "pipeline depth K for -mode pipelined")
 		qps        = flag.Float64("qps", 0, "offered request rate for -mode serve (0 without -trace runs the full serving sweep)")
+		faults     = flag.String("faults", "", "fault plan for -mode chaos: semicolon-separated \"kind@target[,x<factor>][,latency][,start=<dur>][,for=<dur>]\" with kind slowlink/straggler/droprank and target an id or ? (drawn from -seed); empty runs the full chaos sweep")
 		trace      = flag.String("trace", "", "arrival trace file for -mode serve (one request per line: \"<offset-seconds> [kind]\")")
 		requests   = flag.Int("requests", 64, "request count bound for -mode serve -qps")
 		duration   = flag.Float64("duration", 0, "simulated horizon in seconds for -mode serve -qps (0: bound by -requests only)")
@@ -425,6 +435,31 @@ func main() {
 		}
 		res, err := fusedcc.RunServingConfigOpt(nodes, gpus, *layers, *qps, *requests,
 			fusedcc.DurationOf(*duration), *trace, *seed, sopt)
+		if err != nil {
+			fail(err)
+		}
+		emit(res)
+		finish()
+		return
+
+	case *mode == "chaos":
+		if *faults == "" && *shape == "" {
+			// Bare -mode chaos runs the full fault-injection sweep (every
+			// scenario x serving arm on the scale-out shape) — the
+			// BENCH_chaos.json producer. Add -faults (and optionally
+			// -shape) to inject one plan instead.
+			emit(runExp("chaos"))
+			finish()
+			return
+		}
+		nodes, gpus := 8, 1
+		var err error
+		if *shape != "" {
+			if nodes, gpus, err = parseShape(*shape); err != nil {
+				fail(err)
+			}
+		}
+		res, err := fusedcc.RunChaosConfigOpt(nodes, gpus, *layers, *faults, *qps, *requests, *seed, sopt)
 		if err != nil {
 			fail(err)
 		}

@@ -136,6 +136,10 @@ type (
 	// rate) for load-aware selection; the zero value prices for an idle
 	// machine, reproducing Select's historical choices exactly.
 	LoadContext = graph.LoadContext
+	// DegradeContext carries observed degradation (compute and comm
+	// slowdown factors) for fault-aware re-pricing; the zero value means
+	// healthy and changes nothing.
+	DegradeContext = graph.DegradeContext
 	// FusionPattern identifies one compute→collective rewrite.
 	FusionPattern = graph.Pattern
 	// RowsSpec declares a rowwise per-rank compute node — the builder
@@ -478,6 +482,7 @@ var experimentTable = []experiment{
 	{id: "auto", run: experiments.Auto},
 	{id: "wavefront", run: experiments.Wavefront},
 	{id: "serving", run: experiments.Serving},
+	{id: "chaos", run: experiments.Chaos},
 	{id: "astra", aliases: []string{"astra-replay"}, run: experiments.AstraReplay},
 	{id: "ablation:zerocopy", run: experiments.AblationZeroCopy},
 	{id: "ablation:slicesize", run: experiments.AblationSliceSize},
@@ -587,6 +592,19 @@ func DurationOf(seconds float64) Duration { return sim.DurationOf(seconds) }
 func RunServingConfigOpt(nodes, gpusPerNode, layers int, qps float64, requests int,
 	duration Duration, tracePath string, seed int64, opt SweepOptions) (*ExperimentResult, error) {
 	return experiments.ServingPoint(nodes, gpusPerNode, layers, qps, requests, duration, tracePath, seed, opt.internal())
+}
+
+// RunChaosConfigOpt serves the case-study stacks at one shape under an
+// injected fault plan — the engine behind fusionbench's -mode chaos
+// -faults. spec uses the chaos grammar ("slowlink@3,x8,start=1ms;
+// droprank@?,start=4ms"; "?" targets draw from seed). Each stack is
+// served once per arm on the same seeded arrival stream: the static
+// fused and eager plans, offline Auto, and Auto with online
+// re-selection from observed degradation; rows pair static-fused p99
+// against auto+online p99.
+func RunChaosConfigOpt(nodes, gpusPerNode, layers int, spec string, qps float64,
+	requests int, seed int64, opt SweepOptions) (*ExperimentResult, error) {
+	return experiments.ChaosPoint(nodes, gpusPerNode, layers, spec, qps, requests, seed, opt.internal())
 }
 
 // GPUModel returns the device model used throughout (MI210-class).

@@ -13,8 +13,10 @@ func TestWallclock(t *testing.T) {
 
 func TestRawrand(t *testing.T) {
 	// The workload fixture is the allowlisted package: its math/rand
-	// import must produce no findings.
-	analysistest.Run(t, "testdata", analysis.Rawrand, "rawrand", "workload")
+	// import must produce no findings. The chaos fixture pins the rule
+	// for fault injection: seeded fault draws go through workload.Rand
+	// like everything else.
+	analysistest.Run(t, "testdata", analysis.Rawrand, "rawrand", "workload", "chaos")
 }
 
 func TestMapiter(t *testing.T) {

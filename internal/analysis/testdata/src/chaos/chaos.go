@@ -1,0 +1,19 @@
+// Package chaos mirrors internal/chaos's fault-target draw: a fault
+// plan seeded through anything but workload.Rand would resolve
+// different targets depending on worker interleaving, so the rawrand
+// check must flag a direct math/rand import here too — fault injection
+// gets no special dispensation from the determinism rules.
+package chaos
+
+import (
+	"math/rand" // want `rawrand: import of math/rand outside internal/workload`
+
+	"workload"
+)
+
+// draw resolves a random fault target the wrong way and the right way.
+func draw(seed int64, ranks int) int {
+	bad := rand.New(rand.NewSource(seed))
+	good := workload.Rand(seed)
+	return bad.Intn(ranks) + good.Intn(ranks)
+}

@@ -74,7 +74,7 @@ func TestAutoExperimentShape(t *testing.T) {
 		t.Skip("validation sweep is too heavy under the race detector; run without -race")
 	}
 	t.Parallel()
-	res := Auto(quick)
+	res := quickSerialResult("auto", Auto)
 	if len(res.Rows) == 0 {
 		t.Fatal("no rows")
 	}

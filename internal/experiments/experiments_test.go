@@ -231,7 +231,7 @@ func TestHybridShapeValidatesShape(t *testing.T) {
 // — contain at least one multi-layer configuration with K>=2 chunks
 // where the pipelined makespan does not exceed eager.
 func TestPipelineQuickShape(t *testing.T) {
-	res := Pipeline(quick)
+	res := quickSerialResult("pipeline", Pipeline)
 	if len(res.Rows) == 0 || len(res.Notes) != len(res.Rows) {
 		t.Fatalf("rows=%d notes=%d", len(res.Rows), len(res.Notes))
 	}

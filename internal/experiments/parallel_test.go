@@ -13,9 +13,10 @@ import (
 // run serially or on a worker pool — parallelism may only change
 // wall-clock time. The serving sweep gets the same serial-vs-parallel
 // check in TestServingLoadAwareCrossover (serving_test.go), folded into
-// its acceptance test so the package runs the sweep only twice.
-// Pipeline always runs; the heavier auto and wavefront sweeps are
-// skipped in -short runs.
+// its acceptance test so the package runs the sweep only twice. The
+// serial arm comes from quickSerialResult, shared with the shape tests,
+// so each sweep here costs one worker-pool run. Pipeline always runs;
+// the heavier auto and wavefront sweeps are skipped in -short runs.
 func TestSweepDeterminismMatrix(t *testing.T) {
 	if raceEnabled {
 		t.Skip("full quick sweeps are too heavy under the race detector; the parallel runner is race-covered by TestParallelRunnerSharedCacheRace")
@@ -36,7 +37,7 @@ func TestSweepDeterminismMatrix(t *testing.T) {
 		sw := sw
 		t.Run(sw.name, func(t *testing.T) {
 			t.Parallel()
-			serial := sw.run(Options{Quick: true, Parallel: 1})
+			serial := quickSerialResult(sw.name, sw.run)
 			parallel := sw.run(Options{Quick: true, Parallel: 4})
 			if !reflect.DeepEqual(serial, parallel) {
 				t.Errorf("serial and parallel %s sweeps differ:\nserial:\n%v\nparallel:\n%v", sw.name, serial, parallel)

@@ -36,6 +36,12 @@ type stackRunner interface {
 type stackCase struct {
 	name  string
 	build func(w *shmem.World, pes []int, layers int) (stackRunner, error)
+	// reshard, when set, rebuilds the stack on a surviving subset of
+	// the original ranks after one dropped — re-partitioning the case's
+	// state over the survivors (original is the pre-fault rank count).
+	// Cases without it cannot serve through a rank loss: their requests
+	// drain as bounded retries and drops instead.
+	reshard func(w *shmem.World, pes []int, layers, original int) (stackRunner, error)
 }
 
 // pipelineCases builds the three multi-layer stacks at experiment sizes
@@ -59,17 +65,31 @@ func pipelineCases(quick bool) []stackCase {
 		moeCfg.TokensPerGPU, moeCfg.FFNDim = 256, 2048
 	}
 	return []stackCase{
-		{"decoder", func(w *shmem.World, pes []int, layers int) (stackRunner, error) {
+		{name: "decoder", build: func(w *shmem.World, pes []int, layers int) (stackRunner, error) {
 			cfg := decoderCfg
 			cfg.Layers = layers
 			return transformer.NewDecoder(w, pes, cfg, core.DefaultConfig())
 		}},
-		{"dlrm", func(w *shmem.World, pes []int, layers int) (stackRunner, error) {
+		{name: "dlrm", build: func(w *shmem.World, pes []int, layers int) (stackRunner, error) {
 			cfg := dlrmCfg
 			cfg.Groups = layers
 			return dlrm.New(w, pes, cfg, core.DefaultConfig())
+		}, reshard: func(w *shmem.World, pes []int, layers, original int) (stackRunner, error) {
+			// Spread the lost rank's tables over the survivors and shrink
+			// the global batch to the largest size the embedding all-to-all
+			// still shards evenly (survivors x SliceRows must divide it).
+			cfg := dlrmCfg
+			cfg.Groups = layers
+			total := cfg.TablesPerGPU * original
+			cfg.TablesPerGPU = (total + len(pes) - 1) / len(pes)
+			unit := len(pes) * cfg.SliceRows
+			cfg.GlobalBatch = cfg.GlobalBatch / unit * unit
+			if cfg.GlobalBatch == 0 {
+				return nil, fmt.Errorf("dlrm: no valid batch for %d survivors", len(pes))
+			}
+			return dlrm.New(w, pes, cfg, core.DefaultConfig())
 		}},
-		{"moe", func(w *shmem.World, pes []int, layers int) (stackRunner, error) {
+		{name: "moe", build: func(w *shmem.World, pes []int, layers int) (stackRunner, error) {
 			return moe.NewStack(w, pes, moeCfg, layers, core.DefaultConfig())
 		}},
 	}

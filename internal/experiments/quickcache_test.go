@@ -1,0 +1,26 @@
+package experiments
+
+import "sync"
+
+// quickSerial memoizes the serial (Parallel: 1) quick run of each BENCH
+// sweep. Several tests assert on the same sweep — the shape tests read
+// its rows and notes, the determinism matrix compares it against a
+// worker-pool run — and the sweeps are deterministic by construction
+// (that is the invariant the matrix enforces), so the package computes
+// each serial sweep exactly once instead of once per consumer. The
+// shared *Result must be treated as read-only by every caller.
+var quickSerial = struct {
+	mu sync.Mutex
+	m  map[string]*Result
+}{m: map[string]*Result{}}
+
+func quickSerialResult(name string, run func(Options) *Result) *Result {
+	quickSerial.mu.Lock()
+	defer quickSerial.mu.Unlock()
+	if r, ok := quickSerial.m[name]; ok {
+		return r
+	}
+	r := run(Options{Quick: true, Parallel: 1})
+	quickSerial.m[name] = r
+	return r
+}

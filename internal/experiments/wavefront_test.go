@@ -17,7 +17,7 @@ func TestWavefrontExperimentShape(t *testing.T) {
 		t.Skip("validation sweep is too heavy under the race detector; run without -race")
 	}
 	t.Parallel()
-	res := Wavefront(quick)
+	res := quickSerialResult("wavefront", Wavefront)
 	if len(res.Rows) == 0 {
 		t.Fatal("no rows")
 	}

@@ -59,6 +59,25 @@ func (d *Device) Config() Config { return d.cfg }
 // read or write device memory from outside a kernel).
 func (d *Device) HBM() *sim.Resource { return d.hbm }
 
+// ALU exposes the compute-throughput resource (for health monitors that
+// sample observed service rates).
+func (d *Device) ALU() *sim.Resource { return d.alu }
+
+// SetServiceScale degrades the device's service rates by factor f >= 1:
+// every kernel's compute and memory phases take ~f times longer — the
+// straggler-injection hook. f == 1 restores nominal behavior exactly.
+func (d *Device) SetServiceScale(f float64) {
+	if f < 1 {
+		panic("gpu: service scale must be >= 1 (stragglers only slow devices)")
+	}
+	d.alu.SetRateScale(1 / f)
+	d.hbm.SetRateScale(1 / f)
+}
+
+// ServiceScale reports the device's current straggler factor (1 when
+// nominal).
+func (d *Device) ServiceScale() float64 { return 1 / d.alu.RateScale() }
+
 // KernelsLaunched reports how many kernels were dispatched on the device.
 func (d *Device) KernelsLaunched() int { return d.kernelsLaunched }
 

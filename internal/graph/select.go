@@ -55,6 +55,62 @@ type LoadContext struct {
 	// Informational: recorded in reports and cache keys so plans priced
 	// under different loads never alias.
 	ArrivalRate float64
+	// Degrade carries observed per-stream slowdown factors from a
+	// health monitor, re-pricing every form for a degraded machine. The
+	// zero value means nominal hardware.
+	Degrade DegradeContext
+}
+
+// DegradeContext is the observed-degradation half of a LoadContext:
+// multiplicative slowdown factors per stream class, fed by a health
+// monitor (EWMA over observed link and kernel service rates). Factors
+// below 1 (including the zero value) mean nominal. The fused form is
+// charged the worse of the two factors on its whole duration — its
+// persistent kernel couples compute with fine-grained communication,
+// so one soured link stalls the entire chain — while eager and
+// pipelined forms pay each factor only on the phases that use that
+// stream. That asymmetry is what lets Auto flip a fused pair back to
+// chunked or eager mid-run when a link degrades.
+type DegradeContext struct {
+	// Compute scales compute-phase durations (straggling kernels).
+	Compute float64
+	// Comm scales collective-phase durations (degraded links/NICs).
+	Comm float64
+}
+
+// Degraded reports whether any slowdown is in force.
+func (dc DegradeContext) Degraded() bool { return dc.Compute > 1 || dc.Comm > 1 }
+
+// comp and comm normalize the factors (>= 1).
+func (dc DegradeContext) comp() float64 {
+	if dc.Compute > 1 {
+		return dc.Compute
+	}
+	return 1
+}
+
+func (dc DegradeContext) comm() float64 {
+	if dc.Comm > 1 {
+		return dc.Comm
+	}
+	return 1
+}
+
+// coupled is the factor charged on forms that bind both streams into
+// one schedule (the fused persistent kernel): the worse of the two.
+func (dc DegradeContext) coupled() float64 {
+	if c := dc.comp(); c > dc.comm() {
+		return c
+	}
+	return dc.comm()
+}
+
+// scale multiplies a duration by a slowdown factor, exact at factor 1.
+func scaleDur(d sim.Duration, f float64) sim.Duration {
+	if f == 1 {
+		return d
+	}
+	return sim.Duration(float64(d) * f)
 }
 
 // Loaded reports whether the context describes any contention.
@@ -62,10 +118,14 @@ func (lc LoadContext) Loaded() bool { return lc.QueueDepth > 0 }
 
 // key renders the context for plan-cache keys and executor memos.
 func (lc LoadContext) key() string {
-	if !lc.Loaded() && lc.ArrivalRate == 0 {
+	if !lc.Loaded() && lc.ArrivalRate == 0 && !lc.Degrade.Degraded() {
 		return "idle"
 	}
-	return fmt.Sprintf("d=%.6g,r=%.6g", lc.QueueDepth, lc.ArrivalRate)
+	k := fmt.Sprintf("d=%.6g,r=%.6g", lc.QueueDepth, lc.ArrivalRate)
+	if lc.Degrade.Degraded() {
+		k += fmt.Sprintf(",sc=%.6g,sl=%.6g", lc.Degrade.comp(), lc.Degrade.comm())
+	}
+	return k
 }
 
 // loadedCost is the contention-aware price of a form: its own latency
@@ -169,6 +229,9 @@ func (r *SelectReport) String() string {
 	if r.Load.Loaded() {
 		fmt.Fprintf(&b, "  load: queue depth %.2f, arrival rate %.1f/s\n", r.Load.QueueDepth, r.Load.ArrivalRate)
 	}
+	if r.Load.Degrade.Degraded() {
+		fmt.Fprintf(&b, "  degrade: compute x%.2f, comm x%.2f\n", r.Load.Degrade.comp(), r.Load.Degrade.comm())
+	}
 	for _, d := range r.Decisions {
 		fmt.Fprintf(&b, "  %s: (%s, %s) -> %s  [eager %v, fused %v, pipelined %v]\n",
 			d.Pattern, d.Compute, d.Collective, d.ChoiceString(), d.EagerCost, d.FusedCost, d.PipelineCost)
@@ -246,6 +309,9 @@ func pipelineCost(est pairEstimator, k int) (lat, demand sim.Duration) {
 // communication on the compute stream, so its demand is its whole
 // duration) relative to the split forms.
 func decide(est pairEstimator, load LoadContext) Decision {
+	if load.Degrade.Degraded() {
+		est = &degradedEstimator{pairEstimator: est, dc: load.Degrade}
+	}
 	d := Decision{Choice: Eager, Chunks: 1}
 	comp := est.EstimateComputeChunk(0, 1)
 	coll := est.EstimateCollectiveChunk(0, 1)
@@ -283,6 +349,28 @@ func decide(est pairEstimator, load LoadContext) Decision {
 	return d
 }
 
+// degradedEstimator re-prices a pair's cost surface for a degraded
+// machine: compute chunks scale by the compute slowdown, collective
+// chunks by the link slowdown, and the fused kernel — whose persistent
+// chain couples both streams — by the worse of the two. Chunk bounds
+// pass through unchanged.
+type degradedEstimator struct {
+	pairEstimator
+	dc DegradeContext
+}
+
+func (e *degradedEstimator) EstimateComputeChunk(c, n int) sim.Duration {
+	return scaleDur(e.pairEstimator.EstimateComputeChunk(c, n), e.dc.comp())
+}
+
+func (e *degradedEstimator) EstimateCollectiveChunk(c, n int) sim.Duration {
+	return scaleDur(e.pairEstimator.EstimateCollectiveChunk(c, n), e.dc.comm())
+}
+
+func (e *degradedEstimator) EstimateFused() sim.Duration {
+	return scaleDur(e.pairEstimator.EstimateFused(), e.dc.coupled())
+}
+
 // --- wavefront chain analysis ---
 
 // wfSeg is one chunkable segment of a wavefront chain candidate: a
@@ -302,6 +390,9 @@ type wfSeg struct {
 	// chunk-granularly; outKind what its chunks finalize.
 	inKind, outKind core.RangeKind
 	inOK            bool
+	// dc re-prices rowwise and exchange segments for a degraded machine
+	// (pair segments carry the scaling inside their wrapped estimator).
+	dc DegradeContext
 }
 
 // compChunk prices the segment's compute work of chunk c of k.
@@ -311,7 +402,7 @@ func (s *wfSeg) compChunk(c, k int) sim.Duration {
 		return s.pair.EstimateComputeChunk(c, k)
 	case s.rows != nil:
 		lo, hi := core.ChunkSpan(c, k, s.rows.spec.Units)
-		return s.rows.spec.Estimate(lo, hi)
+		return scaleDur(s.rows.spec.Estimate(lo, hi), s.dc.comp())
 	}
 	return 0
 }
@@ -332,7 +423,7 @@ func (s *wfSeg) collChunk(c, k int) sim.Duration {
 			comm.SetProtocolOverhead(0)
 			comm.SetLaunchOverhead(core.ChunkDispatchOverhead)
 		}
-		return comm.EstimateAllToAll((hi-lo)*s.a2a.epr, s.a2a.algo)
+		return scaleDur(comm.EstimateAllToAll((hi-lo)*s.a2a.epr, s.a2a.algo), s.dc.comm())
 	}
 	return 0
 }
@@ -344,7 +435,7 @@ func (s *wfSeg) standalone(decisions map[*Node]Decision) sim.Duration {
 	case s.pair != nil:
 		return decisions[s.tail].Predicted()
 	case s.rows != nil:
-		return s.rows.spec.Estimate(0, s.rows.spec.Units)
+		return scaleDur(s.rows.spec.Estimate(0, s.rows.spec.Units), s.dc.comp())
 	case s.a2a != nil:
 		return s.collChunk(0, 1)
 	}
@@ -521,8 +612,9 @@ func wavefrontDemand(chain []*wfSeg, k int) sim.Duration {
 // wfSegments collects the chunkable segments of g: matched pairs with
 // both a cost surface and chunk-range metadata, rowwise per-rank nodes
 // with cost estimates, and row-structured exchanges. Returned keyed by
-// tail node.
-func wfSegments(g *Graph, match map[*Node]*Node) map[*Node]*wfSeg {
+// tail node. dc re-prices every segment for a degraded machine (the
+// zero value is exact nominal pricing).
+func wfSegments(g *Graph, match map[*Node]*Node, dc DegradeContext) map[*Node]*wfSeg {
 	segs := map[*Node]*wfSeg{}
 	for coll, producer := range match {
 		est, ok := pairOf(coll.op).(pairEstimator)
@@ -532,6 +624,9 @@ func wfSegments(g *Graph, match map[*Node]*Node) map[*Node]*wfSeg {
 		ranger, ok := pairOf(coll.op).(core.ChunkRanger)
 		if !ok {
 			continue
+		}
+		if dc.Degraded() {
+			est = &degradedEstimator{pairEstimator: est, dc: dc}
 		}
 		// Granularity bounds K, but NOT the WG-slot saturation clamp the
 		// standalone decide() applies: an under-filled chunk's extra
@@ -559,14 +654,14 @@ func wfSegments(g *Graph, match map[*Node]*Node) map[*Node]*wfSeg {
 				maxK = maxCandidateChunks
 			}
 			segs[n] = &wfSeg{head: n, tail: n, rows: op, maxK: maxK,
-				inKind: op.spec.Kind, outKind: op.spec.Kind, inOK: true}
+				inKind: op.spec.Kind, outKind: op.spec.Kind, inOK: true, dc: dc}
 		case *symmA2ARowsOp:
 			maxK := op.rows
 			if maxK > maxCandidateChunks {
 				maxK = maxCandidateChunks
 			}
 			segs[n] = &wfSeg{head: n, tail: n, a2a: op, maxK: maxK,
-				inKind: core.RangeRows, outKind: core.RangeRows, inOK: true}
+				inKind: core.RangeRows, outKind: core.RangeRows, inOK: true, dc: dc}
 		}
 	}
 	return segs
@@ -685,7 +780,7 @@ func selectAnalyze(g *Graph, load LoadContext) *selectPlan {
 	// Wavefront analysis: price each alignable chain at every admissible
 	// K against the sum of its segments' standalone bests, both sides at
 	// their loaded cost.
-	segs := wfSegments(g, match)
+	segs := wfSegments(g, match, load.Degrade)
 	for _, chain := range wfChains(g, segs) {
 		kmax := chain[0].maxK
 		var split, splitDemand sim.Duration

@@ -164,7 +164,7 @@ func TestWavefrontEstimateAccuracy(t *testing.T) {
 	twoPairChain(t, g, 64, 256, 128, 8) // 8 row bands per block
 
 	match := pairMatches(g, func(Pattern) bool { return true })
-	chains := wfChains(g, wfSegments(g, match))
+	chains := wfChains(g, wfSegments(g, match, DegradeContext{}))
 	if len(chains) != 1 || len(chains[0]) != 2 {
 		t.Fatalf("chains = %d (want one two-segment chain)", len(chains))
 	}

@@ -32,6 +32,30 @@ type Network interface {
 	CouplingLinks() []sim.Link
 }
 
+// DirectedLink pairs a directed inter-node link with its serializing
+// resource — the unit fault injection degrades and health monitoring
+// samples. To is -1 when the resource serializes all of From's
+// outbound traffic (a shared injection NIC).
+type DirectedLink struct {
+	From, To int
+	Res      *sim.Resource
+}
+
+// LinkEnumerator is implemented by topologies that can enumerate their
+// serializing link resources in a deterministic order.
+type LinkEnumerator interface {
+	Links() []DirectedLink
+}
+
+// LatencyScaler is implemented by topologies whose per-node propagation
+// latency can be degraded at runtime (fault injection). Scales must be
+// >= 1: faults only ever slow a link, so the conservative-PDES
+// lookahead a sharded world captured at partition time stays a valid
+// lower bound, while Lookahead() recomputes the current minimum.
+type LatencyScaler interface {
+	SetLatencyScale(node int, f float64)
+}
+
 // Hop is one link traversal of a routed path: serialize on Link (owned
 // by node From's shard), then pay Latency to propagate to node To.
 type Hop struct {
@@ -106,6 +130,9 @@ type PointToPoint struct {
 	nodes   int
 	latency sim.Duration
 	nics    []*sim.Resource
+	// latScale degrades per-node propagation latency (zero value = 1);
+	// entries are >= 1 so partition-time lookahead bounds stay valid.
+	latScale []float64
 }
 
 // NewPointToPoint builds the mesh. w places each node's NIC on its
@@ -130,12 +157,42 @@ func (pp *PointToPoint) Nodes() int { return pp.nodes }
 // NIC exposes node i's injection resource.
 func (pp *PointToPoint) NIC(i int) *sim.Resource { return pp.nics[i] }
 
+// Links implements LinkEnumerator: one entry per injection NIC (a NIC
+// serializes all of its node's outbound traffic, so To is -1).
+func (pp *PointToPoint) Links() []DirectedLink {
+	ls := make([]DirectedLink, pp.nodes)
+	for i, nic := range pp.nics {
+		ls[i] = DirectedLink{From: i, To: -1, Res: nic}
+	}
+	return ls
+}
+
+// SetLatencyScale implements LatencyScaler: messages injected by node
+// scale their propagation latency by f (>= 1).
+func (pp *PointToPoint) SetLatencyScale(node int, f float64) {
+	if f < 1 {
+		panic("netsim: latency scale must be >= 1 (faults only slow links)")
+	}
+	if pp.latScale == nil {
+		pp.latScale = make([]float64, pp.nodes)
+	}
+	pp.latScale[node] = f
+}
+
+// srcLatency returns src's (possibly degraded) one-way latency.
+func (pp *PointToPoint) srcLatency(src int) sim.Duration {
+	if pp.latScale == nil || pp.latScale[src] == 0 || pp.latScale[src] == 1 {
+		return pp.latency
+	}
+	return sim.Duration(float64(pp.latency) * pp.latScale[src])
+}
+
 // Path implements Network.
 func (pp *PointToPoint) Path(src, dst int) ([]*sim.Resource, sim.Duration) {
 	if src == dst {
 		return nil, 0
 	}
-	return []*sim.Resource{pp.nics[src]}, pp.latency
+	return []*sim.Resource{pp.nics[src]}, pp.srcLatency(src)
 }
 
 // Route implements Router: one hop through the source NIC.
@@ -143,11 +200,25 @@ func (pp *PointToPoint) Route(src, dst int) []Hop {
 	if src == dst {
 		return nil
 	}
-	return []Hop{{From: src, To: dst, Link: pp.nics[src], Latency: pp.latency}}
+	return []Hop{{From: src, To: dst, Link: pp.nics[src], Latency: pp.srcLatency(src)}}
 }
 
-// Lookahead implements Network: the one-way NIC latency.
-func (pp *PointToPoint) Lookahead() sim.Duration { return pp.latency }
+// Lookahead implements Network: the minimum current one-way latency
+// over all nodes. With latency faults in force every entry is >= the
+// nominal latency, so the recomputed bound never drops below what a
+// sharded world captured at partition time.
+func (pp *PointToPoint) Lookahead() sim.Duration {
+	if pp.latScale == nil {
+		return pp.latency
+	}
+	min := sim.Duration(0)
+	for i := range pp.nics {
+		if l := pp.srcLatency(i); min == 0 || l < min {
+			min = l
+		}
+	}
+	return min
+}
 
 // CouplingLinks implements Network: every ordered node pair, at the
 // mesh latency.
@@ -167,6 +238,9 @@ type Torus2D struct {
 	w, h   int
 	hopLat sim.Duration
 	links  map[[2]int]*sim.Resource // [from][to] node ids
+	// latScale degrades the hop latency of links owned (injected) by a
+	// node (zero value = 1); entries are >= 1.
+	latScale []float64
 }
 
 // NewTorus2D builds the torus. bytesPerSec is per directed link
@@ -220,6 +294,48 @@ func (t *Torus2D) Link(a, b int) *sim.Resource {
 	return l
 }
 
+// Links implements LinkEnumerator: every directed neighbor link in
+// deterministic (row-major source, +x/-x/+y/-y) order.
+func (t *Torus2D) Links() []DirectedLink {
+	ls := make([]DirectedLink, 0, len(t.links))
+	seen := map[[2]int]bool{}
+	for y := 0; y < t.h; y++ {
+		for x := 0; x < t.w; x++ {
+			n := t.ID(x, y)
+			for _, m := range []int{t.ID((x+1)%t.w, y), t.ID((x-1+t.w)%t.w, y), t.ID(x, (y+1)%t.h), t.ID(x, (y-1+t.h)%t.h)} {
+				key := [2]int{n, m}
+				if n == m || seen[key] {
+					continue // 2-wide rings alias +x/-x
+				}
+				seen[key] = true
+				ls = append(ls, DirectedLink{From: n, To: m, Res: t.links[key]})
+			}
+		}
+	}
+	return ls
+}
+
+// SetLatencyScale implements LatencyScaler: hops injected by node scale
+// their propagation latency by f (>= 1).
+func (t *Torus2D) SetLatencyScale(node int, f float64) {
+	if f < 1 {
+		panic("netsim: latency scale must be >= 1 (faults only slow links)")
+	}
+	if t.latScale == nil {
+		t.latScale = make([]float64, t.w*t.h)
+	}
+	t.latScale[node] = f
+}
+
+// hopLatency returns the (possibly degraded) latency of a hop injected
+// by node from.
+func (t *Torus2D) hopLatency(from int) sim.Duration {
+	if t.latScale == nil || t.latScale[from] == 0 || t.latScale[from] == 1 {
+		return t.hopLat
+	}
+	return sim.Duration(float64(t.hopLat) * t.latScale[from])
+}
+
 // RingX returns the node ids of the X-dimension ring through node id.
 func (t *Torus2D) RingX(id int) []int {
 	_, y := t.Coord(id)
@@ -247,6 +363,7 @@ func (t *Torus2D) Path(src, dst int) ([]*sim.Resource, sim.Duration) {
 		return nil, 0
 	}
 	var links []*sim.Resource
+	var lat sim.Duration
 	sx, sy := t.Coord(src)
 	dx, dy := t.Coord(dst)
 	x, y := sx, sy
@@ -254,15 +371,17 @@ func (t *Torus2D) Path(src, dst int) ([]*sim.Resource, sim.Duration) {
 	for x != dx {
 		nx := (x + stepX + t.w) % t.w
 		links = append(links, t.Link(t.ID(x, y), t.ID(nx, y)))
+		lat += t.hopLatency(t.ID(x, y))
 		x = nx
 	}
 	stepY := shortestStep(sy, dy, t.h)
 	for y != dy {
 		ny := (y + stepY + t.h) % t.h
 		links = append(links, t.Link(t.ID(x, y), t.ID(x, ny)))
+		lat += t.hopLatency(t.ID(x, y))
 		y = ny
 	}
-	return links, sim.Duration(len(links)) * t.hopLat
+	return links, lat
 }
 
 // Route implements Router: the dimension-ordered hop sequence matching
@@ -279,21 +398,34 @@ func (t *Torus2D) Route(src, dst int) []Hop {
 	for x != dx {
 		nx := (x + stepX + t.w) % t.w
 		a, b := t.ID(x, y), t.ID(nx, y)
-		hops = append(hops, Hop{From: a, To: b, Link: t.Link(a, b), Latency: t.hopLat})
+		hops = append(hops, Hop{From: a, To: b, Link: t.Link(a, b), Latency: t.hopLatency(a)})
 		x = nx
 	}
 	stepY := shortestStep(sy, dy, t.h)
 	for y != dy {
 		ny := (y + stepY + t.h) % t.h
 		a, b := t.ID(x, y), t.ID(x, ny)
-		hops = append(hops, Hop{From: a, To: b, Link: t.Link(a, b), Latency: t.hopLat})
+		hops = append(hops, Hop{From: a, To: b, Link: t.Link(a, b), Latency: t.hopLatency(a)})
 		y = ny
 	}
 	return hops
 }
 
-// Lookahead implements Network: the per-hop propagation latency.
-func (t *Torus2D) Lookahead() sim.Duration { return t.hopLat }
+// Lookahead implements Network: the minimum current per-hop propagation
+// latency over all injecting nodes (>= the nominal hop latency while
+// latency faults are in force, so partition-time bounds stay valid).
+func (t *Torus2D) Lookahead() sim.Duration {
+	if t.latScale == nil {
+		return t.hopLat
+	}
+	min := sim.Duration(0)
+	for n := 0; n < t.w*t.h; n++ {
+		if l := t.hopLatency(n); min == 0 || l < min {
+			min = l
+		}
+	}
+	return min
+}
 
 // CouplingLinks implements Network: every directed neighbor link at the
 // hop latency.

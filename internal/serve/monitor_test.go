@@ -1,0 +1,51 @@
+package serve
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMonitorEWMA(t *testing.T) {
+	m := NewMonitor(0.5)
+	if got := m.Slowdown("net:0"); got != 1 {
+		t.Errorf("unseen series slowdown = %g, want 1", got)
+	}
+	m.Observe("net:0", 4) // first observation seeds the series
+	if got := m.Slowdown("net:0"); got != 4 {
+		t.Errorf("after seed = %g, want 4", got)
+	}
+	m.Observe("net:0", 2) // 4 + 0.5*(2-4) = 3
+	if got := m.Slowdown("net:0"); math.Abs(got-3) > 1e-12 {
+		t.Errorf("after update = %g, want 3", got)
+	}
+}
+
+func TestMonitorWorst(t *testing.T) {
+	m := NewMonitor(1)
+	if name, w := m.Worst("net:"); name != "" || w != 1 {
+		t.Errorf("empty monitor Worst = %q, %g", name, w)
+	}
+	m.Observe("net:0", 2)
+	m.Observe("net:1", 8)
+	m.Observe("dev:0", 16)
+	name, w := m.Worst("net:")
+	if name != "net:1" || w != 8 {
+		t.Errorf("Worst(net:) = %q x%g, want net:1 x8 (dev: series must not leak in)", name, w)
+	}
+	if name, w = m.Worst("dev:"); name != "dev:0" || w != 16 {
+		t.Errorf("Worst(dev:) = %q x%g", name, w)
+	}
+}
+
+func TestMonitorBadAlphaPanics(t *testing.T) {
+	for _, alpha := range []float64{0, -0.1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewMonitor(%g) did not panic", alpha)
+				}
+			}()
+			NewMonitor(alpha)
+		}()
+	}
+}

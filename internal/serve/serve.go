@@ -14,6 +14,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -32,6 +33,9 @@ type Request struct {
 	// Admit when a serving slot pulled it into a batch; Done when its
 	// batch's stack execution finished.
 	Arrival, Admit, Done sim.Time
+	// Retries counts how many times the request was re-enqueued after a
+	// failed backend step (fault injection only; always 0 otherwise).
+	Retries int
 }
 
 // Wait is the time spent queued before admission.
@@ -99,7 +103,9 @@ func (t *Trace) Next(i int) (sim.Duration, string, bool) {
 
 // ParseTrace reads an arrival trace: one request per line as
 // "<offset-seconds> [kind]", '#' comments and blank lines skipped.
-// Offsets must be non-decreasing.
+// Offsets must be non-negative, finite, and non-decreasing, and the
+// trace must contain at least one arrival. Errors carry the offending
+// line number.
 func ParseTrace(r io.Reader) (*Trace, error) {
 	tr := &Trace{}
 	sc := bufio.NewScanner(r)
@@ -111,9 +117,15 @@ func ParseTrace(r io.Reader) (*Trace, error) {
 			continue
 		}
 		fields := strings.Fields(text)
+		if len(fields) > 2 {
+			return nil, fmt.Errorf("serve: trace line %d: %d fields %q, want \"<offset-seconds> [kind]\"", line, len(fields), text)
+		}
 		secs, err := strconv.ParseFloat(fields[0], 64)
 		if err != nil {
 			return nil, fmt.Errorf("serve: trace line %d: bad offset %q: %w", line, fields[0], err)
+		}
+		if secs < 0 || math.IsInf(secs, 0) || math.IsNaN(secs) {
+			return nil, fmt.Errorf("serve: trace line %d: offset %v out of range", line, fields[0])
 		}
 		at := sim.Time(sim.DurationOf(secs))
 		if n := len(tr.At); n > 0 && at < tr.At[n-1] {
@@ -127,7 +139,10 @@ func ParseTrace(r io.Reader) (*Trace, error) {
 		tr.Kinds = append(tr.Kinds, kind)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("serve: reading trace at line %d: %w", line, err)
+	}
+	if len(tr.At) == 0 {
+		return nil, fmt.Errorf("serve: trace has no arrivals (%d lines of comments/blanks)", line)
 	}
 	return tr, nil
 }
@@ -158,6 +173,18 @@ type BackendFunc func(p *sim.Proc, batch []*Request)
 // Step calls f.
 func (f BackendFunc) Step(p *sim.Proc, batch []*Request) { f(p, batch) }
 
+// Fallible is the optional Backend extension for backends whose steps
+// can fail — a dropped rank, an injected fault. When a slot's backend
+// implements it, Run calls StepErr instead of Step; on a non-nil error
+// the batch's requests are not completed but retried (bounded by
+// Config.MaxRetries) after Config.RetryBackoff, and Config.Rebuild may
+// replace the slot's backend first. A failed step still consumes the
+// simulated time StepErr blocked for — work lost at failure.
+type Fallible interface {
+	Backend
+	StepErr(p *sim.Proc, batch []*Request) error
+}
+
 // Config bounds one serving run.
 type Config struct {
 	// MaxBatch caps the requests one batched step carries (0 or 1:
@@ -172,6 +199,26 @@ type Config struct {
 	// SLO is the end-to-end latency bound goodput counts against
 	// (0: every completion is good).
 	SLO sim.Duration
+	// Deadline drops requests still queued this long after arrival at
+	// admission time instead of serving them (0: never time out). Unlike
+	// SLO — which only classifies completions — a deadline sheds load.
+	Deadline sim.Duration
+	// MaxRetries bounds how many times a request whose backend step
+	// failed is re-enqueued before it is dropped (0: drop on first
+	// failure). Only consulted for Fallible backends.
+	MaxRetries int
+	// RetryBackoff is the simulated delay before a failed request
+	// re-enters the queue (0: immediate re-enqueue).
+	RetryBackoff sim.Duration
+	// Rebuild, when set, is consulted after a failed step: a non-nil
+	// return replaces the failing slot's backend for subsequent steps —
+	// the re-shard hook that rebuilds a stack on surviving ranks after
+	// a dropped one.
+	Rebuild func(slot int, err error) Backend
+	// Probe, when set, observes every queue-depth transition — the
+	// live-telemetry hook degradation monitors sample. It must not
+	// mutate simulation state.
+	Probe func(now sim.Time, depth int)
 }
 
 // Run drives one serving simulation to completion on e (which must be
@@ -203,10 +250,18 @@ func Run(e *sim.Engine, arr Arrivals, slots []Backend, cfg Config) *Stats {
 		// the run, updated at every queue transition.
 		depthAt  sim.Time
 		depthInt float64
+		// Failed requests awaiting their backoff re-enqueue. Slots must
+		// not exit while any are pending or they would never be served.
+		retryPending int
 	)
 	account := func(now sim.Time) {
 		depthInt += float64(len(queue)) * float64(now.Sub(depthAt))
 		depthAt = now
+	}
+	probe := func(now sim.Time) {
+		if cfg.Probe != nil {
+			cfg.Probe(now, len(queue))
+		}
 	}
 
 	e.Go("serve/arrivals", func(p *sim.Proc) {
@@ -225,6 +280,7 @@ func Run(e *sim.Engine, arr Arrivals, slots []Backend, cfg Config) *Stats {
 			if len(queue) > st.MaxDepth {
 				st.MaxDepth = len(queue)
 			}
+			probe(p.Now())
 			ready.Broadcast()
 		}
 		closed = true
@@ -232,10 +288,12 @@ func Run(e *sim.Engine, arr Arrivals, slots []Backend, cfg Config) *Stats {
 	})
 
 	for si, b := range slots {
-		b := b
+		si, b := si, b
 		e.Go(fmt.Sprintf("serve/slot%d", si), func(p *sim.Proc) {
 			for {
-				ready.Wait(p, func() bool { return len(queue) > 0 || closed })
+				ready.Wait(p, func() bool {
+					return len(queue) > 0 || (closed && retryPending == 0)
+				})
 				if len(queue) == 0 {
 					return
 				}
@@ -249,7 +307,57 @@ func Run(e *sim.Engine, arr Arrivals, slots []Backend, cfg Config) *Stats {
 				for _, r := range batch {
 					r.Admit = p.Now()
 				}
-				b.Step(p, batch)
+				probe(p.Now())
+				if cfg.Deadline > 0 {
+					kept := batch[:0]
+					for _, r := range batch {
+						if r.Wait() > cfg.Deadline {
+							st.Drops++
+							st.Dropped = append(st.Dropped, r)
+							continue
+						}
+						kept = append(kept, r)
+					}
+					batch = kept
+					if len(batch) == 0 {
+						continue
+					}
+				}
+				fb, fallible := b.(Fallible)
+				if fallible {
+					if err := fb.StepErr(p, batch); err != nil {
+						if cfg.Rebuild != nil {
+							if nb := cfg.Rebuild(si, err); nb != nil {
+								b = nb
+							}
+						}
+						for _, r := range batch {
+							r := r
+							if r.Retries >= cfg.MaxRetries {
+								st.Drops++
+								st.Dropped = append(st.Dropped, r)
+								continue
+							}
+							r.Retries++
+							st.Retries++
+							retryPending++
+							e.After(cfg.RetryBackoff, func() {
+								account(e.Now())
+								queue = append(queue, r)
+								retryPending--
+								if len(queue) > st.MaxDepth {
+									st.MaxDepth = len(queue)
+								}
+								probe(e.Now())
+								ready.Broadcast()
+							})
+						}
+						st.Batches++
+						continue
+					}
+				} else {
+					b.Step(p, batch)
+				}
 				for _, r := range batch {
 					r.Done = p.Now()
 				}

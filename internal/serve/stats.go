@@ -61,9 +61,13 @@ func Summarize(samples []sim.Duration) Summary {
 // Stats is the outcome of one serving run.
 type Stats struct {
 	// Generated counts emitted requests; Completed counts requests that
-	// finished (all of them: the run drains); Batches counts backend
-	// steps.
+	// finished (the run drains, so Generated = Completed + Drops);
+	// Batches counts backend steps.
 	Generated, Completed, Batches int
+	// Drops counts abandoned requests — timed out past the configured
+	// Deadline at admission, or failed past MaxRetries; Retries counts
+	// re-enqueues of requests whose backend step failed.
+	Drops, Retries int
 	// Makespan is the simulated time from start to the last completion.
 	Makespan sim.Duration
 	// Wait, Service, and Latency summarize the per-request components.
@@ -77,6 +81,9 @@ type Stats struct {
 	MaxDepth  int
 	// Requests is the completed-request log in completion order.
 	Requests []*Request
+	// Dropped is the abandoned-request log in drop order (Done stays
+	// zero for these; empty without fault injection or deadlines).
+	Dropped []*Request
 }
 
 // finish derives the aggregate statistics from the completed log.
@@ -105,8 +112,12 @@ func (st *Stats) finish(end sim.Time, slo sim.Duration) {
 }
 
 func (st *Stats) String() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"served %d/%d in %v (%d batches): latency %s; wait %s; %.0f req/s, goodput %.0f req/s, mean depth %.2f (max %d)",
 		st.Completed, st.Generated, st.Makespan, st.Batches,
 		st.Latency, st.Wait, st.Throughput, st.Goodput, st.MeanDepth, st.MaxDepth)
+	if st.Drops > 0 || st.Retries > 0 {
+		s += fmt.Sprintf("; %d dropped, %d retries", st.Drops, st.Retries)
+	}
+	return s
 }

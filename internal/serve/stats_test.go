@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+
+	"fusedcc/internal/sim"
+)
+
+func us(n int) sim.Duration { return sim.Duration(n) * sim.Microsecond }
+
+// TestPercentile pins the nearest-rank boundaries: the smallest sample
+// with at least p% of the mass at or below it, with p=100 always the
+// max and tiny p clamping to the min.
+func TestPercentile(t *testing.T) {
+	four := []sim.Duration{us(40), us(10), us(30), us(20)} // unsorted on purpose
+	cases := []struct {
+		name    string
+		samples []sim.Duration
+		p       float64
+		want    sim.Duration
+	}{
+		{"empty", nil, 99, 0},
+		{"single p1", []sim.Duration{us(7)}, 1, us(7)},
+		{"single p100", []sim.Duration{us(7)}, 100, us(7)},
+		{"p50 even n", four, 50, us(20)},   // rank ceil(4*0.5)=2
+		{"p75 boundary", four, 75, us(30)}, // rank exactly 3
+		{"p76 rounds up", four, 76, us(40)},
+		{"p100 is max", four, 100, us(40)},
+		{"p1 clamps to min", four, 1, us(10)},
+		{"p99 of 100", seq(100), 99, us(99)},  // rank 99
+		{"p1.0 of 100", seq(100), 1.0, us(1)}, // rank exactly 1
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Percentile(tc.samples, tc.p); got != tc.want {
+				t.Errorf("Percentile(%v, %g) = %v, want %v", tc.samples, tc.p, got, tc.want)
+			}
+		})
+	}
+	// The input must not be reordered.
+	if four[0] != us(40) || four[3] != us(20) {
+		t.Errorf("Percentile mutated its input: %v", four)
+	}
+}
+
+// seq returns {1us, 2us, ..., n us}.
+func seq(n int) []sim.Duration {
+	s := make([]sim.Duration, n)
+	for i := range s {
+		s[i] = us(i + 1)
+	}
+	return s
+}
+
+func TestSummarize(t *testing.T) {
+	if s := Summarize(nil); s != (Summary{}) {
+		t.Errorf("Summarize(nil) = %+v, want zero", s)
+	}
+	one := Summarize([]sim.Duration{us(5)})
+	if one.Mean != us(5) || one.P50 != us(5) || one.P99 != us(5) || one.Max != us(5) {
+		t.Errorf("single sample summary = %+v, want all 5us", one)
+	}
+	s := Summarize(seq(100))
+	if s.P50 != us(50) || s.P95 != us(95) || s.P99 != us(99) || s.Max != us(100) {
+		t.Errorf("seq(100) summary = %+v", s)
+	}
+	if want := us(5050) / 100; s.Mean != want {
+		t.Errorf("mean = %v, want %v", s.Mean, want)
+	}
+}
+
+// TestStatsStringDrops checks the drop/retry suffix only appears when
+// a run actually shed or retried work.
+func TestStatsStringDrops(t *testing.T) {
+	st := &Stats{Generated: 4, Completed: 4}
+	if s := st.String(); strings.Contains(s, "dropped") {
+		t.Errorf("clean run mentions drops: %s", s)
+	}
+	st.Drops, st.Retries = 2, 5
+	s := st.String()
+	if !strings.Contains(s, "2 dropped") || !strings.Contains(s, "5 retries") {
+		t.Errorf("faulted run missing drop/retry counts: %s", s)
+	}
+}

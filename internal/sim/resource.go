@@ -27,6 +27,12 @@ type Resource struct {
 	lastUpdate Time
 	timer      *event
 
+	// rateScale multiplies the usable capacity — the fault-injection
+	// hook (degraded link, straggling memory system). Zero means the
+	// nominal 1.0; values other than 1 scale every concurrent flow's
+	// share for as long as the scale is in force.
+	rateScale float64
+
 	// Stats.
 	totalBytes float64
 	busyTime   Duration // time with >=1 active flow
@@ -58,6 +64,35 @@ func (r *Resource) Capacity() float64 { return r.capacity }
 
 // ActiveFlows reports the number of in-flight transfers.
 func (r *Resource) ActiveFlows() int { return len(r.flows) }
+
+// RateScale reports the current capacity multiplier (1 when nominal).
+func (r *Resource) RateScale() float64 {
+	if r.rateScale == 0 {
+		return 1
+	}
+	return r.rateScale
+}
+
+// SetRateScale scales the resource's usable capacity by f until the
+// next call — the fault-injection hook for degraded links and
+// straggling memory systems. In-flight transfers are advanced at the
+// old rates first and reallocated at the new ones, so timing stays
+// exact for the piecewise-constant fluid model. f must be positive; a
+// scale of exactly 1 restores nominal behavior (and, like the zero
+// value, keeps the capacity arithmetic byte-identical to an unscaled
+// resource).
+func (r *Resource) SetRateScale(f float64) {
+	if f <= 0 {
+		panic("sim: resource " + r.name + " rate scale must be positive")
+	}
+	if f == r.RateScale() {
+		r.rateScale = f
+		return
+	}
+	r.advance()
+	r.rateScale = f
+	r.reallocate()
+}
 
 // TotalBytes reports the cumulative bytes served.
 func (r *Resource) TotalBytes() float64 { return r.totalBytes }
@@ -116,6 +151,12 @@ func (r *Resource) EstimateRate(perFlowCap float64) float64 {
 
 func (r *Resource) usable(n int) float64 {
 	c := r.capacity
+	// Skip the multiply at nominal scale so unscaled resources keep the
+	// exact historical float arithmetic (byte-identity with pre-chaos
+	// runs).
+	if r.rateScale != 0 && r.rateScale != 1 {
+		c *= r.rateScale
+	}
 	if r.eff != nil {
 		f := r.eff(n)
 		if f < 0 {
